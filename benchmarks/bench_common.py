@@ -1,0 +1,24 @@
+"""Shared plumbing for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper end to end
+(trace synthesis -> simulation sweep -> artifact) and asserts the
+*shape* facts the paper reports.  ``REPRO_BENCH_JOBS`` controls the
+trace length (default 800; the paper uses 5000 — export
+``REPRO_BENCH_JOBS=5000`` to reproduce at full scale, as EXPERIMENTS.md
+does).
+"""
+
+from __future__ import annotations
+
+import os
+
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "800"))
+
+#: Loaded workloads (CTC/SDSC/Blue) queue heavily; the light ones don't.
+LOADED = ("CTC", "SDSC", "SDSCBlue")
+LIGHT = ("LLNLThunder", "LLNLAtlas")
+
+
+def run_once(benchmark, builder):
+    """Run ``builder`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(builder, rounds=1, iterations=1)

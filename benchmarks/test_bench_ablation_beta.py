@@ -1,0 +1,25 @@
+"""Ablation A1 — β sensitivity (the paper's §7 future work, quantified).
+
+Shape: β=0 makes frequency scaling free (maximal savings, everything
+reduced); β=1 maximises the time penalty, so fewer jobs pass the BSLD
+gate and savings shrink.
+"""
+
+from bench_common import BENCH_JOBS, run_once
+
+from repro.experiments.ablations import beta_sweep
+from repro.experiments.runner import ExperimentRunner
+
+
+def test_ablation_beta(benchmark):
+    sweep = run_once(
+        benchmark,
+        lambda: beta_sweep(ExperimentRunner(n_jobs=BENCH_JOBS), workload="LLNLThunder"),
+    )
+    print()
+    print(sweep.render())
+    by_beta = {row[0]: row for row in sweep.rows}
+    assert by_beta[0.0][1] <= by_beta[0.5][1] + 0.02 <= by_beta[1.0][1] + 0.1
+    assert by_beta[0.0][3] >= by_beta[1.0][3]
+    # at beta=0 lowering gears costs no runtime: BSLD stays at the baseline
+    assert by_beta[0.0][2] < by_beta[1.0][2] + 1.0

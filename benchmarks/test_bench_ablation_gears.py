@@ -1,0 +1,26 @@
+"""Ablation A5 — gear-ladder granularity.
+
+Shape: removing the deep gears (upper-half ladder) forfeits savings;
+a two-point {lowest, top} ladder keeps most of the saving on workloads
+whose jobs tolerate the full stretch.
+"""
+
+from bench_common import BENCH_JOBS, run_once
+
+from repro.experiments.ablations import gear_ladder_ablation
+from repro.experiments.runner import ExperimentRunner
+
+
+def test_ablation_gear_ladder(benchmark):
+    ablation = run_once(
+        benchmark,
+        lambda: gear_ladder_ablation(
+            ExperimentRunner(n_jobs=BENCH_JOBS), workload="LLNLThunder"
+        ),
+    )
+    print()
+    print(ablation.render())
+    by_label = {row[0]: row for row in ablation.rows}
+    full = by_label["full paper ladder"][1]
+    upper = by_label["upper half {1.7, 2.0, 2.3}"][1]
+    assert upper >= full - 1e-9

@@ -1,0 +1,29 @@
+"""Ablation A4 — scheduler/policy comparison on one workload.
+
+Covers the baselines around the paper's design point: FCFS (no
+backfilling), conservative backfilling, the utilisation-triggered
+related-work policy, and the dynamic-boost extension.
+"""
+
+from bench_common import BENCH_JOBS, run_once
+
+from repro.experiments.ablations import policy_comparison
+from repro.experiments.runner import ExperimentRunner
+
+
+def test_ablation_policy_comparison(benchmark):
+    comparison = run_once(
+        benchmark,
+        lambda: policy_comparison(
+            ExperimentRunner(n_jobs=min(BENCH_JOBS, 1500)), workload="CTC"
+        ),
+    )
+    print()
+    print(comparison.render())
+    by_label = {row[0]: row for row in comparison.rows}
+    assert by_label["FCFS no-DVFS"][2] >= by_label["EASY no-DVFS"][2] - 1e-6
+    assert by_label["EASY DVFS(2,NO)"][3] < 1.0  # saves energy
+    boosted = by_label["EASY DVFS(2,NO)+boost4"]
+    plain = by_label["EASY DVFS(2,NO)"]
+    assert boosted[2] <= plain[2] + 1e-6  # boost trims waits
+    assert boosted[3] >= plain[3] - 1e-6  # at an energy cost

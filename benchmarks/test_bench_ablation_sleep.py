@@ -1,0 +1,29 @@
+"""Ablation A6 — DVFS vs PowerNap-style idle sleep (related work, §6).
+
+Shape: sleep states attack idle energy (huge on under-utilised
+machines), DVFS attacks active energy; combined they stack.  On a hot
+machine the ranking flips toward DVFS.
+"""
+
+from bench_common import BENCH_JOBS, run_once
+
+from repro.experiments.ablations import sleep_vs_dvfs
+from repro.experiments.runner import ExperimentRunner
+
+
+def test_ablation_sleep_vs_dvfs(benchmark):
+    ablation = run_once(
+        benchmark,
+        lambda: sleep_vs_dvfs(ExperimentRunner(n_jobs=BENCH_JOBS), workload="LLNLAtlas"),
+    )
+    print()
+    print(ablation.render())
+    by_label = {row[0]: row for row in ablation.rows}
+    assert by_label["no DVFS, no sleep"][1] == 1.0
+    # sleep alone never hurts performance
+    assert by_label["sleep only"][2] == by_label["no DVFS, no sleep"][2]
+    assert by_label["sleep only"][1] < 1.0
+    # the combination dominates either single technique on energy
+    combined = by_label["DVFS(2, NO) + sleep"][1]
+    assert combined <= by_label["sleep only"][1] + 1e-9
+    assert combined <= by_label["DVFS(2, NO)"][1] + 1e-9

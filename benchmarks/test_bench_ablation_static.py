@@ -1,0 +1,25 @@
+"""Ablation A2 — static power share.
+
+Shape: dynamic power scales with f*V^2 but static only with V, so a
+larger static share damps the relative saving from down-clocking.
+"""
+
+from bench_common import BENCH_JOBS, run_once
+
+from repro.experiments.ablations import static_share_sweep
+from repro.experiments.runner import ExperimentRunner
+
+
+def test_ablation_static_share(benchmark):
+    sweep = run_once(
+        benchmark,
+        lambda: static_share_sweep(
+            ExperimentRunner(n_jobs=BENCH_JOBS), workload="LLNLThunder",
+            shares=(0.0, 0.125, 0.25, 0.5),
+        ),
+    )
+    print()
+    print(sweep.render())
+    energies = [row[1] for row in sweep.rows]
+    for leaner, fatter in zip(energies, energies[1:]):
+        assert fatter >= leaner - 0.02

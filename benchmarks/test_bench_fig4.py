@@ -1,0 +1,35 @@
+"""Figure 4 — number of jobs run at reduced frequency.
+
+Paper shape: counts grow with the WQ threshold; a *higher* BSLD
+threshold does not necessarily reduce more jobs (Thunder reduces fewer
+at 2 than at 1.5 because slowed jobs congest the queue).
+"""
+
+from bench_common import BENCH_JOBS, run_once
+
+from repro.experiments.figures import figure4
+from repro.experiments.runner import ExperimentRunner
+
+
+def test_figure4(benchmark):
+    fig = run_once(benchmark, lambda: figure4(ExperimentRunner(n_jobs=BENCH_JOBS)))
+    print()
+    print(fig.render())
+    grid = fig.grid
+
+    for workload in grid.workloads:
+        for bsld in grid.bsld_thresholds:
+            # WQ monotonicity of reduced-job counts.
+            counts = [fig.reduced_jobs((workload, bsld, wq)) for wq in (0, 4, 16, None)]
+            for tight, loose in zip(counts, counts[1:]):
+                assert loose >= tight - max(3, int(0.02 * BENCH_JOBS))
+            assert counts[-1] <= BENCH_JOBS
+
+    # The paper's Thunder inversion: more aggressive threshold, *fewer*
+    # reduced jobs under a WQ limit (feedback through queue growth).
+    thunder_15 = fig.reduced_jobs(("LLNLThunder", 1.5, 4))
+    thunder_2 = fig.reduced_jobs(("LLNLThunder", 2.0, 4))
+    assert thunder_2 < thunder_15
+
+    # Light systems reduce far more jobs than the saturated SDSC.
+    assert fig.reduced_jobs(("LLNLAtlas", 2.0, None)) > fig.reduced_jobs(("SDSC", 2.0, None))

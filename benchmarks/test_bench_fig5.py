@@ -1,0 +1,51 @@
+"""Figure 5 — average BSLD per parameter combination, original size.
+
+Paper shape: performance degrades as thresholds loosen; SDSC has by far
+the worst BSLD; the most aggressive corner (3, NO) hurts most.
+"""
+
+from bench_common import BENCH_JOBS, run_once
+
+from repro.experiments.figures import figure5
+from repro.experiments.runner import ExperimentRunner
+
+
+def test_figure5(benchmark):
+    fig = run_once(benchmark, lambda: figure5(ExperimentRunner(n_jobs=BENCH_JOBS)))
+    print()
+    print(fig.render())
+    grid = fig.grid
+
+    for workload in grid.workloads:
+        baseline = fig.baseline_bsld(workload)
+        combos = [
+            fig.average_bsld((workload, bsld, wq))
+            for bsld in grid.bsld_thresholds
+            for wq in grid.wq_thresholds
+        ]
+        # DVFS costs performance on balance; individual combinations can
+        # perturb a short trace in their favour (the paper's own SDSC
+        # row is non-monotone), so assert the grid average, the strictly
+        # losing aggressive corner, and per-combination only at scale.
+        assert sum(combos) / len(combos) >= baseline * 0.95
+        assert fig.average_bsld((workload, 3.0, None)) >= baseline * 0.999
+        if BENCH_JOBS >= 2000:
+            assert min(combos) >= baseline * 0.93
+        # The aggressive corner hurts at least as much as the timid one.
+        timid = fig.average_bsld((workload, 1.5, 0))
+        aggressive = fig.average_bsld((workload, 3.0, None))
+        assert aggressive >= timid * 0.95
+
+    # SDSC is the worst-served workload: it dominates the baseline and
+    # (at scale) every grid combination; on short benchmark traces the
+    # aggressive corner of another loaded workload may briefly catch up.
+    assert fig.baseline_bsld("SDSC") == max(
+        fig.baseline_bsld(w) for w in grid.workloads
+    )
+    for bsld in grid.bsld_thresholds:
+        for wq in grid.wq_thresholds:
+            sdsc = fig.average_bsld(("SDSC", bsld, wq))
+            for other in ("CTC", "LLNLThunder", "LLNLAtlas"):
+                assert sdsc > fig.average_bsld((other, bsld, wq))
+            if BENCH_JOBS >= 2000:
+                assert sdsc > fig.average_bsld(("SDSCBlue", bsld, wq))

@@ -1,0 +1,33 @@
+"""Figure 6 — SDSC-Blue wait-time behaviour zoom, orig vs DVFS(2, 16).
+
+Paper shape: "wait time with frequency scaling is much higher than
+without it" over the congested stretch of the trace.
+"""
+
+import statistics
+
+from bench_common import BENCH_JOBS, run_once
+
+from repro.experiments.figures import figure6
+from repro.experiments.runner import ExperimentRunner
+
+
+def test_figure6(benchmark):
+    fig = run_once(
+        benchmark,
+        lambda: figure6(
+            ExperimentRunner(n_jobs=BENCH_JOBS),
+            workload="SDSCBlue",
+            bsld_threshold=2.0,
+            wq_threshold=16,
+        ),
+    )
+    print()
+    print(fig.render())
+
+    mean_orig = statistics.fmean(fig.original_waits)
+    mean_dvfs = statistics.fmean(fig.dvfs_waits)
+    # The DVFS series sits above the original over the zoom window.
+    assert mean_dvfs >= mean_orig
+    assert len(fig.original_waits) == len(fig.dvfs_waits)
+    assert fig.policy_label == "DVFS_2_16"

@@ -1,0 +1,44 @@
+"""Figure 7 — normalized energy of enlarged systems, WQ threshold 0.
+
+Paper shape: computational energy decreases monotonically with system
+size; the idle=low scenario eventually turns back up (idle processors
+erase the savings), so its minimum sits strictly inside the sweep for
+at least some workloads.
+"""
+
+from bench_common import BENCH_JOBS, run_once
+
+from repro.experiments.figures import figure7
+from repro.experiments.runner import ExperimentRunner
+
+
+def check_enlarged_energy_shapes(fig):
+    sweep = fig.sweep
+    factors = sweep.size_factors
+    interior_minimum = 0
+    for workload in sweep.workloads:
+        comp = [fig.normalized_energy(workload, f, "idle0") for f in factors]
+        # monotone non-increasing computational energy (small tolerance)
+        for small, large in zip(comp, comp[1:]):
+            assert large <= small + 0.02, (workload, comp)
+        low = [fig.normalized_energy(workload, f, "idlelow") for f in factors]
+        # On the largest machine the idle floor dominates: idle=low can
+        # no longer keep up with the computational saving.  (At original
+        # size idle=low may *beat* idle0 — DVFS stretching raises
+        # utilisation and can shrink absolute idle time — so the paper's
+        # "two scenarios diverge" claim is asserted at the big end only.)
+        assert low[-1] >= comp[-1] - 0.02, (workload, low, comp)
+        if low.index(min(low)) < len(factors) - 1:
+            interior_minimum += 1
+    # the idle-power turnaround exists somewhere in the fleet
+    assert interior_minimum >= 1
+
+
+def test_figure7(benchmark):
+    fig = run_once(benchmark, lambda: figure7(ExperimentRunner(n_jobs=BENCH_JOBS)))
+    print()
+    print(fig.render())
+    check_enlarged_energy_shapes(fig)
+    # The paper's headline: a +20% system yields a visible saving even
+    # in the conservative WQ=0 configuration, for the light systems.
+    assert fig.normalized_energy("LLNLThunder", 1.2, "idle0") < 0.95

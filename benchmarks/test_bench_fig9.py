@@ -1,0 +1,40 @@
+"""Figure 9 — average BSLD of enlarged power-aware systems.
+
+Paper shape: more processors monotonically improve BSLD even though
+more jobs run reduced; the loaded workloads (CTC/SDSC/Blue) eventually
+beat their original no-DVFS performance, while Thunder/Atlas — already
+at the BSLD floor — cannot improve on it but stay close.
+"""
+
+from bench_common import BENCH_JOBS, LOADED, run_once
+
+from repro.experiments.figures import figure9
+from repro.experiments.runner import ExperimentRunner
+
+
+def test_figure9(benchmark):
+    fig = run_once(benchmark, lambda: figure9(ExperimentRunner(n_jobs=BENCH_JOBS)))
+    print()
+    print(fig.render())
+
+    for wq, sweep in (("0", fig.sweep_wq0), ("NO", fig.sweep_wqno)):
+        for workload in sweep.workloads:
+            series = [
+                fig.average_bsld(wq, workload, factor) for factor in sweep.size_factors
+            ]
+            # monotone improvement with size (generous tolerance: the
+            # trace is finite and bursty)
+            assert series[-1] <= series[0] + 0.5
+            for a, b in zip(series, series[2:]):
+                assert b <= a * 1.10 + 0.2
+
+    # The loaded systems cross below their no-DVFS baseline by +125%
+    # in the conservative WQ=0 configuration.
+    for workload in LOADED:
+        baseline = fig.baseline_bsld(workload)
+        final = fig.average_bsld("0", workload, fig.sweep_wq0.size_factors[-1])
+        assert final <= baseline * 1.05
+
+    # The light systems never stray far from the floor at WQ=0.
+    for workload in ("LLNLThunder", "LLNLAtlas"):
+        assert fig.average_bsld("0", workload, 2.25) < 3.0

@@ -1,0 +1,27 @@
+"""Table 3 — average wait times across scheduling/system configurations."""
+
+from bench_common import BENCH_JOBS, run_once
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import table3
+from repro.workloads.models import WORKLOAD_NAMES
+
+
+def test_table3(benchmark):
+    def build():
+        return table3(ExperimentRunner(n_jobs=BENCH_JOBS))
+
+    table = run_once(benchmark, build)
+    print()
+    print(table.render())
+
+    for name in WORKLOAD_NAMES:
+        row = table.rows[name]
+        # DVFS at original size never shortens waits...
+        assert row["OrigWQNo"] >= row["OrigNoDVFS"] * 0.95
+        # ...the no-limit configuration waits at least as long as WQ=0...
+        assert row["OrigWQNo"] >= row["OrigWQ0"] * 0.95
+        # ...and the +50% system collapses waits versus the original
+        # power-aware runs (the paper's headline Table 3 effect).
+        assert row["Inc50WQ0"] <= row["OrigWQ0"] + 1.0
+        assert row["Inc50WQNo"] <= row["OrigWQNo"] + 1.0

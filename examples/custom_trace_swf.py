@@ -1,0 +1,76 @@
+"""Ingesting real traces: SWF round-trip, cleaning, and scheduling.
+
+Run with::
+
+    python examples/custom_trace_swf.py
+
+The paper evaluates cleaned Parallel Workload Archive logs in Standard
+Workload Format.  This example shows the full ingestion path a user
+with a real ``.swf`` file would take:
+
+1. write a synthetic trace out as SWF (stand-in for a downloaded log),
+2. corrupt it with a per-user flurry, as raw archive logs contain,
+3. read it back, clean it, and simulate it power-aware.
+"""
+
+import os
+import tempfile
+from dataclasses import replace
+
+from repro import (
+    BsldThresholdPolicy,
+    EasyBackfilling,
+    FixedGearPolicy,
+    Machine,
+    load_workload,
+)
+from repro.workloads.cleaning import FlurryFilter, remove_flurries
+from repro.workloads.swf import read_swf, write_swf
+
+N_JOBS = 800
+
+
+def main() -> None:
+    jobs = load_workload("SDSC", n_jobs=N_JOBS)
+
+    # Inject a flurry: one user hammering 120 near-identical submissions.
+    flurry_user = 9999
+    last = jobs[-1]
+    flurry = [
+        replace(
+            last,
+            job_id=last.job_id + index + 1,
+            submit_time=last.submit_time + 5.0 * index,
+            runtime=90.0,
+            requested_time=900.0,
+            size=4,
+            user_id=flurry_user,
+        )
+        for index in range(120)
+    ]
+    raw = jobs + flurry
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "sdsc_raw.swf")
+        write_swf(path, raw, max_procs=128, extra_header={"Origin": "example"})
+        header, parsed = read_swf(path)
+        print(f"read {len(parsed)} jobs back from {path}")
+        print(f"header MaxProcs: {header.max_procs}")
+
+        cleaned = remove_flurries(parsed, FlurryFilter(max_burst=20, keep_every=10))
+        dropped = len(parsed) - len(cleaned)
+        print(f"flurry filter dropped {dropped} jobs "
+              f"({sum(1 for j in parsed if j.user_id == flurry_user)} were the flurry)")
+
+        machine = Machine("SDSC", total_cpus=header.max_procs or 128)
+        baseline = EasyBackfilling(machine, FixedGearPolicy()).run(cleaned)
+        powered = EasyBackfilling(machine, BsldThresholdPolicy(2.0, 4)).run(cleaned)
+        print()
+        print("baseline   :", baseline.describe())
+        print("power-aware:", powered.describe())
+        ratio = powered.energy.computational / baseline.energy.computational
+        print(f"computational energy: {1 - ratio:.1%} saved")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""The two-knob trade-off study of the paper's §5.1 on one workload.
+
+Run with::
+
+    python examples/energy_performance_tradeoff.py [workload]
+
+Sweeps the (BSLD threshold x wait-queue threshold) grid of the paper on
+a single workload and prints the resulting energy/performance frontier,
+i.e. a per-workload slice of Figures 3-5.
+"""
+
+import sys
+
+from repro.experiments import (
+    BSLD_THRESHOLDS,
+    ExperimentRunner,
+    WQ_THRESHOLDS,
+    wq_label,
+)
+from repro.experiments.ascii_charts import bar_chart, format_table
+from repro.workloads.models import WORKLOAD_NAMES
+
+N_JOBS = 2000
+
+
+def main(workload: str = "SDSCBlue") -> None:
+    if workload not in WORKLOAD_NAMES:
+        raise SystemExit(f"unknown workload {workload!r}; pick one of {WORKLOAD_NAMES}")
+    runner = ExperimentRunner(n_jobs=N_JOBS)
+    baseline = runner.baseline(workload)
+
+    rows = []
+    labels, savings = [], []
+    for bsld in BSLD_THRESHOLDS:
+        for wq in WQ_THRESHOLDS:
+            run = runner.power_aware(workload, bsld, wq)
+            energy = run.energy.computational / baseline.energy.computational
+            rows.append(
+                [
+                    f"({bsld:g}, {wq_label(wq)})",
+                    energy,
+                    run.average_bsld(),
+                    run.average_wait(),
+                    run.reduced_jobs,
+                ]
+            )
+            labels.append(f"({bsld:g},{wq_label(wq)})")
+            savings.append(1.0 - energy)
+
+    print(f"workload: {workload}  ({N_JOBS} jobs; baseline avg BSLD "
+          f"{baseline.average_bsld():.2f}, avg wait {baseline.average_wait():.0f}s)\n")
+    print(
+        format_table(
+            ["(BSLDth, WQth)", "energy/baseline", "avg BSLD", "avg wait [s]", "reduced"],
+            rows,
+            title="energy-performance trade-off grid",
+        )
+    )
+    print()
+    print(bar_chart(labels, savings, title="computational energy saved vs baseline"))
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

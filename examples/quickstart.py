@@ -1,0 +1,51 @@
+"""Quickstart: schedule one workload with and without power awareness.
+
+Run with::
+
+    python examples/quickstart.py
+
+Generates a 1500-job synthetic CTC trace, schedules it twice under EASY
+backfilling — once with every job at the top gear (the paper's
+baseline) and once with the BSLD-threshold frequency policy — and
+prints the energy/performance trade-off that is the heart of the paper.
+"""
+
+from repro import (
+    BsldThresholdPolicy,
+    EasyBackfilling,
+    FixedGearPolicy,
+    Machine,
+    load_workload,
+)
+
+N_JOBS = 1500
+
+
+def main() -> None:
+    jobs = load_workload("CTC", n_jobs=N_JOBS)
+    machine = Machine("CTC", total_cpus=430)
+
+    baseline = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
+    power_aware = EasyBackfilling(
+        machine,
+        BsldThresholdPolicy(bsld_threshold=2.0, wq_threshold=4),
+    ).run(jobs)
+
+    print("no DVFS   :", baseline.describe())
+    print("power-aware:", power_aware.describe())
+    print()
+
+    for scenario, label in (("idle0", "computational energy"), ("idlelow", "energy (idle=low)")):
+        ratio = power_aware.energy.by_scenario(scenario) / baseline.energy.by_scenario(scenario)
+        print(f"{label:22s}: {1.0 - ratio:6.1%} saved")
+    print(f"{'average BSLD':22s}: {baseline.average_bsld():.2f} -> {power_aware.average_bsld():.2f}")
+    print(f"{'average wait':22s}: {baseline.average_wait():.0f}s -> {power_aware.average_wait():.0f}s")
+    print(f"{'jobs at reduced freq':22s}: {power_aware.reduced_jobs} of {power_aware.job_count}")
+
+    print("\ngear histogram (power-aware):")
+    for gear, count in sorted(power_aware.gear_histogram().items()):
+        print(f"  {gear.frequency:>4.1f} GHz @ {gear.voltage:.1f} V : {count:5d} jobs")
+
+
+if __name__ == "__main__":
+    main()

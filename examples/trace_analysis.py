@@ -1,0 +1,93 @@
+"""Deeper analysis: trace segments, per-class metrics, idle sleep states.
+
+Run with::
+
+    python examples/trace_analysis.py
+
+Demonstrates the analysis layer around the core reproduction:
+
+1. segment selection — simulate the *busiest* 1000-job window of a
+   longer trace, the way the paper picks its 5000-job segments;
+2. per-class breakdowns — who actually gets slowed down, and which
+   classes pay the BSLD bill;
+3. sleep states — how the paper's DVFS savings compose with
+   PowerNap-style idle power management (§6 related work).
+"""
+
+from repro import (
+    BsldThresholdPolicy,
+    EasyBackfilling,
+    FixedGearPolicy,
+    Machine,
+    load_workload,
+)
+from repro.experiments.ascii_charts import format_table
+from repro.metrics.breakdown import by_reduction, by_runtime_bands, by_size_bands
+from repro.power.sleep import SleepStateConfig, sleep_energy
+from repro.workloads.segment import busiest_segment, segment_load
+
+
+def main() -> None:
+    machine = Machine("SDSCBlue", total_cpus=1152)
+    full = load_workload("SDSCBlue", 3000)
+
+    # --- 1. the busiest 1000-job window ---------------------------------
+    start, segment = busiest_segment(full, count=1000, total_cpus=machine.total_cpus)
+    print(
+        f"busiest 1000-job window starts at job {start + 1}: "
+        f"offered load {segment_load(segment, machine.total_cpus):.2f} "
+        f"(whole trace: {segment_load(full, machine.total_cpus):.2f})\n"
+    )
+
+    baseline = EasyBackfilling(machine, FixedGearPolicy()).run(segment)
+    powered = EasyBackfilling(machine, BsldThresholdPolicy(2.0, 16)).run(segment)
+
+    # --- 2. who gets reduced, who pays ------------------------------------
+    rows = [
+        [c.label, c.jobs, f"{c.reduced_fraction:.0%}", c.avg_bsld, c.avg_wait]
+        for c in by_size_bands(powered)
+        if c.jobs
+    ]
+    print(format_table(
+        ["size band", "jobs", "reduced", "avg BSLD", "avg wait [s]"],
+        rows,
+        title="DVFS(2,16): reduction and service by job size",
+    ))
+    print()
+    rows = [
+        [c.label, c.jobs, f"{c.reduced_fraction:.0%}", c.avg_bsld]
+        for c in by_runtime_bands(powered)
+        if c.jobs
+    ]
+    print(format_table(
+        ["runtime band", "jobs", "reduced", "avg BSLD"],
+        rows,
+        title="DVFS(2,16): reduction by runtime class",
+    ))
+    print()
+    reduced, full_speed = by_reduction(powered)
+    if reduced.jobs:
+        print(
+            f"energy per CPU-second: reduced jobs "
+            f"{reduced.energy / reduced.cpu_seconds:.2f} vs full-speed "
+            f"{full_speed.energy / full_speed.cpu_seconds:.2f} (arbitrary units)\n"
+        )
+
+    # --- 3. composing DVFS with sleep states --------------------------------
+    config = SleepStateConfig(sleep_after_seconds=300.0, sleep_power_fraction=0.05)
+    base_total = baseline.energy.total_idle_low
+    rows = []
+    for label, run in (("no DVFS", baseline), ("DVFS(2,16)", powered)):
+        plain = run.energy.total_idle_low / base_total
+        slept = sleep_energy(run, config)
+        with_sleep = (run.energy.computational + slept.idle_energy) / base_total
+        rows.append([label, plain, with_sleep, f"{slept.sleep_fraction:.0%}"])
+    print(format_table(
+        ["configuration", "energy (no sleep)", "energy (+sleep)", "idle time asleep"],
+        rows,
+        title="total energy vs the no-DVFS/no-sleep baseline",
+    ))
+
+
+if __name__ == "__main__":
+    main()

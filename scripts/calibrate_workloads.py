@@ -1,0 +1,49 @@
+"""Calibrate each TraceModel's utilization knob against Table 1 avg BSLD.
+
+Bisection on utilization_override: baseline (no-DVFS EASY) average BSLD
+is monotone-increasing in offered load in the regimes of interest.
+Prints the utilization to bake into repro/workloads/models.py.
+"""
+
+import sys
+
+from repro import EasyBackfilling, FixedGearPolicy, Machine
+from repro.workloads.generator import generate_workload
+from repro.workloads.models import PAPER_BASELINE_BSLD, TRACE_MODELS
+
+N_JOBS = 5000
+
+
+def baseline_bsld(model, utilization):
+    jobs = generate_workload(model, N_JOBS, utilization_override=utilization)
+    machine = Machine(model.name, model.cpus)
+    return EasyBackfilling(machine, FixedGearPolicy()).run(jobs).average_bsld()
+
+
+def calibrate(name, lo=0.15, hi=1.25, iters=14):
+    model = TRACE_MODELS[name]
+    target = PAPER_BASELINE_BSLD[name]
+    flo, fhi = baseline_bsld(model, lo), baseline_bsld(model, hi)
+    print(f"{name}: target {target}; bsld({lo})={flo:.2f} bsld({hi})={fhi:.2f}", flush=True)
+    if flo >= target:
+        return lo, flo
+    best = (hi, fhi)
+    for _ in range(iters):
+        mid = 0.5 * (lo + hi)
+        fmid = baseline_bsld(model, mid)
+        print(f"  util={mid:.4f} -> bsld={fmid:.3f}", flush=True)
+        if abs(fmid - target) < abs(best[1] - target):
+            best = (mid, fmid)
+        if fmid < target:
+            lo = mid
+        else:
+            hi = mid
+    return best
+
+
+if __name__ == "__main__":
+    names = sys.argv[1:] or list(TRACE_MODELS)
+    for name in names:
+        util, bsld = calibrate(name)
+        print(f"==> {name}: utilization={util:.4f} gives baseline avg BSLD {bsld:.3f} "
+              f"(paper {PAPER_BASELINE_BSLD[name]})", flush=True)

@@ -1,0 +1,39 @@
+"""Profile a full-scale simulation (the guide's measure-first workflow).
+
+Usage::
+
+    python scripts/profile_simulation.py [workload] [n_jobs]
+
+Prints the cProfile hot spots of one baseline + one power-aware run.
+Use this before optimising anything in the scheduler hot path.
+"""
+
+import cProfile
+import pstats
+import sys
+
+from repro import BsldThresholdPolicy, EasyBackfilling, FixedGearPolicy, Machine, load_workload
+from repro.workloads.models import trace_model
+
+
+def main(workload: str = "SDSC", n_jobs: int = 5000) -> None:
+    jobs = load_workload(workload, n_jobs)
+    machine = Machine(workload, trace_model(workload).cpus)
+
+    for label, policy in (
+        ("baseline (no DVFS)", FixedGearPolicy()),
+        ("power-aware DVFS(2, NO)", BsldThresholdPolicy(2.0, None)),
+    ):
+        print(f"=== {label}: {workload}, {n_jobs} jobs " + "=" * 30)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        EasyBackfilling(machine, policy).run(jobs)
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(12)
+
+
+if __name__ == "__main__":
+    workload = sys.argv[1] if len(sys.argv) > 1 else "SDSC"
+    n_jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 5000
+    main(workload, n_jobs)

@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` needs bdist_wheel; this shim
+lets `pip install -e . --no-use-pep517 --no-build-isolation` work too.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

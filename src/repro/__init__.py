@@ -1,0 +1,85 @@
+"""repro — reproduction of *BSLD Threshold Driven Power Management
+Policy for HPC Centers* (Etinski, Corbalán, Labarta, Valero; IPDPS
+Workshops 2010).
+
+The package simulates DVFS-enabled clusters running parallel-job
+workloads under EASY backfilling, with the paper's BSLD-threshold
+frequency-assignment policy layered on top.  Typical use:
+
+    >>> from repro import (EasyBackfilling, BsldThresholdPolicy,
+    ...                    FixedGearPolicy, Machine, load_workload)
+    >>> jobs = load_workload("CTC", n_jobs=500)
+    >>> machine = Machine("CTC", total_cpus=430)
+    >>> baseline = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
+    >>> powered = EasyBackfilling(
+    ...     machine, BsldThresholdPolicy(bsld_threshold=2.0, wq_threshold=4)
+    ... ).run(jobs)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.cluster.machine import Machine
+from repro.core.dynamic_boost import DynamicBoostConfig
+from repro.core.frequency_policy import (
+    BsldThresholdPolicy,
+    FixedGearPolicy,
+    FrequencyPolicy,
+    NO_WQ_LIMIT,
+    SchedulingContext,
+)
+from repro.core.gears import Gear, GearSet, PAPER_GEAR_SET
+from repro.core.util_policy import UtilizationTriggeredPolicy
+from repro.metrics.bsld import BSLD_THRESHOLD_SECONDS, bounded_slowdown, predicted_bsld
+from repro.power.energy import EnergyReport
+from repro.power.model import PowerModel
+from repro.power.time_model import BetaTimeModel, DEFAULT_BETA, PAPER_BETA
+from repro.scheduling.base import Scheduler, SchedulerConfig
+from repro.scheduling.conservative import ConservativeBackfilling
+from repro.scheduling.easy import EasyBackfilling
+from repro.scheduling.fcfs import FcfsScheduler
+from repro.scheduling.job import Job, JobOutcome
+from repro.scheduling.result import SimulationResult
+from repro.workloads.generator import generate_workload, load_workload
+from repro.workloads.models import PAPER_BASELINE_BSLD, TRACE_MODELS, WORKLOAD_NAMES
+from repro.workloads.swf import read_swf, write_swf
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BSLD_THRESHOLD_SECONDS",
+    "BetaTimeModel",
+    "BsldThresholdPolicy",
+    "ConservativeBackfilling",
+    "DEFAULT_BETA",
+    "DynamicBoostConfig",
+    "EasyBackfilling",
+    "EnergyReport",
+    "FcfsScheduler",
+    "FixedGearPolicy",
+    "FrequencyPolicy",
+    "Gear",
+    "GearSet",
+    "Job",
+    "JobOutcome",
+    "Machine",
+    "NO_WQ_LIMIT",
+    "PAPER_BASELINE_BSLD",
+    "PAPER_BETA",
+    "PAPER_GEAR_SET",
+    "PowerModel",
+    "Scheduler",
+    "SchedulerConfig",
+    "SchedulingContext",
+    "SimulationResult",
+    "TRACE_MODELS",
+    "UtilizationTriggeredPolicy",
+    "WORKLOAD_NAMES",
+    "bounded_slowdown",
+    "generate_workload",
+    "load_workload",
+    "predicted_bsld",
+    "read_swf",
+    "write_swf",
+    "__version__",
+]

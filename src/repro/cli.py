@@ -1,0 +1,270 @@
+"""Command-line interface: ``repro-sim`` / ``python -m repro.cli``.
+
+Subcommands:
+
+* ``run``       — simulate one workload under one policy and print metrics
+* ``table``     — regenerate paper Table 1 or 3
+* ``figure``    — regenerate a paper figure (3-9)
+* ``ablation``  — run one of the ablation studies (beta, static, strict,
+                  policies, gears, sleep)
+* ``generate``  — write a synthetic workload to an SWF file
+* ``stats``     — describe a workload (synthetic or an SWF file)
+* ``report``    — regenerate the full EXPERIMENTS.md reproduction report
+* ``advise``    — recommend a system size meeting a BSLD SLA (§5.2 as a tool)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.ablations import (
+    beta_sweep,
+    gear_ladder_ablation,
+    policy_comparison,
+    sleep_vs_dvfs,
+    static_share_sweep,
+    strict_backfill_comparison,
+)
+from repro.experiments.config import PolicySpec, RunSpec
+from repro.experiments.figures import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import table1, table3
+from repro.workloads.generator import generate_workload, load_workload
+from repro.workloads.models import WORKLOAD_NAMES, trace_model
+from repro.workloads.stats import workload_stats
+from repro.workloads.swf import read_swf, write_swf
+
+_FIGURES = {3: figure3, 4: figure4, 5: figure5, 6: figure6, 7: figure7, 8: figure8, 9: figure9}
+_ABLATIONS = {
+    "beta": beta_sweep,
+    "static": static_share_sweep,
+    "strict": strict_backfill_comparison,
+    "policies": policy_comparison,
+    "gears": gear_ladder_ablation,
+    "sleep": sleep_vs_dvfs,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Power-aware EASY backfilling on DVFS clusters - reproduction of "
+            "Etinski et al., IPDPS Workshops 2010."
+        ),
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=5000, help="trace length (default: 5000, as in the paper)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload under one policy")
+    run.add_argument("workload", choices=WORKLOAD_NAMES)
+    run.add_argument("--bsld-threshold", type=float, default=None,
+                     help="enable the BSLD-threshold policy with this threshold")
+    run.add_argument("--wq-threshold", default="NO",
+                     help="wait-queue threshold (integer or NO; default NO)")
+    run.add_argument("--size-factor", type=float, default=1.0,
+                     help="machine enlargement factor (paper 5.2)")
+    run.add_argument("--scheduler", choices=("easy", "fcfs", "conservative"), default="easy")
+    run.add_argument("--beta", type=float, default=0.5, help="global beta (default 0.5)")
+    run.add_argument("--boost", type=int, default=None,
+                     help="dynamic-boost WQ trigger (extension; default off)")
+    run.add_argument("--seed", type=int, default=None)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=(1, 3))
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=sorted(_FIGURES))
+
+    ablation = sub.add_parser("ablation", help="run an ablation study")
+    ablation.add_argument("name", choices=sorted(_ABLATIONS))
+    ablation.add_argument("--workload", default=None, choices=WORKLOAD_NAMES)
+
+    generate = sub.add_parser("generate", help="write a synthetic workload as SWF")
+    generate.add_argument("workload", choices=WORKLOAD_NAMES)
+    generate.add_argument("output", help="output .swf path")
+    generate.add_argument("--seed", type=int, default=None)
+
+    stats = sub.add_parser("stats", help="describe a workload")
+    stats.add_argument("workload", help=f"one of {', '.join(WORKLOAD_NAMES)} or an .swf path")
+
+    report = sub.add_parser(
+        "report", help="regenerate the full EXPERIMENTS.md reproduction report"
+    )
+    report.add_argument("--output", default=None, help="write to a file instead of stdout")
+    report.add_argument(
+        "--no-ablations", action="store_true", help="skip the (slower) ablation studies"
+    )
+
+    advise = sub.add_parser(
+        "advise", help="recommend a system size meeting a BSLD service-level agreement"
+    )
+    advise.add_argument("workload", choices=WORKLOAD_NAMES)
+    advise.add_argument("--sla-bsld", type=float, required=True,
+                        help="maximum acceptable average BSLD")
+    advise.add_argument("--bsld-threshold", type=float, default=2.0)
+    advise.add_argument("--wq-threshold", default="NO")
+    advise.add_argument("--objective", choices=("idle0", "idlelow"), default="idlelow")
+
+    return parser
+
+
+def _parse_wq(raw: str) -> int | None:
+    if raw.upper() in ("NO", "NONE", "NOLIMIT", "NO_LIMIT"):
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise SystemExit(f"--wq-threshold must be an integer or NO, got {raw!r}")
+    if value < 0:
+        raise SystemExit(f"--wq-threshold must be >= 0, got {value}")
+    return value
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(n_jobs=args.jobs)
+    if args.bsld_threshold is None:
+        policy = PolicySpec.baseline()
+    else:
+        policy = PolicySpec.power_aware(
+            args.bsld_threshold, _parse_wq(args.wq_threshold), boost_trigger=args.boost
+        )
+    spec = RunSpec(
+        workload=args.workload,
+        policy=policy,
+        n_jobs=args.jobs,
+        seed=args.seed,
+        size_factor=args.size_factor,
+        beta=args.beta,
+        scheduler=args.scheduler,
+    )
+    result = runner.run(spec)
+    baseline = runner.run(
+        RunSpec(workload=args.workload, n_jobs=args.jobs, seed=args.seed,
+                scheduler=args.scheduler)
+    )
+    print(result.describe())
+    print(f"energy (idle=0):    {result.energy.computational:.4g} "
+          f"[{result.energy.computational / baseline.energy.computational:.3f} of no-DVFS]")
+    print(f"energy (idle=low):  {result.energy.total_idle_low:.4g} "
+          f"[{result.energy.total_idle_low / baseline.energy.total_idle_low:.3f} of no-DVFS]")
+    print(f"events processed:   {result.events_processed}")
+    histogram = ", ".join(
+        f"{gear.frequency:g}GHz: {count}" for gear, count in sorted(result.gear_histogram().items())
+    )
+    print(f"gear histogram:     {histogram}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(n_jobs=args.jobs)
+    builder = table1 if args.number == 1 else table3
+    print(builder(runner).render())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(n_jobs=args.jobs)
+    print(_FIGURES[args.number](runner).render())
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(n_jobs=args.jobs)
+    builder = _ABLATIONS[args.name]
+    kwargs = {} if args.workload is None else {"workload": args.workload}
+    print(builder(runner, **kwargs).render())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    model = trace_model(args.workload)
+    jobs = generate_workload(model, args.jobs, args.seed)
+    write_swf(
+        args.output,
+        jobs,
+        max_procs=model.cpus,
+        extra_header={"Workload": model.name, "Note": "synthetic repro trace"},
+    )
+    print(f"wrote {len(jobs)} jobs to {args.output} (machine: {model.cpus} CPUs)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.workload in WORKLOAD_NAMES:
+        jobs = load_workload(args.workload, args.jobs)
+        cpus: int | None = trace_model(args.workload).cpus
+        print(f"{args.workload} (synthetic, {len(jobs)} jobs)")
+    else:
+        header, jobs = read_swf(args.workload)
+        cpus = header.max_procs
+        print(f"{args.workload} ({len(jobs)} jobs from SWF)")
+    print(workload_stats(jobs, cpus).render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report
+
+    runner = ExperimentRunner(n_jobs=args.jobs)
+    text = build_report(runner, include_ablations=not args.no_ablations)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.experiments.advisor import recommend_system_size
+
+    runner = ExperimentRunner(n_jobs=args.jobs)
+    policy = PolicySpec.power_aware(args.bsld_threshold, _parse_wq(args.wq_threshold))
+    recommendation = recommend_system_size(
+        runner, args.workload, args.sla_bsld, policy=policy, objective=args.objective
+    )
+    print(recommendation.render())
+    if recommendation.chosen is not None:
+        chosen = recommendation.chosen
+        print(
+            f"\n=> recommend a {(chosen.size_factor - 1) * 100:.0f}% larger system: "
+            f"avg BSLD {chosen.avg_bsld:.2f} (SLA {args.sla_bsld:g}), "
+            f"{args.objective} energy at {getattr(chosen, 'energy_' + args.objective):.3f} "
+            f"of the original no-DVFS machine"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+    "ablation": _cmd_ablation,
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "report": _cmd_report,
+    "advise": _cmd_advise,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

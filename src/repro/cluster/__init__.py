@@ -1,0 +1,8 @@
+"""Cluster model: machines, processor pools and availability profiles."""
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.machine import Machine
+from repro.cluster.processors import ProcessorPool
+from repro.cluster.profile import AvailabilityProfile
+
+__all__ = ["Allocation", "AvailabilityProfile", "Machine", "ProcessorPool"]

@@ -1,0 +1,36 @@
+"""Allocation records handed out by the processor pool."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Allocation"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A set of processors granted to one job.
+
+    ``cpu_ids`` is populated only when the pool tracks explicit
+    processor identities (first-fit selection); in the fast count-only
+    mode it is ``None`` and only ``size`` is meaningful.  Either way an
+    allocation must be returned to the pool exactly once.
+    """
+
+    size: int
+    cpu_ids: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"allocation size must be positive, got {self.size}")
+        if self.cpu_ids is not None:
+            if len(self.cpu_ids) != self.size:
+                raise ValueError(
+                    f"allocation size {self.size} does not match {len(self.cpu_ids)} CPU ids"
+                )
+            if len(set(self.cpu_ids)) != len(self.cpu_ids):
+                raise ValueError(f"duplicate CPU ids in allocation: {self.cpu_ids}")
+
+    @property
+    def tracks_ids(self) -> bool:
+        return self.cpu_ids is not None

@@ -1,0 +1,57 @@
+"""Machine description: processor count plus DVFS capability.
+
+The paper's dimensioning study (§5.2) reruns identical workloads on
+machines enlarged by 10%-125%; :meth:`Machine.scaled` produces those
+variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.gears import GearSet, PAPER_GEAR_SET
+
+__all__ = ["Machine"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A homogeneous DVFS-enabled cluster.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"CTC"``).
+    total_cpus:
+        Number of processors.  Every processor supports the same
+        ``gears`` ladder, and jobs are rigid: a job holds ``size``
+        processors from start to finish.
+    gears:
+        The DVFS gear set shared by all processors.
+    """
+
+    name: str
+    total_cpus: int
+    gears: GearSet = PAPER_GEAR_SET
+
+    def __post_init__(self) -> None:
+        if self.total_cpus <= 0:
+            raise ValueError(f"machine {self.name!r} needs at least 1 CPU, got {self.total_cpus}")
+
+    def scaled(self, factor: float) -> "Machine":
+        """An enlarged (or shrunk) copy with ``round(total_cpus * factor)`` CPUs.
+
+        Used for the system-dimensioning experiments; the paper's
+        "20% larger system" is ``machine.scaled(1.2)``.
+        """
+        if factor <= 0.0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        scaled_cpus = int(round(self.total_cpus * factor))
+        if scaled_cpus <= 0:
+            raise ValueError(f"scaling {self.name!r} by {factor} leaves no CPUs")
+        suffix = "" if factor == 1.0 else f"x{factor:g}"
+        return replace(self, name=self.name + suffix, total_cpus=scaled_cpus)
+
+    @property
+    def top_frequency(self) -> float:
+        return self.gears.top.frequency

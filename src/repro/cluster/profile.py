@@ -1,0 +1,202 @@
+"""Piecewise-constant availability profile of free processors over time.
+
+This is the general allocation-search structure behind
+``findAllocation`` / ``TryToFindBackfilledAllocation`` in the paper's
+pseudocode.  The fast EASY implementation in
+:mod:`repro.scheduling.easy` uses an O(1) specialisation; this full
+profile backs the *reference* EASY scheduler (used to cross-validate
+the fast one in tests) and conservative backfilling, where every queued
+job holds a reservation.
+
+The profile is a step function ``free(t)``: ``_times[i]`` is the start
+of segment ``i``, which spans to ``_times[i+1]`` (the last segment
+extends to infinity) with ``_free[i]`` processors available.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator
+
+__all__ = ["AvailabilityProfile"]
+
+
+class AvailabilityProfile:
+    def __init__(self, total_cpus: int, origin: float = 0.0) -> None:
+        if total_cpus <= 0:
+            raise ValueError(f"profile needs at least 1 CPU, got {total_cpus}")
+        self._total = total_cpus
+        self._times: list[float] = [origin]
+        self._free: list[int] = [total_cpus]
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def total_cpus(self) -> int:
+        return self._total
+
+    @property
+    def origin(self) -> float:
+        return self._times[0]
+
+    def segments(self) -> Iterator[tuple[float, float, int]]:
+        """Yield ``(start, end, free)`` triples; the last end is ``inf``."""
+        for i, start in enumerate(self._times):
+            end = self._times[i + 1] if i + 1 < len(self._times) else float("inf")
+            yield (start, end, self._free[i])
+
+    def free_at(self, time: float) -> int:
+        """Free processors at ``time`` (clamped to the origin on the left)."""
+        index = bisect_right(self._times, time) - 1
+        if index < 0:
+            index = 0
+        return self._free[index]
+
+    def min_free(self, start: float, end: float) -> int:
+        """Minimum free count over ``[start, end)``."""
+        if end < start:
+            raise ValueError(f"interval end {end} precedes start {start}")
+        if end == start:
+            return self.free_at(start)
+        first = max(0, bisect_right(self._times, start) - 1)
+        lowest = self._total
+        for i in range(first, len(self._times)):
+            if self._times[i] >= end:
+                break
+            lowest = min(lowest, self._free[i])
+        return lowest
+
+    # -- mutation --------------------------------------------------------------
+    def _breakpoint(self, time: float) -> int:
+        """Ensure a segment boundary at ``time``; return its segment index."""
+        index = bisect_right(self._times, time) - 1
+        if index < 0:
+            raise ValueError(f"time {time} precedes the profile origin {self._times[0]}")
+        if self._times[index] == time:
+            return index
+        self._times.insert(index + 1, time)
+        self._free.insert(index + 1, self._free[index])
+        return index + 1
+
+    def reserve(self, start: float, end: float, size: int) -> None:
+        """Consume ``size`` processors over ``[start, end)``.
+
+        Raises ``ValueError`` if any touched segment would go negative;
+        callers are expected to have verified fit via :meth:`min_free`
+        or :meth:`find_start`.
+        """
+        if size <= 0:
+            raise ValueError(f"reservation size must be positive, got {size}")
+        if end <= start:
+            raise ValueError(f"reservation interval [{start}, {end}) is empty")
+        first = self._breakpoint(start)
+        last = self._breakpoint(end)  # segment starting at `end` keeps its value
+        for i in range(first, last):
+            if self._free[i] < size:
+                raise ValueError(
+                    f"over-reservation: segment [{self._times[i]}, ...) has "
+                    f"{self._free[i]} free, requested {size}"
+                )
+        for i in range(first, last):
+            self._free[i] -= size
+
+    def release(self, start: float, end: float, size: int) -> None:
+        """Undo a :meth:`reserve` over exactly the same interval."""
+        if size <= 0:
+            raise ValueError(f"release size must be positive, got {size}")
+        if end <= start:
+            raise ValueError(f"release interval [{start}, {end}) is empty")
+        first = self._breakpoint(start)
+        last = self._breakpoint(end)
+        for i in range(first, last):
+            if self._free[i] + size > self._total:
+                raise ValueError(
+                    f"over-release: segment [{self._times[i]}, ...) would hold "
+                    f"{self._free[i] + size} of {self._total} CPUs"
+                )
+        for i in range(first, last):
+            self._free[i] += size
+        self._compact()
+
+    def advance_origin(self, time: float) -> None:
+        """Drop history before ``time`` (the simulation clock moved on)."""
+        index = bisect_right(self._times, time) - 1
+        if index <= 0:
+            return
+        del self._times[:index]
+        del self._free[:index]
+        self._times[0] = time
+
+    # -- search ------------------------------------------------------------------
+    def find_start(self, earliest: float, duration: float, size: int) -> float:
+        """Earliest ``t >= earliest`` with ``free >= size`` over ``[t, t+duration)``.
+
+        Mirrors ``findAllocation`` in the paper.  Always succeeds for
+        ``size <= total_cpus`` because the final segment of the profile
+        has every reservation expired.
+        """
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if size > self._total:
+            raise ValueError(f"size {size} exceeds machine capacity {self._total}")
+        if duration < 0.0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        earliest = max(earliest, self._times[0])
+        i = max(0, bisect_right(self._times, earliest) - 1)
+        n = len(self._times)
+        while True:
+            while i < n and self._free[i] < size:
+                i += 1
+            if i >= n:
+                raise AssertionError(
+                    "unreachable: the final profile segment must satisfy any "
+                    "size <= total_cpus"
+                )
+            candidate = max(earliest, self._times[i])
+            end = candidate + duration
+            j = i
+            feasible = True
+            while j < n and self._times[j] < end:
+                if self._free[j] < size:
+                    feasible = False
+                    break
+                j += 1
+            if feasible:
+                return candidate
+            i = j  # the violating segment; outer loop skips past it
+
+    def fits_at(self, start: float, duration: float, size: int) -> bool:
+        """Whether ``size`` CPUs are free over ``[start, start+duration)``."""
+        if duration < 0.0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        if size <= 0 or size > self._total:
+            return False
+        if duration == 0.0:
+            return self.free_at(start) >= size
+        return self.min_free(start, start + duration) >= size
+
+    # -- housekeeping ---------------------------------------------------------------
+    def _compact(self) -> None:
+        """Merge adjacent segments with equal free counts."""
+        if len(self._times) <= 1:
+            return
+        times = [self._times[0]]
+        free = [self._free[0]]
+        for t, f in zip(self._times[1:], self._free[1:]):
+            if f == free[-1]:
+                continue
+            times.append(t)
+            free.append(f)
+        self._times = times
+        self._free = free
+
+    def copy(self) -> "AvailabilityProfile":
+        clone = AvailabilityProfile.__new__(AvailabilityProfile)
+        clone._total = self._total
+        clone._times = list(self._times)
+        clone._free = list(self._free)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"[{s:g},{'inf' if e == float('inf') else format(e, 'g')}):{f}"
+                          for s, e, f in self.segments())
+        return f"AvailabilityProfile({parts})"

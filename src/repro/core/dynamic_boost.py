@@ -1,0 +1,88 @@
+"""Dynamic frequency boosting of running jobs (paper §7 future work).
+
+    "We will add a possibility to dynamically increase frequencies of
+    jobs running at lower frequencies when there are too many jobs
+    waiting on execution."
+
+This module implements that mechanism.  When, after a scheduling pass,
+the wait queue exceeds ``wq_trigger``, every running job still below
+``Ftop`` is switched to ``Ftop``.  The β time model converts the
+remaining wall-clock time (work remaining is frequency-invariant), the
+scheduler re-queues the finish event, and energy accounting splits the
+job into per-gear segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for annotations only; avoids package cycles
+    from repro.core.gears import Gear, GearSet
+    from repro.power.time_model import BetaTimeModel
+
+__all__ = ["DynamicBoostConfig", "boost_plan"]
+
+
+@dataclass(frozen=True)
+class DynamicBoostConfig:
+    """Enable and parameterise dynamic boosting.
+
+    Attributes
+    ----------
+    wq_trigger:
+        Boost running reduced jobs whenever more than this many jobs
+        are waiting after a scheduling pass.
+    min_remaining_seconds:
+        Do not bother re-gearing jobs about to finish anyway; switching
+        has bookkeeping (and, on real hardware, transition) cost.
+    """
+
+    wq_trigger: int = 0
+    min_remaining_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.wq_trigger < 0:
+            raise ValueError(f"wq_trigger must be >= 0, got {self.wq_trigger}")
+        if self.min_remaining_seconds < 0.0:
+            raise ValueError(
+                f"min_remaining_seconds must be >= 0, got {self.min_remaining_seconds}"
+            )
+
+    def should_boost(self, wq_size: int) -> bool:
+        return wq_size > self.wq_trigger
+
+
+def boost_plan(
+    *,
+    now: float,
+    current_gear: Gear,
+    gears: GearSet,
+    time_model: BetaTimeModel,
+    beta: float | None,
+    actual_end: float,
+    estimated_end: float,
+    config: DynamicBoostConfig,
+) -> tuple[float, float] | None:
+    """Compute the new (actual_end, estimated_end) after boosting to Ftop.
+
+    Returns ``None`` when the job should be left alone (already at top,
+    or too close to completion).  Pure function so the arithmetic is
+    unit-testable without a simulator.
+    """
+    top = gears.top
+    if current_gear == top:
+        return None
+    remaining_actual = actual_end - now
+    if remaining_actual < config.min_remaining_seconds:
+        return None
+    new_actual = now + time_model.remaining_time_after_switch(
+        remaining_actual, current_gear.frequency, top.frequency, beta
+    )
+    remaining_estimate = max(estimated_end - now, 0.0)
+    new_estimate = now + time_model.remaining_time_after_switch(
+        remaining_estimate, current_gear.frequency, top.frequency, beta
+    )
+    # The estimate must never undercut reality; clamp defensively so the
+    # reservation profile stays conservative even with degenerate inputs.
+    return new_actual, max(new_estimate, new_actual)

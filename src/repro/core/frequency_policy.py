@@ -1,0 +1,250 @@
+"""CPU-frequency assignment policies (the paper's core contribution).
+
+A frequency policy answers one question for the job scheduler: *at
+which gear should this job be scheduled, if at all?*  The policy
+receives a :class:`SchedulingContext` carrying everything Figures 1-2
+of the paper consult — the candidate's prospective wait time, the wait
+queue size and a per-gear feasibility callback — and returns a gear, or
+``None`` when the job should not be scheduled in this pass (only
+meaningful for backfill candidates; the queue head must always be
+schedulable).
+
+The policy is deliberately scheduler-agnostic: the same object plugs
+into EASY backfilling, plain FCFS and conservative backfilling, which
+is exactly the portability claim of the paper ("the frequency scaling
+algorithm can be applied with any parallel job scheduling policy").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.gears import Gear, GearSet
+from repro.metrics.bsld import BSLD_THRESHOLD_SECONDS, predicted_bsld
+
+if TYPE_CHECKING:  # imported for annotations only; avoids package cycles
+    from repro.power.time_model import BetaTimeModel
+    from repro.scheduling.job import Job
+
+__all__ = [
+    "SchedulingContext",
+    "FrequencyPolicy",
+    "FixedGearPolicy",
+    "BsldThresholdPolicy",
+    "NO_WQ_LIMIT",
+]
+
+#: Sentinel for the paper's "WQ size NO LIMIT" configuration.
+NO_WQ_LIMIT: int | None = None
+
+
+@dataclass(frozen=True)
+class SchedulingContext:
+    """Inputs available to a frequency decision.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time.
+    wait_time_for:
+        ``WT`` of Eq. (2) as a function of the candidate gear: the wait
+        the tentative allocation would impose (scheduled start − submit
+        time).  Under EASY the start does not depend on the gear (the
+        running-jobs free profile is non-decreasing in time), but under
+        conservative backfilling a longer (slower) job may only fit
+        later, so ``WT`` is gear-dependent in general.
+    wq_size:
+        Jobs currently waiting on execution, *excluding* the candidate.
+    utilization:
+        Fraction of machine CPUs busy right now (used by the
+        utilisation-triggered comparator policy).
+    must_schedule:
+        True for the queue head (``MakeJobReservation``), which EASY
+        must always schedule; False for backfill candidates
+        (``BackfillJob``), which may be skipped.
+    feasible:
+        Per-gear admission test.  For the queue head this is always
+        true; for a backfill candidate it encodes "fits now without
+        violating the head's reservation" at that gear's stretched
+        duration.
+    """
+
+    now: float
+    wait_time_for: Callable[[Gear], float]
+    wq_size: int
+    utilization: float
+    must_schedule: bool
+    feasible: Callable[[Gear], bool] = field(default=lambda gear: True)
+
+    @classmethod
+    def with_fixed_wait(
+        cls,
+        *,
+        now: float,
+        wait_time: float,
+        wq_size: int,
+        utilization: float,
+        must_schedule: bool,
+        feasible: Callable[[Gear], bool] = lambda gear: True,
+    ) -> "SchedulingContext":
+        """Context whose wait time is the same for every gear (EASY/FCFS)."""
+        return cls(
+            now=now,
+            wait_time_for=lambda gear: wait_time,
+            wq_size=wq_size,
+            utilization=utilization,
+            must_schedule=must_schedule,
+            feasible=feasible,
+        )
+
+
+class FrequencyPolicy(ABC):
+    """Base class; concrete policies implement :meth:`select_gear`."""
+
+    def bind(self, gears: GearSet, time_model: BetaTimeModel) -> None:
+        """Attach machine facts; called once by the scheduler."""
+        self._gears = gears
+        self._time_model = time_model
+
+    @property
+    def gears(self) -> GearSet:
+        return self._gears
+
+    @property
+    def time_model(self) -> BetaTimeModel:
+        return self._time_model
+
+    @abstractmethod
+    def select_gear(self, job: Job, ctx: SchedulingContext) -> Gear | None:
+        """The gear to schedule ``job`` at, or ``None`` to skip it."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    @property
+    def applies_dvfs(self) -> bool:
+        """Whether this policy can ever pick a non-top gear."""
+        return True
+
+
+class FixedGearPolicy(FrequencyPolicy):
+    """Every job runs at one fixed gear.
+
+    With the default (top gear) this is the paper's no-DVFS baseline;
+    pinning a lower gear gives the naive "slow everything down"
+    strawman that motivates BSLD-aware selection.
+    """
+
+    def __init__(self, frequency: float | None = None) -> None:
+        self._frequency = frequency
+
+    def bind(self, gears: GearSet, time_model: BetaTimeModel) -> None:
+        super().bind(gears, time_model)
+        self._gear = (
+            gears.top if self._frequency is None else gears.by_frequency(self._frequency)
+        )
+
+    def select_gear(self, job: Job, ctx: SchedulingContext) -> Gear | None:
+        if ctx.feasible(self._gear):
+            return self._gear
+        return None
+
+    def describe(self) -> str:
+        label = "top" if self._frequency is None else f"{self._frequency:g}GHz"
+        return f"FixedGear({label})"
+
+    @property
+    def applies_dvfs(self) -> bool:
+        return self._frequency is not None
+
+
+class BsldThresholdPolicy(FrequencyPolicy):
+    """The paper's two-threshold frequency-assignment algorithm.
+
+    Scan gears from ``Flowest`` to ``Ftop`` (Figures 1-2) and pick the
+    first feasible gear whose *predicted BSLD* (Eq. 2) stays below
+    ``bsld_threshold`` — but only when at most ``wq_threshold`` other
+    jobs are waiting; otherwise go straight to ``Ftop``.
+
+    Parameters
+    ----------
+    bsld_threshold:
+        Maximum tolerated predicted bounded slowdown (paper: 1.5/2/3).
+    wq_threshold:
+        Maximum wait-queue size (excluding the candidate) for which
+        frequency reduction is attempted; ``NO_WQ_LIMIT`` (None)
+        removes the restriction (paper: 0/4/16/NO LIMIT).
+    bsld_time_threshold:
+        ``Th`` of the BSLD formulas (600 s in the paper).
+    strict_top_backfill:
+        Figure 2 read literally demands ``satisfiesBSLD`` even at
+        ``Ftop`` before backfilling a job.  The default ``False``
+        applies the check only to *reduced* gears, which Table 3 of the
+        paper shows is the behaviour actually evaluated (see DESIGN.md
+        §4); set ``True`` for the literal pseudocode.
+    """
+
+    def __init__(
+        self,
+        bsld_threshold: float = 2.0,
+        wq_threshold: int | None = NO_WQ_LIMIT,
+        bsld_time_threshold: float = BSLD_THRESHOLD_SECONDS,
+        strict_top_backfill: bool = False,
+    ) -> None:
+        if bsld_threshold < 1.0:
+            raise ValueError(
+                f"bsld_threshold below 1 can never be met (BSLD >= 1), got {bsld_threshold}"
+            )
+        if wq_threshold is not None and wq_threshold < 0:
+            raise ValueError(f"wq_threshold must be >= 0 or None, got {wq_threshold}")
+        self.bsld_threshold = bsld_threshold
+        self.wq_threshold = wq_threshold
+        self.bsld_time_threshold = bsld_time_threshold
+        self.strict_top_backfill = strict_top_backfill
+
+    # -- the algorithm of Figures 1 and 2 ------------------------------------
+    def select_gear(self, job: Job, ctx: SchedulingContext) -> Gear | None:
+        gears = self.gears
+        top = gears.top
+        if not self._reduction_allowed(ctx):
+            candidates: tuple[Gear, ...] = (top,)
+        else:
+            candidates = gears.ascending()
+        for gear in candidates:
+            if not ctx.feasible(gear):
+                continue
+            if gear == top and not self._top_needs_bsld(ctx):
+                return gear
+            if self.predict(job, gear, ctx.wait_time_for(gear)) < self.bsld_threshold:
+                return gear
+        if ctx.must_schedule:
+            # The queue head must hold a reservation even when no gear
+            # satisfies the threshold; EASY admission wins over DVFS.
+            return top
+        return None
+
+    def predict(self, job: Job, gear: Gear, wait_time: float) -> float:
+        """Eq. (2) for this job at this gear under ``wait_time``."""
+        coefficient = self.time_model.coefficient(gear.frequency, job.beta)
+        return predicted_bsld(
+            wait_time=wait_time,
+            requested_time=job.requested_time,
+            coefficient=coefficient,
+            threshold=self.bsld_time_threshold,
+        )
+
+    def _reduction_allowed(self, ctx: SchedulingContext) -> bool:
+        return self.wq_threshold is None or ctx.wq_size <= self.wq_threshold
+
+    def _top_needs_bsld(self, ctx: SchedulingContext) -> bool:
+        """Whether scheduling at Ftop is itself gated by the BSLD check."""
+        if ctx.must_schedule:
+            return False  # reservations always fall back to Ftop
+        return self.strict_top_backfill
+
+    def describe(self) -> str:
+        wq = "NO" if self.wq_threshold is None else str(self.wq_threshold)
+        extra = ", strict" if self.strict_top_backfill else ""
+        return f"BSLDthreshold={self.bsld_threshold:g}, WQthreshold={wq}{extra}"

@@ -1,0 +1,150 @@
+"""DVFS gear sets (frequency/voltage operating points).
+
+A *gear* is one frequency-voltage pair supported by the processor
+(Table 2 of the paper).  A :class:`GearSet` is the ordered collection of
+gears a machine supports; schedulers iterate it from the lowest to the
+highest frequency when assigning a gear to a job (Figures 1 and 2 of the
+paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = ["Gear", "GearSet", "PAPER_GEAR_SET", "single_gear_set"]
+
+
+@dataclass(frozen=True, order=True)
+class Gear:
+    """A single DVFS operating point.
+
+    Attributes
+    ----------
+    frequency:
+        Clock frequency in GHz.  Ordering of gears is by frequency.
+    voltage:
+        Supply voltage in volts at this frequency.
+    """
+
+    frequency: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0.0:
+            raise ValueError(f"gear frequency must be positive, got {self.frequency}")
+        if self.voltage <= 0.0:
+            raise ValueError(f"gear voltage must be positive, got {self.voltage}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.frequency:.2f}GHz@{self.voltage:.2f}V"
+
+
+class GearSet:
+    """An immutable, frequency-ordered collection of :class:`Gear` objects.
+
+    The set is normalised at construction: gears are sorted by ascending
+    frequency and duplicates (same frequency) are rejected.  Voltage must
+    be non-decreasing with frequency, which every real DVFS table obeys
+    and which the static-power model relies on.
+    """
+
+    __slots__ = ("_gears",)
+
+    def __init__(self, gears: Sequence[Gear]) -> None:
+        if not gears:
+            raise ValueError("a gear set needs at least one gear")
+        ordered = sorted(gears)
+        freqs = [g.frequency for g in ordered]
+        if len(set(freqs)) != len(freqs):
+            raise ValueError(f"duplicate frequencies in gear set: {freqs}")
+        for lo, hi in zip(ordered, ordered[1:]):
+            if hi.voltage < lo.voltage:
+                raise ValueError(
+                    "voltage must be non-decreasing with frequency: "
+                    f"{lo} -> {hi}"
+                )
+        self._gears: tuple[Gear, ...] = tuple(ordered)
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._gears)
+
+    def __iter__(self) -> Iterator[Gear]:
+        return iter(self._gears)
+
+    def __getitem__(self, index: int) -> Gear:
+        return self._gears[index]
+
+    def __contains__(self, gear: object) -> bool:
+        return gear in self._gears
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GearSet):
+            return NotImplemented
+        return self._gears == other._gears
+
+    def __hash__(self) -> int:
+        return hash(self._gears)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(g) for g in self._gears)
+        return f"GearSet([{inner}])"
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def lowest(self) -> Gear:
+        """The gear with the lowest frequency (``Flowest`` in the paper)."""
+        return self._gears[0]
+
+    @property
+    def top(self) -> Gear:
+        """The gear with the highest frequency (``Ftop`` in the paper)."""
+        return self._gears[-1]
+
+    @property
+    def frequencies(self) -> tuple[float, ...]:
+        return tuple(g.frequency for g in self._gears)
+
+    @property
+    def voltages(self) -> tuple[float, ...]:
+        return tuple(g.voltage for g in self._gears)
+
+    def ascending(self) -> tuple[Gear, ...]:
+        """Gears from ``Flowest`` to ``Ftop`` (the paper's scan order)."""
+        return self._gears
+
+    def descending(self) -> tuple[Gear, ...]:
+        return tuple(reversed(self._gears))
+
+    def by_frequency(self, frequency: float) -> Gear:
+        """Return the gear running at exactly ``frequency`` GHz."""
+        for gear in self._gears:
+            if gear.frequency == frequency:
+                return gear
+        raise KeyError(f"no gear at {frequency} GHz in {self!r}")
+
+    def index(self, gear: Gear) -> int:
+        return self._gears.index(gear)
+
+    def at_or_above(self, frequency: float) -> tuple[Gear, ...]:
+        """All gears with frequency >= ``frequency``, ascending."""
+        return tuple(g for g in self._gears if g.frequency >= frequency)
+
+
+#: The gear set of Table 2 in the paper (an AMD Opteron-style ladder).
+PAPER_GEAR_SET = GearSet(
+    [
+        Gear(0.8, 1.0),
+        Gear(1.1, 1.1),
+        Gear(1.4, 1.2),
+        Gear(1.7, 1.3),
+        Gear(2.0, 1.4),
+        Gear(2.3, 1.5),
+    ]
+)
+
+
+def single_gear_set(frequency: float = 2.3, voltage: float = 1.5) -> GearSet:
+    """A degenerate one-gear set: models a cluster without DVFS."""
+    return GearSet([Gear(frequency, voltage)])

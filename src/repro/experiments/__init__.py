@@ -1,0 +1,69 @@
+"""Experiment harness: every paper table and figure, plus ablations."""
+
+from repro.experiments.ablations import (
+    beta_sweep,
+    gear_ladder_ablation,
+    policy_comparison,
+    sleep_vs_dvfs,
+    static_share_sweep,
+    strict_backfill_comparison,
+)
+from repro.experiments.advisor import (
+    SizingCandidate,
+    SizingRecommendation,
+    recommend_system_size,
+)
+from repro.experiments.config import (
+    BSLD_THRESHOLDS,
+    PolicySpec,
+    RunSpec,
+    SIZE_FACTORS,
+    WQ_THRESHOLDS,
+    wq_label,
+)
+from repro.experiments.figures import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    size_sweep,
+    threshold_grid,
+)
+from repro.experiments.report import build_report
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import PAPER_TABLE3, table1, table3
+
+__all__ = [
+    "BSLD_THRESHOLDS",
+    "ExperimentRunner",
+    "PAPER_TABLE3",
+    "PolicySpec",
+    "RunSpec",
+    "SIZE_FACTORS",
+    "SizingCandidate",
+    "SizingRecommendation",
+    "WQ_THRESHOLDS",
+    "beta_sweep",
+    "build_report",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "gear_ladder_ablation",
+    "policy_comparison",
+    "recommend_system_size",
+    "size_sweep",
+    "sleep_vs_dvfs",
+    "static_share_sweep",
+    "strict_backfill_comparison",
+    "table1",
+    "table3",
+    "threshold_grid",
+    "wq_label",
+]

@@ -1,0 +1,340 @@
+"""Ablation studies beyond the paper's figures.
+
+These quantify the design choices the paper fixes by fiat (β = 0.5,
+static share 25%, the Figure-2 backfill reading, the gear ladder) and
+evaluate the extension mechanisms (dynamic boost, per-job β,
+alternative schedulers/policies).  Each returns a dataclass with a
+``render()`` for terminal output; benchmarks regenerate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.machine import Machine
+from repro.core.dynamic_boost import DynamicBoostConfig
+from repro.core.frequency_policy import BsldThresholdPolicy, FixedGearPolicy
+from repro.core.gears import Gear, GearSet, PAPER_GEAR_SET
+from repro.core.util_policy import UtilizationTriggeredPolicy
+from repro.experiments.ascii_charts import format_table
+from repro.experiments.runner import ExperimentRunner
+from repro.power.model import PowerModel
+from repro.scheduling.base import Scheduler, SchedulerConfig
+from repro.scheduling.conservative import ConservativeBackfilling
+from repro.scheduling.easy import EasyBackfilling
+from repro.scheduling.fcfs import FcfsScheduler
+from repro.scheduling.result import SimulationResult
+from repro.workloads.models import trace_model
+
+__all__ = [
+    "BetaSweep",
+    "StaticShareSweep",
+    "StrictBackfillComparison",
+    "PolicyComparison",
+    "GearLadderAblation",
+    "SleepVsDvfs",
+    "beta_sweep",
+    "static_share_sweep",
+    "strict_backfill_comparison",
+    "policy_comparison",
+    "gear_ladder_ablation",
+    "sleep_vs_dvfs",
+]
+
+
+def _pair(runner: ExperimentRunner, workload: str, beta: float) -> tuple[SimulationResult, SimulationResult]:
+    jobs = runner.jobs_for(workload)
+    machine = runner.machine_for(workload)
+    base = EasyBackfilling(machine, FixedGearPolicy(), beta=beta).run(jobs)
+    power = EasyBackfilling(machine, BsldThresholdPolicy(2.0, None), beta=beta).run(jobs)
+    return base, power
+
+
+# --------------------------------------------------------------------------- #
+# A1 — β sensitivity (the paper's stated future work, §7).
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BetaSweep:
+    workload: str
+    rows: tuple[tuple[float, float, float, int], ...]
+    # (beta, normalized energy idle0, avg BSLD, reduced jobs)
+
+    def render(self) -> str:
+        return format_table(
+            ["beta", "energy/baseline", "avg BSLD", "reduced jobs"],
+            [list(r) for r in self.rows],
+            title=f"Ablation A1 — beta sensitivity, {self.workload}, DVFS(2, NO)",
+        )
+
+
+def beta_sweep(
+    runner: ExperimentRunner,
+    workload: str = "CTC",
+    betas: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+) -> BetaSweep:
+    rows = []
+    for beta in betas:
+        base, power = _pair(runner, workload, beta)
+        rows.append(
+            (
+                beta,
+                power.energy.computational / base.energy.computational,
+                power.average_bsld(),
+                power.reduced_jobs,
+            )
+        )
+    return BetaSweep(workload=workload, rows=tuple(rows))
+
+
+# --------------------------------------------------------------------------- #
+# A2 — static power share sensitivity.
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StaticShareSweep:
+    workload: str
+    rows: tuple[tuple[float, float, float], ...]
+    # (static share, normalized energy idle0, normalized energy idlelow)
+
+    def render(self) -> str:
+        return format_table(
+            ["static share", "energy idle0", "energy idlelow"],
+            [list(r) for r in self.rows],
+            title=f"Ablation A2 — static power share, {self.workload}, DVFS(2, NO)",
+        )
+
+
+def static_share_sweep(
+    runner: ExperimentRunner,
+    workload: str = "CTC",
+    shares: tuple[float, ...] = (0.0, 0.125, 0.25, 0.5),
+) -> StaticShareSweep:
+    jobs = runner.jobs_for(workload)
+    machine = runner.machine_for(workload)
+    rows = []
+    for share in shares:
+        model = PowerModel(gears=machine.gears, static_share=share)
+        base = EasyBackfilling(machine, FixedGearPolicy(), power_model=model).run(jobs)
+        power = EasyBackfilling(
+            machine, BsldThresholdPolicy(2.0, None), power_model=model
+        ).run(jobs)
+        rows.append(
+            (
+                share,
+                power.energy.computational / base.energy.computational,
+                power.energy.total_idle_low / base.energy.total_idle_low,
+            )
+        )
+    return StaticShareSweep(workload=workload, rows=tuple(rows))
+
+
+# --------------------------------------------------------------------------- #
+# A3 — strict (literal Figure 2) vs relaxed top-gear backfill gating.
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StrictBackfillComparison:
+    workload: str
+    rows: tuple[tuple[str, float, float, float, int], ...]
+    # (variant, avg BSLD, avg wait, normalized energy idle0, reduced jobs)
+
+    def render(self) -> str:
+        return format_table(
+            ["variant", "avg BSLD", "avg wait [s]", "energy idle0", "reduced jobs"],
+            [list(r) for r in self.rows],
+            title=(
+                f"Ablation A3 — Figure-2 reading, {self.workload}, DVFS(2, NO): "
+                "literal pseudocode gates Ftop backfills on BSLD"
+            ),
+        )
+
+
+def strict_backfill_comparison(
+    runner: ExperimentRunner, workload: str = "SDSC"
+) -> StrictBackfillComparison:
+    jobs = runner.jobs_for(workload)
+    machine = runner.machine_for(workload)
+    base = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
+    rows: list[tuple[str, float, float, float, int]] = [
+        ("no-DVFS", base.average_bsld(), base.average_wait(), 1.0, 0)
+    ]
+    for label, strict in (("relaxed (default)", False), ("strict (literal)", True)):
+        run = EasyBackfilling(
+            machine, BsldThresholdPolicy(2.0, None, strict_top_backfill=strict)
+        ).run(jobs)
+        rows.append(
+            (
+                label,
+                run.average_bsld(),
+                run.average_wait(),
+                run.energy.computational / base.energy.computational,
+                run.reduced_jobs,
+            )
+        )
+    return StrictBackfillComparison(workload=workload, rows=tuple(rows))
+
+
+# --------------------------------------------------------------------------- #
+# A4 — scheduler/policy comparison (incl. the dynamic-boost extension).
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PolicyComparison:
+    workload: str
+    n_jobs: int
+    rows: tuple[tuple[str, float, float, float, int], ...]
+    # (label, avg BSLD, avg wait, normalized energy idle0, reduced jobs)
+
+    def render(self) -> str:
+        return format_table(
+            ["configuration", "avg BSLD", "avg wait [s]", "energy idle0", "reduced jobs"],
+            [list(r) for r in self.rows],
+            title=f"Ablation A4 — scheduler/policy comparison, {self.workload} ({self.n_jobs} jobs)",
+        )
+
+
+def policy_comparison(
+    runner: ExperimentRunner, workload: str = "CTC", n_jobs: int | None = None
+) -> PolicyComparison:
+    n = n_jobs or min(runner.n_jobs, 1500)  # conservative BF replans are O(Q^2)
+    jobs = runner.jobs_for(workload, n)
+    machine = runner.machine_for(workload)
+    base = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
+
+    def row(label: str, scheduler: Scheduler) -> tuple[str, float, float, float, int]:
+        run = scheduler.run(jobs)
+        return (
+            label,
+            run.average_bsld(),
+            run.average_wait(),
+            run.energy.computational / base.energy.computational,
+            run.reduced_jobs,
+        )
+
+    rows = [
+        ("EASY no-DVFS", base.average_bsld(), base.average_wait(), 1.0, 0),
+        row("FCFS no-DVFS", FcfsScheduler(machine, FixedGearPolicy())),
+        row("EASY DVFS(2,NO)", EasyBackfilling(machine, BsldThresholdPolicy(2.0, None))),
+        row(
+            "EASY DVFS(2,NO)+boost4",
+            EasyBackfilling(
+                machine,
+                BsldThresholdPolicy(2.0, None),
+                config=SchedulerConfig(boost=DynamicBoostConfig(wq_trigger=4)),
+            ),
+        ),
+        row("EASY util-trigger", EasyBackfilling(machine, UtilizationTriggeredPolicy())),
+        row(
+            "Conservative DVFS(2,NO)",
+            ConservativeBackfilling(machine, BsldThresholdPolicy(2.0, None)),
+        ),
+    ]
+    return PolicyComparison(workload=workload, n_jobs=n, rows=tuple(rows))
+
+
+# --------------------------------------------------------------------------- #
+# A5 — gear-ladder ablation: how much does gear granularity matter?
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GearLadderAblation:
+    workload: str
+    rows: tuple[tuple[str, float, float, int], ...]
+    # (ladder, normalized energy idle0, avg BSLD, reduced jobs)
+
+    def render(self) -> str:
+        return format_table(
+            ["gear ladder", "energy idle0", "avg BSLD", "reduced jobs"],
+            [list(r) for r in self.rows],
+            title=f"Ablation A5 — gear-set granularity, {self.workload}, DVFS(2, NO)",
+        )
+
+
+def gear_ladder_ablation(
+    runner: ExperimentRunner, workload: str = "SDSCBlue"
+) -> GearLadderAblation:
+    jobs = runner.jobs_for(workload)
+    cpus = trace_model(workload).cpus
+    ladders: tuple[tuple[str, GearSet], ...] = (
+        ("full paper ladder", PAPER_GEAR_SET),
+        ("two-point {0.8, 2.3}", GearSet([Gear(0.8, 1.0), Gear(2.3, 1.5)])),
+        ("upper half {1.7, 2.0, 2.3}", GearSet([Gear(1.7, 1.3), Gear(2.0, 1.4), Gear(2.3, 1.5)])),
+    )
+    rows = []
+    for label, ladder in ladders:
+        machine = Machine(workload, cpus, gears=ladder)
+        base = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
+        run = EasyBackfilling(machine, BsldThresholdPolicy(2.0, None)).run(jobs)
+        rows.append(
+            (
+                label,
+                run.energy.computational / base.energy.computational,
+                run.average_bsld(),
+                run.reduced_jobs,
+            )
+        )
+    return GearLadderAblation(workload=workload, rows=tuple(rows))
+
+
+# --------------------------------------------------------------------------- #
+# A6 — DVFS vs node-sleep idle management (the paper's §6 counterpart school).
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SleepVsDvfs:
+    workload: str
+    rows: tuple[tuple[str, float, float, float], ...]
+    # (configuration, total energy / baseline idle=low, avg BSLD, sleep fraction)
+
+    def render(self) -> str:
+        return format_table(
+            ["configuration", "energy/baseline", "avg BSLD", "sleep fraction"],
+            [list(r) for r in self.rows],
+            title=(
+                f"Ablation A6 — DVFS vs idle sleep states, {self.workload} "
+                "(total energy, idle=low baseline)"
+            ),
+        )
+
+
+def sleep_vs_dvfs(
+    runner: ExperimentRunner,
+    workload: str = "LLNLThunder",
+    sleep_after_seconds: float = 300.0,
+) -> SleepVsDvfs:
+    """Compare the paper's DVFS policy against PowerNap-style idle sleep.
+
+    Sleep states attack *idle* energy, DVFS attacks *active* energy; the
+    combination attacks both.  Rows report total energy normalised to
+    the no-DVFS, no-sleep idle=low baseline.
+    """
+    from repro.power.sleep import SleepStateConfig, sleep_energy
+
+    jobs = runner.jobs_for(workload)
+    machine = runner.machine_for(workload)
+    base = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
+    powered = EasyBackfilling(machine, BsldThresholdPolicy(2.0, None)).run(jobs)
+    config = SleepStateConfig(sleep_after_seconds=sleep_after_seconds)
+    model = PowerModel(gears=machine.gears)
+
+    baseline_total = base.energy.total_idle_low
+    base_sleep = sleep_energy(base, config, model)
+    powered_sleep = sleep_energy(powered, config, model)
+
+    rows = (
+        ("no DVFS, no sleep", 1.0, base.average_bsld(), 0.0),
+        (
+            "DVFS(2, NO)",
+            powered.energy.total_idle_low / baseline_total,
+            powered.average_bsld(),
+            0.0,
+        ),
+        (
+            "sleep only",
+            (base.energy.computational + base_sleep.idle_energy) / baseline_total,
+            base.average_bsld(),
+            base_sleep.sleep_fraction,
+        ),
+        (
+            "DVFS(2, NO) + sleep",
+            (powered.energy.computational + powered_sleep.idle_energy) / baseline_total,
+            powered.average_bsld(),
+            powered_sleep.sleep_fraction,
+        ),
+    )
+    return SleepVsDvfs(workload=workload, rows=rows)

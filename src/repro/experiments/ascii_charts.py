@@ -1,0 +1,128 @@
+"""Terminal rendering of benchmark tables and figures (no plotting deps)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "bar_chart", "line_plot"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """A fixed-width text table with right-aligned numeric columns."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[i]) if _numeric(cell) else cell.ljust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.0f}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    title: str | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Horizontal bars, one per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        return title or ""
+    top = vmax if vmax is not None else max(max(values), 1e-12)
+    label_width = max(len(l) for l in labels)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        filled = 0 if top <= 0 else max(0, min(width, round(width * value / top)))
+        lines.append(f"{label.ljust(label_width)} |{'#' * filled}{' ' * (width - filled)}| {value:.3f}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 78,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Multiple series as an ASCII line plot (used for Figure 6's zoom).
+
+    Series are downsampled to ``width`` columns by taking column means;
+    each series gets its own glyph.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    glyphs = "*o+x#@"
+    lengths = {len(values) for values in series.values()}
+    if 0 in lengths:
+        raise ValueError("series must be non-empty")
+    vmax = max(max(values) for values in series.values())
+    vmax = max(vmax, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for glyph_index, (_, values) in enumerate(series.items()):
+        glyph = glyphs[glyph_index % len(glyphs)]
+        columns = _downsample(values, width)
+        for x, value in enumerate(columns):
+            y = height - 1 - min(height - 1, int(value / vmax * (height - 1) + 0.5))
+            grid[y][x] = glyph
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        axis = vmax * (height - 1 - row_index) / (height - 1)
+        lines.append(f"{axis:10.0f} |{''.join(row)}")
+    lines.append(" " * 11 + "+" + "-" * width)
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def _downsample(values: Sequence[float], width: int) -> list[float]:
+    n = len(values)
+    if n <= width:
+        return list(values) + [values[-1]] * (width - n)
+    out: list[float] = []
+    for column in range(width):
+        lo = column * n // width
+        hi = max(lo + 1, (column + 1) * n // width)
+        chunk = values[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out

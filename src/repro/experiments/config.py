@@ -1,0 +1,149 @@
+"""Hashable experiment descriptors: policies, runs and the paper grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.dynamic_boost import DynamicBoostConfig
+from repro.core.frequency_policy import (
+    BsldThresholdPolicy,
+    FixedGearPolicy,
+    FrequencyPolicy,
+)
+from repro.core.util_policy import UtilizationTriggeredPolicy
+from repro.power.time_model import DEFAULT_BETA
+
+__all__ = [
+    "PolicySpec",
+    "RunSpec",
+    "BSLD_THRESHOLDS",
+    "WQ_THRESHOLDS",
+    "SIZE_FACTORS",
+    "wq_label",
+]
+
+#: The paper's BSLD-threshold grid (§5.1).
+BSLD_THRESHOLDS: tuple[float, ...] = (1.5, 2.0, 3.0)
+#: The paper's wait-queue-threshold grid; ``None`` is "NO LIMIT".
+WQ_THRESHOLDS: tuple[int | None, ...] = (0, 4, 16, None)
+#: System sizes of §5.2: original plus +10% … +125%.
+SIZE_FACTORS: tuple[float, ...] = (1.0, 1.1, 1.2, 1.5, 1.75, 2.0, 2.25)
+
+
+def wq_label(wq_threshold: int | None) -> str:
+    """The paper's label for a wait-queue threshold (``NO`` = no limit)."""
+    return "NO" if wq_threshold is None else str(wq_threshold)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Frozen, hashable description of a frequency policy.
+
+    ``kind``:
+      * ``"nodvfs"`` — every job at Ftop (the baseline),
+      * ``"bsld"`` — the paper's two-threshold policy,
+      * ``"fixed"`` — pin one gear for all jobs (strawman),
+      * ``"util"`` — utilisation-triggered comparator.
+    """
+
+    kind: str = "nodvfs"
+    bsld_threshold: float = 2.0
+    wq_threshold: int | None = None
+    strict_top_backfill: bool = False
+    fixed_frequency: float | None = None
+    boost_trigger: int | None = None
+
+    _KINDS = ("nodvfs", "bsld", "fixed", "util")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown policy kind {self.kind!r}; expected one of {self._KINDS}")
+        if self.kind == "fixed" and self.fixed_frequency is None:
+            raise ValueError("fixed policy needs fixed_frequency")
+
+    # -- factories ----------------------------------------------------------------
+    @classmethod
+    def baseline(cls) -> "PolicySpec":
+        return cls(kind="nodvfs")
+
+    @classmethod
+    def power_aware(
+        cls,
+        bsld_threshold: float,
+        wq_threshold: int | None,
+        *,
+        strict_top_backfill: bool = False,
+        boost_trigger: int | None = None,
+    ) -> "PolicySpec":
+        return cls(
+            kind="bsld",
+            bsld_threshold=bsld_threshold,
+            wq_threshold=wq_threshold,
+            strict_top_backfill=strict_top_backfill,
+            boost_trigger=boost_trigger,
+        )
+
+    # -- materialisation ----------------------------------------------------------
+    def build(self) -> FrequencyPolicy:
+        if self.kind == "nodvfs":
+            return FixedGearPolicy()
+        if self.kind == "fixed":
+            return FixedGearPolicy(self.fixed_frequency)
+        if self.kind == "util":
+            return UtilizationTriggeredPolicy()
+        return BsldThresholdPolicy(
+            bsld_threshold=self.bsld_threshold,
+            wq_threshold=self.wq_threshold,
+            strict_top_backfill=self.strict_top_backfill,
+        )
+
+    def boost_config(self) -> DynamicBoostConfig | None:
+        if self.boost_trigger is None:
+            return None
+        return DynamicBoostConfig(wq_trigger=self.boost_trigger)
+
+    def label(self) -> str:
+        if self.kind == "nodvfs":
+            return "NoDVFS"
+        if self.kind == "fixed":
+            return f"Fixed{self.fixed_frequency:g}GHz"
+        if self.kind == "util":
+            return "UtilTrigger"
+        base = f"DVFS({self.bsld_threshold:g},{wq_label(self.wq_threshold)})"
+        if self.strict_top_backfill:
+            base += "+strict"
+        if self.boost_trigger is not None:
+            base += f"+boost{self.boost_trigger}"
+        return base
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation to run: workload x machine scale x policy."""
+
+    workload: str
+    policy: PolicySpec = field(default_factory=PolicySpec.baseline)
+    n_jobs: int = 5000
+    seed: int | None = None
+    size_factor: float = 1.0
+    beta: float = DEFAULT_BETA
+    scheduler: str = "easy"  # "easy" | "fcfs" | "conservative"
+    record_timeline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_jobs <= 0:
+            raise ValueError(f"n_jobs must be positive, got {self.n_jobs}")
+        if self.size_factor <= 0.0:
+            raise ValueError(f"size_factor must be positive, got {self.size_factor}")
+        if self.scheduler not in ("easy", "fcfs", "conservative"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+
+    def with_policy(self, policy: PolicySpec) -> "RunSpec":
+        return replace(self, policy=policy)
+
+    def scaled(self, size_factor: float) -> "RunSpec":
+        return replace(self, size_factor=size_factor)
+
+    def label(self) -> str:
+        scale = "" if self.size_factor == 1.0 else f" x{self.size_factor:g}"
+        return f"{self.workload}{scale} {self.policy.label()}"

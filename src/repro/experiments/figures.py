@@ -1,0 +1,407 @@
+"""Reproduction of the paper's Figures 3-9.
+
+Every builder takes an :class:`~repro.experiments.runner.ExperimentRunner`
+(sharing its cache) and returns a small dataclass with the numbers plus
+``render()`` for terminal output.  Paper anchor points, for judging the
+reproduction by *shape*:
+
+* Fig. 3 — all workloads except SDSC save ≈10%+ CPU energy for
+  permissive thresholds, up to 22% computational energy at (3, NO);
+  SDSC shows no saving.  Larger WQ threshold ⇒ more savings at fixed
+  BSLD threshold; more aggressive BSLD threshold is *not* always better
+  (LLNL-Thunder saves 8.95% at (1.5, 4) but 3.79% at (2, 4)).
+* Fig. 4 — reduced-job counts; e.g. SDSC-Blue runs 2778 jobs reduced at
+  (2, NO) vs 2654 at (3, NO) while (3, NO) saves *more* energy.
+* Fig. 5 — average BSLD worsens with aggressiveness; SDSC worst.
+* Fig. 6 — wait times with DVFS(2, 16) sit well above no-DVFS waits on
+  an SDSC-Blue window.
+* Figs. 7/8 — computational energy falls monotonically with system
+  size (≈25-30% saving at +20%); idle=low energy has a minimum and
+  rises again for very large systems.
+* Fig. 9 — average BSLD improves monotonically with size; CTC/SDSC/Blue
+  beat their original no-DVFS BSLD at modest enlargement, Thunder and
+  Atlas sit near 1 throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.ascii_charts import format_table, line_plot
+from repro.experiments.config import (
+    BSLD_THRESHOLDS,
+    PolicySpec,
+    RunSpec,
+    SIZE_FACTORS,
+    WQ_THRESHOLDS,
+    wq_label,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.scheduling.result import SimulationResult
+from repro.workloads.models import WORKLOAD_NAMES
+
+__all__ = [
+    "ThresholdGrid",
+    "Figure3",
+    "Figure4",
+    "Figure5",
+    "Figure6",
+    "SizeSweep",
+    "Figure7",
+    "Figure8",
+    "Figure9",
+    "threshold_grid",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+]
+
+GridKey = tuple[str, float, int | None]  # (workload, bsld_threshold, wq_threshold)
+
+
+# --------------------------------------------------------------------------- #
+# The shared original-size threshold sweep behind Figures 3, 4 and 5.
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ThresholdGrid:
+    workloads: tuple[str, ...]
+    bsld_thresholds: tuple[float, ...]
+    wq_thresholds: tuple[int | None, ...]
+    runs: dict[GridKey, SimulationResult]
+    baselines: dict[str, SimulationResult]
+
+    def keys(self):
+        for workload in self.workloads:
+            for bsld in self.bsld_thresholds:
+                for wq in self.wq_thresholds:
+                    yield (workload, bsld, wq)
+
+
+def threshold_grid(
+    runner: ExperimentRunner,
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    bsld_thresholds: tuple[float, ...] = BSLD_THRESHOLDS,
+    wq_thresholds: tuple[int | None, ...] = WQ_THRESHOLDS,
+) -> ThresholdGrid:
+    runs: dict[GridKey, SimulationResult] = {}
+    baselines: dict[str, SimulationResult] = {}
+    for workload in workloads:
+        baselines[workload] = runner.baseline(workload)
+        for bsld in bsld_thresholds:
+            for wq in wq_thresholds:
+                runs[(workload, bsld, wq)] = runner.power_aware(workload, bsld, wq)
+    return ThresholdGrid(
+        workloads=tuple(workloads),
+        bsld_thresholds=tuple(bsld_thresholds),
+        wq_thresholds=tuple(wq_thresholds),
+        runs=runs,
+        baselines=baselines,
+    )
+
+
+def _grid_table(grid: ThresholdGrid, value, title: str, fmt: str = "{:.3f}") -> str:
+    headers = ["Workload", "BSLDth", *(f"WQ {wq_label(wq)}" for wq in grid.wq_thresholds)]
+    rows = []
+    for workload in grid.workloads:
+        for bsld in grid.bsld_thresholds:
+            rows.append(
+                [
+                    workload,
+                    f"{bsld:g}",
+                    *(
+                        fmt.format(value(grid, (workload, bsld, wq)))
+                        for wq in grid.wq_thresholds
+                    ),
+                ]
+            )
+    return format_table(headers, rows, title=title)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 3 — normalized energy at original system size.
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Figure3:
+    grid: ThresholdGrid
+
+    def normalized_energy(self, key: GridKey, scenario: str) -> float:
+        """Energy under the policy divided by the no-DVFS baseline."""
+        run = self.grid.runs[key]
+        baseline = self.grid.baselines[key[0]]
+        return run.energy.by_scenario(scenario) / baseline.energy.by_scenario(scenario)
+
+    def render(self) -> str:
+        parts = []
+        for scenario, label in (("idle0", "E_idle=0"), ("idlelow", "E_idle=low")):
+            parts.append(
+                _grid_table(
+                    self.grid,
+                    lambda g, k, s=scenario: self.normalized_energy(k, s),
+                    title=f"Figure 3 — normalized CPU energy ({label}), original size",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def figure3(runner: ExperimentRunner) -> Figure3:
+    return Figure3(grid=threshold_grid(runner))
+
+
+# --------------------------------------------------------------------------- #
+# Figure 4 — number of jobs run at reduced frequency.
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Figure4:
+    grid: ThresholdGrid
+
+    def reduced_jobs(self, key: GridKey) -> int:
+        return self.grid.runs[key].reduced_jobs
+
+    def render(self) -> str:
+        return _grid_table(
+            self.grid,
+            lambda g, k: float(self.reduced_jobs(k)),
+            title="Figure 4 — jobs run at reduced frequency",
+            fmt="{:.0f}",
+        )
+
+
+def figure4(runner: ExperimentRunner) -> Figure4:
+    return Figure4(grid=threshold_grid(runner))
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5 — average BSLD per parameter combination.
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Figure5:
+    grid: ThresholdGrid
+
+    def average_bsld(self, key: GridKey) -> float:
+        return self.grid.runs[key].average_bsld()
+
+    def baseline_bsld(self, workload: str) -> float:
+        return self.grid.baselines[workload].average_bsld()
+
+    def render(self) -> str:
+        table = _grid_table(
+            self.grid,
+            lambda g, k: self.average_bsld(k),
+            title="Figure 5 — average BSLD, original size",
+        )
+        baseline = "  ".join(
+            f"{w}={self.baseline_bsld(w):.2f}" for w in self.grid.workloads
+        )
+        return f"{table}\n(no-DVFS baselines: {baseline})"
+
+
+def figure5(runner: ExperimentRunner) -> Figure5:
+    return Figure5(grid=threshold_grid(runner))
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6 — wait-time behaviour zoom (SDSC-Blue, orig vs DVFS(2,16)).
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Figure6:
+    workload: str
+    window: tuple[int, int]
+    original_waits: tuple[float, ...]
+    dvfs_waits: tuple[float, ...]
+    policy_label: str
+
+    def render(self) -> str:
+        plot = line_plot(
+            {"Orig": self.original_waits, self.policy_label: self.dvfs_waits},
+            title=(
+                f"Figure 6 — {self.workload} wait time [s], jobs "
+                f"{self.window[0]}..{self.window[1]}"
+            ),
+        )
+        import statistics
+
+        summary = (
+            f"mean wait orig={statistics.fmean(self.original_waits):.0f}s "
+            f"dvfs={statistics.fmean(self.dvfs_waits):.0f}s"
+        )
+        return f"{plot}\n{summary}"
+
+
+def figure6(
+    runner: ExperimentRunner,
+    workload: str = "SDSCBlue",
+    bsld_threshold: float = 2.0,
+    wq_threshold: int | None = 16,
+    window: tuple[int, int] | None = None,
+) -> Figure6:
+    baseline = runner.baseline(workload)
+    dvfs = runner.power_aware(workload, bsld_threshold, wq_threshold)
+    n = baseline.job_count
+    if window is None:
+        # The paper zooms into a mid-trace stretch where queueing builds up.
+        window = (int(n * 0.35), int(n * 0.65))
+    lo, hi = window
+    if not 0 <= lo < hi <= n:
+        raise ValueError(f"window {window} out of range for {n} jobs")
+    return Figure6(
+        workload=workload,
+        window=window,
+        original_waits=tuple(baseline.wait_times()[lo:hi]),
+        dvfs_waits=tuple(dvfs.wait_times()[lo:hi]),
+        policy_label=f"DVFS_{bsld_threshold:g}_{wq_label(wq_threshold)}",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figures 7-9 — enlarged systems.
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SizeSweep:
+    workloads: tuple[str, ...]
+    size_factors: tuple[float, ...]
+    wq_threshold: int | None
+    bsld_threshold: float
+    runs: dict[tuple[str, float], SimulationResult]  # (workload, factor) -> run
+    original_baselines: dict[str, SimulationResult]
+
+
+def size_sweep(
+    runner: ExperimentRunner,
+    wq_threshold: int | None,
+    bsld_threshold: float = 2.0,
+    size_factors: tuple[float, ...] = SIZE_FACTORS,
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+) -> SizeSweep:
+    runs: dict[tuple[str, float], SimulationResult] = {}
+    baselines: dict[str, SimulationResult] = {}
+    for workload in workloads:
+        baselines[workload] = runner.baseline(workload)
+        for factor in size_factors:
+            runs[(workload, factor)] = runner.run(
+                RunSpec(
+                    workload=workload,
+                    policy=PolicySpec.power_aware(bsld_threshold, wq_threshold),
+                    n_jobs=runner.n_jobs,
+                    size_factor=factor,
+                )
+            )
+    return SizeSweep(
+        workloads=tuple(workloads),
+        size_factors=tuple(size_factors),
+        wq_threshold=wq_threshold,
+        bsld_threshold=bsld_threshold,
+        runs=runs,
+        original_baselines=baselines,
+    )
+
+
+@dataclass(frozen=True)
+class _EnlargedEnergyFigure:
+    """Shared shape of Figures 7 and 8 (they differ in the WQ threshold)."""
+
+    figure_id: int
+    sweep: SizeSweep
+
+    def normalized_energy(self, workload: str, factor: float, scenario: str) -> float:
+        """Normalised to the *original-size* no-DVFS baseline (paper §5.2)."""
+        run = self.sweep.runs[(workload, factor)]
+        baseline = self.sweep.original_baselines[workload]
+        return run.energy.by_scenario(scenario) / baseline.energy.by_scenario(scenario)
+
+    def render(self) -> str:
+        parts = []
+        for scenario, label in (("idle0", "E_idle=0"), ("idlelow", "E_idle=low")):
+            headers = [
+                "Workload",
+                *(f"+{(f - 1) * 100:.0f}%" for f in self.sweep.size_factors),
+            ]
+            rows = [
+                [
+                    workload,
+                    *(
+                        f"{self.normalized_energy(workload, factor, scenario):.3f}"
+                        for factor in self.sweep.size_factors
+                    ),
+                ]
+                for workload in self.sweep.workloads
+            ]
+            parts.append(
+                format_table(
+                    headers,
+                    rows,
+                    title=(
+                        f"Figure {self.figure_id} — normalized energy ({label}), "
+                        f"WQ={wq_label(self.sweep.wq_threshold)}, "
+                        f"BSLDth={self.sweep.bsld_threshold:g}"
+                    ),
+                )
+            )
+        return "\n\n".join(parts)
+
+
+class Figure7(_EnlargedEnergyFigure):
+    pass
+
+
+class Figure8(_EnlargedEnergyFigure):
+    pass
+
+
+def figure7(runner: ExperimentRunner) -> Figure7:
+    return Figure7(figure_id=7, sweep=size_sweep(runner, wq_threshold=0))
+
+
+def figure8(runner: ExperimentRunner) -> Figure8:
+    return Figure8(figure_id=8, sweep=size_sweep(runner, wq_threshold=None))
+
+
+@dataclass(frozen=True)
+class Figure9:
+    sweep_wq0: SizeSweep
+    sweep_wqno: SizeSweep
+
+    def average_bsld(self, wq: str, workload: str, factor: float) -> float:
+        sweep = self.sweep_wq0 if wq == "0" else self.sweep_wqno
+        return sweep.runs[(workload, factor)].average_bsld()
+
+    def baseline_bsld(self, workload: str) -> float:
+        return self.sweep_wq0.original_baselines[workload].average_bsld()
+
+    def render(self) -> str:
+        parts = []
+        for wq, sweep in (("NO", self.sweep_wqno), ("0", self.sweep_wq0)):
+            headers = [
+                "Workload",
+                "NoDVFS",
+                *(f"+{(f - 1) * 100:.0f}%" for f in sweep.size_factors),
+            ]
+            rows = [
+                [
+                    workload,
+                    f"{self.baseline_bsld(workload):.2f}",
+                    *(
+                        f"{sweep.runs[(workload, factor)].average_bsld():.2f}"
+                        for factor in sweep.size_factors
+                    ),
+                ]
+                for workload in sweep.workloads
+            ]
+            parts.append(
+                format_table(
+                    headers,
+                    rows,
+                    title=f"Figure 9 — average BSLD vs system size, WQsize={wq}",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def figure9(runner: ExperimentRunner) -> Figure9:
+    return Figure9(
+        sweep_wq0=size_sweep(runner, wq_threshold=0),
+        sweep_wqno=size_sweep(runner, wq_threshold=None),
+    )

@@ -1,0 +1,183 @@
+"""Full reproduction report: every table and figure, paper vs measured.
+
+``build_report(runner)`` regenerates all artifacts and renders the
+markdown that EXPERIMENTS.md records; the CLI exposes it as
+``repro-sim report``.  Expected cost at the paper's 5000-job scale:
+roughly 150 simulations, a few minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    beta_sweep,
+    gear_ladder_ablation,
+    policy_comparison,
+    sleep_vs_dvfs,
+    static_share_sweep,
+    strict_backfill_comparison,
+)
+from repro.experiments.figures import (
+    Figure3,
+    Figure4,
+    Figure5,
+    Figure9,
+    figure6,
+    figure7,
+    figure8,
+    size_sweep,
+    threshold_grid,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import PAPER_TABLE3, table1, table3
+
+__all__ = ["build_report"]
+
+_PAPER_SHAPE_NOTES = """\
+Reading guide — what must match the paper (shape, not absolute numbers):
+
+* **Table 1**: the synthetic traces are *calibrated* to the paper's
+  baseline average BSLD, so close agreement here is by construction;
+  it certifies the queueing regimes match before any DVFS is applied.
+* **Figure 3**: all workloads except SDSC save noticeable CPU energy;
+  SDSC (chronically saturated) saves essentially nothing; at a fixed
+  BSLD threshold, larger WQ thresholds save at least as much; a higher
+  BSLD threshold does *not* always save more (queueing feedback).
+* **Figure 4**: reduced-job counts grow with the WQ threshold; Thunder
+  reduces *fewer* jobs at threshold 2 than at 1.5 (the paper's
+  1219-vs-854 inversion, from DVFS-induced queue growth).
+* **Figure 5**: average BSLD degrades with aggressiveness; SDSC worst.
+* **Figure 6**: the DVFS(2,16) wait series sits above the no-DVFS one.
+* **Figures 7/8**: computational energy falls monotonically with system
+  size; the idle=low scenario has an interior minimum and rises again
+  for very large systems (idle floor).
+* **Figure 9**: BSLD improves monotonically with size; CTC/SDSC/Blue
+  eventually beat their original no-DVFS service quality, the LLNL
+  systems (already at the BSLD floor) cannot but stay close to it.
+* **Table 3**: DVFS at original size lengthens waits; +50% systems
+  collapse them; SDSC's WQ0 wait stays at its no-DVFS level (the
+  signature that Ftop backfills are unconditional — see DESIGN.md §4).
+"""
+
+
+def _h(level: int, text: str) -> str:
+    return "#" * level + " " + text
+
+
+def _code(text: str) -> str:
+    return "```\n" + text + "\n```"
+
+
+def build_report(runner: ExperimentRunner, include_ablations: bool = True) -> str:
+    sections: list[str] = []
+    sections.append(_h(1, f"EXPERIMENTS — paper vs measured ({runner.n_jobs}-job traces)"))
+    sections.append(
+        "Regenerate with `repro-sim report` (or per-artifact: `repro-sim table 1`, "
+        "`repro-sim figure 7`, ...).  Benchmarks under `benchmarks/` assert the "
+        "shape claims below on every run."
+    )
+    sections.append(_PAPER_SHAPE_NOTES)
+
+    # ---- Table 1 -------------------------------------------------------
+    t1 = table1(runner)
+    sections.append(_h(2, "Table 1 — baseline average BSLD (calibration anchor)"))
+    rows = ["| Workload | CPUs | Paper | Measured | rel.err |", "|---|---|---|---|---|"]
+    for name, cpus, _jobs, measured, paper in t1.rows:
+        rows.append(
+            f"| {name} | {cpus} | {paper:.2f} | {measured:.2f} | "
+            f"{(measured - paper) / paper:+.1%} |"
+        )
+    sections.append("\n".join(rows))
+
+    # ---- Figures 3-5 (threshold grid) -----------------------------------
+    grid = threshold_grid(runner)
+    fig3, fig4, fig5 = Figure3(grid=grid), Figure4(grid=grid), Figure5(grid=grid)
+    sections.append(_h(2, "Figure 3 — normalized CPU energy, original size"))
+    sections.append(_code(fig3.render()))
+    savings = [
+        1.0 - fig3.normalized_energy((w, b, q), "idle0")
+        for w in grid.workloads
+        for b in grid.bsld_thresholds
+        for q in grid.wq_thresholds
+    ]
+    sections.append(
+        f"Average saving across the grid: {sum(savings) / len(savings):.1%} "
+        f"(paper: 7%–18% average depending on allowed penalty); best corner "
+        f"{max(savings):.1%} (paper: up to 22%)."
+    )
+    sections.append(_h(2, "Figure 4 — jobs run at reduced frequency"))
+    sections.append(_code(fig4.render()))
+    sections.append(
+        "Paper anchors: LLNLThunder 1219 @ (1.5,4) vs 854 @ (2,4) — measured "
+        f"{fig4.reduced_jobs(('LLNLThunder', 1.5, 4))} vs "
+        f"{fig4.reduced_jobs(('LLNLThunder', 2.0, 4))}; SDSCBlue 2778 @ (2,NO) — "
+        f"measured {fig4.reduced_jobs(('SDSCBlue', 2.0, None))}."
+    )
+    sections.append(_h(2, "Figure 5 — average BSLD, original size"))
+    sections.append(_code(fig5.render()))
+
+    # ---- Figure 6 --------------------------------------------------------
+    fig6 = figure6(runner)
+    sections.append(_h(2, "Figure 6 — SDSC-Blue wait-time zoom (orig vs DVFS 2/16)"))
+    sections.append(_code(fig6.render()))
+
+    # ---- Figures 7-9 ------------------------------------------------------
+    fig7 = figure7(runner)
+    fig8 = figure8(runner)
+    fig9 = Figure9(sweep_wq0=fig7.sweep, sweep_wqno=fig8.sweep)
+    sections.append(_h(2, "Figure 7 — enlarged systems, WQ=0"))
+    sections.append(_code(fig7.render()))
+    sections.append(_h(2, "Figure 8 — enlarged systems, WQ=NO LIMIT"))
+    sections.append(_code(fig8.render()))
+    best20 = min(
+        1.0 - fig8.normalized_energy(w, 1.2, "idle0") for w in fig8.sweep.workloads
+    )
+    deepest20 = max(
+        1.0 - fig8.normalized_energy(w, 1.2, "idle0") for w in fig8.sweep.workloads
+    )
+    sections.append(
+        f"+20% system, computational energy saving across workloads: "
+        f"{best20:.1%}–{deepest20:.1%} (paper: 'almost 30%' on the amenable "
+        f"workloads while keeping original performance)."
+    )
+    sections.append(_h(2, "Figure 9 — average BSLD of enlarged systems"))
+    sections.append(_code(fig9.render()))
+
+    # ---- Table 3 ------------------------------------------------------------
+    t3 = table3(runner)
+    sections.append(_h(2, "Table 3 — average wait time [s], paper vs measured"))
+    rows = [
+        "| Workload | config | Paper | Measured |",
+        "|---|---|---|---|",
+    ]
+    for name, measured_row in t3.rows.items():
+        for column, paper_value in PAPER_TABLE3[name].items():
+            rows.append(
+                f"| {name} | {column} | {paper_value:.0f} | "
+                f"{measured_row[column]:.0f} |"
+            )
+    sections.append("\n".join(rows))
+
+    # ---- Ablations --------------------------------------------------------------
+    if include_ablations:
+        sections.append(_h(2, "Ablations (beyond the paper)"))
+        for builder, kwargs in (
+            (beta_sweep, {}),
+            (static_share_sweep, {}),
+            (strict_backfill_comparison, {}),
+            (policy_comparison, {}),
+            (gear_ladder_ablation, {}),
+            (sleep_vs_dvfs, {}),
+        ):
+            sections.append(_code(builder(runner, **kwargs).render()))
+
+    sections.append(_h(2, "Reproduction notes"))
+    sections.append(
+        "Substitutions (see DESIGN.md §3): Alvio → `repro.sim`; the five "
+        "cleaned PWA traces → calibrated synthetic generators "
+        "(`repro.workloads.models`).  Gear ladder, power model, β time "
+        "model and the BSLD formulas are implemented verbatim from the "
+        "paper.  The calibrated baselines above anchor the queueing "
+        "regimes; everything downstream (Figures 3–9, Table 3) is "
+        "emergent behaviour of the policy, not fitted."
+    )
+    return "\n\n".join(sections) + "\n"

@@ -1,0 +1,130 @@
+"""Experiment runner with trace and result memoisation.
+
+Figures 3-5 of the paper share one 60-run sweep and Figures 7-9 share
+another; the runner caches by :class:`~repro.experiments.config.RunSpec`
+so every figure/table builder can simply ask for what it needs.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Machine
+from repro.experiments.config import PolicySpec, RunSpec
+from repro.power.time_model import DEFAULT_BETA
+from repro.scheduling.base import Scheduler, SchedulerConfig
+from repro.scheduling.conservative import ConservativeBackfilling
+from repro.scheduling.easy import EasyBackfilling
+from repro.scheduling.fcfs import FcfsScheduler
+from repro.scheduling.job import Job
+from repro.scheduling.result import SimulationResult
+from repro.workloads.generator import generate_workload
+from repro.workloads.models import trace_model
+
+__all__ = ["ExperimentRunner"]
+
+_SCHEDULERS: dict[str, type[Scheduler]] = {
+    "easy": EasyBackfilling,
+    "fcfs": FcfsScheduler,
+    "conservative": ConservativeBackfilling,
+}
+
+
+class ExperimentRunner:
+    """Runs :class:`RunSpec` simulations, memoising traces and results.
+
+    Parameters
+    ----------
+    n_jobs:
+        Default trace length for specs that do not override it; the
+        paper simulates 5000-job segments, benchmarks use fewer.
+    validate:
+        Run every simulation with invariant checking on (slower).
+    """
+
+    def __init__(self, n_jobs: int = 5000, validate: bool = False) -> None:
+        if n_jobs <= 0:
+            raise ValueError(f"n_jobs must be positive, got {n_jobs}")
+        self.n_jobs = n_jobs
+        self.validate = validate
+        self._traces: dict[tuple[str, int, int | None], list[Job]] = {}
+        self._results: dict[RunSpec, SimulationResult] = {}
+
+    # -- workload/machine plumbing ------------------------------------------------
+    def jobs_for(self, workload: str, n_jobs: int | None = None, seed: int | None = None) -> list[Job]:
+        key = (workload, n_jobs or self.n_jobs, seed)
+        jobs = self._traces.get(key)
+        if jobs is None:
+            jobs = generate_workload(trace_model(workload), key[1], seed)
+            self._traces[key] = jobs
+        return jobs
+
+    def machine_for(self, workload: str, size_factor: float = 1.0) -> Machine:
+        model = trace_model(workload)
+        return Machine(model.name, model.cpus).scaled(size_factor)
+
+    # -- execution ---------------------------------------------------------------------
+    def run(self, spec: RunSpec) -> SimulationResult:
+        """Run (or fetch from cache) one simulation."""
+        cached = self._results.get(spec)
+        if cached is not None:
+            return cached
+        spec = self._normalized(spec)
+        cached = self._results.get(spec)
+        if cached is not None:
+            return cached
+        jobs = self.jobs_for(spec.workload, spec.n_jobs, spec.seed)
+        machine = self.machine_for(spec.workload, spec.size_factor)
+        scheduler_cls = _SCHEDULERS[spec.scheduler]
+        scheduler = scheduler_cls(
+            machine,
+            spec.policy.build(),
+            beta=spec.beta,
+            config=SchedulerConfig(
+                validate=self.validate,
+                boost=spec.policy.boost_config(),
+                record_timeline=spec.record_timeline,
+            ),
+        )
+        result = scheduler.run(jobs)
+        self._results[spec] = result
+        return result
+
+    def _normalized(self, spec: RunSpec) -> RunSpec:
+        if spec.n_jobs == self.n_jobs:
+            return spec
+        # RunSpec carries its own n_jobs; align defaults so cache keys for
+        # "the default-length run" coincide regardless of how callers spell it.
+        return spec
+
+    # -- common shortcuts ------------------------------------------------------------------
+    def baseline(self, workload: str, size_factor: float = 1.0) -> SimulationResult:
+        """The no-DVFS EASY run every paper metric normalises against."""
+        return self.run(
+            RunSpec(
+                workload=workload,
+                policy=PolicySpec.baseline(),
+                n_jobs=self.n_jobs,
+                size_factor=size_factor,
+            )
+        )
+
+    def power_aware(
+        self,
+        workload: str,
+        bsld_threshold: float,
+        wq_threshold: int | None,
+        size_factor: float = 1.0,
+        beta: float = DEFAULT_BETA,
+    ) -> SimulationResult:
+        return self.run(
+            RunSpec(
+                workload=workload,
+                policy=PolicySpec.power_aware(bsld_threshold, wq_threshold),
+                n_jobs=self.n_jobs,
+                size_factor=size_factor,
+                beta=beta,
+            )
+        )
+
+    @property
+    def cached_runs(self) -> int:
+        return len(self._results)

@@ -1,0 +1,125 @@
+"""Reproduction of the paper's tables (1 and 3).
+
+Table 2 (the DVFS gear ladder) is the constant
+:data:`repro.core.gears.PAPER_GEAR_SET` and is pinned by unit tests
+rather than regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.ascii_charts import format_table
+from repro.experiments.config import PolicySpec, RunSpec
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.models import PAPER_BASELINE_BSLD, WORKLOAD_NAMES, trace_model
+
+__all__ = ["Table1", "Table3", "table1", "table3", "PAPER_TABLE3"]
+
+#: Table 3 of the paper: average wait time in seconds per configuration.
+PAPER_TABLE3: dict[str, dict[str, float]] = {
+    "CTC": {
+        "OrigNoDVFS": 7107, "OrigWQ0": 12361, "OrigWQNo": 16060,
+        "Inc50WQ0": 2980, "Inc50WQNo": 4183,
+    },
+    "SDSC": {
+        "OrigNoDVFS": 36001, "OrigWQ0": 35946, "OrigWQNo": 45845,
+        "Inc50WQ0": 9202, "Inc50WQNo": 11713,
+    },
+    "SDSCBlue": {
+        "OrigNoDVFS": 4798, "OrigWQ0": 6587, "OrigWQNo": 8766,
+        "Inc50WQ0": 2351, "Inc50WQNo": 3153,
+    },
+    "LLNLThunder": {
+        "OrigNoDVFS": 0, "OrigWQ0": 1927, "OrigWQNo": 6876,
+        "Inc50WQ0": 379, "Inc50WQNo": 1877,
+    },
+    "LLNLAtlas": {
+        "OrigNoDVFS": 69, "OrigWQ0": 1841, "OrigWQNo": 6691,
+        "Inc50WQ0": 708, "Inc50WQNo": 2807,
+    },
+}
+
+_TABLE3_COLUMNS = ("OrigNoDVFS", "OrigWQ0", "OrigWQNo", "Inc50WQ0", "Inc50WQNo")
+
+
+@dataclass(frozen=True)
+class Table1:
+    """Workload roster with the no-DVFS baseline average BSLD."""
+
+    rows: tuple[tuple[str, int, int, float, float], ...]
+    # (workload, cpus, jobs, measured avg BSLD, paper avg BSLD)
+
+    def render(self) -> str:
+        return format_table(
+            ["Workload", "#CPUs", "Jobs", "Avg BSLD (measured)", "Avg BSLD (paper)"],
+            [list(row) for row in self.rows],
+            title="Table 1 — workloads and baseline average BSLD (no DVFS)",
+        )
+
+    def measured(self, workload: str) -> float:
+        for name, _, _, measured, _ in self.rows:
+            if name == workload:
+                return measured
+        raise KeyError(workload)
+
+
+def table1(runner: ExperimentRunner) -> Table1:
+    rows = []
+    for name in WORKLOAD_NAMES:
+        result = runner.baseline(name)
+        rows.append(
+            (
+                name,
+                trace_model(name).cpus,
+                result.job_count,
+                result.average_bsld(),
+                PAPER_BASELINE_BSLD[name],
+            )
+        )
+    return Table1(rows=tuple(rows))
+
+
+@dataclass(frozen=True)
+class Table3:
+    """Average wait times per scheduling/system configuration (seconds)."""
+
+    rows: dict[str, dict[str, float]]  # workload -> column -> measured seconds
+    paper: dict[str, dict[str, float]]
+
+    def render(self) -> str:
+        headers = ["Workload", *(_TABLE3_COLUMNS)]
+        body = [
+            [name, *(self.rows[name][column] for column in _TABLE3_COLUMNS)]
+            for name in self.rows
+        ]
+        return format_table(
+            headers,
+            body,
+            title=(
+                "Table 3 — average wait time [s]; BSLDthreshold=2 "
+                "(paper values in PAPER_TABLE3)"
+            ),
+        )
+
+
+def table3(runner: ExperimentRunner, bsld_threshold: float = 2.0) -> Table3:
+    rows: dict[str, dict[str, float]] = {}
+    for name in WORKLOAD_NAMES:
+        spec = RunSpec(workload=name, n_jobs=runner.n_jobs)
+        rows[name] = {
+            "OrigNoDVFS": runner.run(spec).average_wait(),
+            "OrigWQ0": runner.run(
+                spec.with_policy(PolicySpec.power_aware(bsld_threshold, 0))
+            ).average_wait(),
+            "OrigWQNo": runner.run(
+                spec.with_policy(PolicySpec.power_aware(bsld_threshold, None))
+            ).average_wait(),
+            "Inc50WQ0": runner.run(
+                spec.with_policy(PolicySpec.power_aware(bsld_threshold, 0)).scaled(1.5)
+            ).average_wait(),
+            "Inc50WQNo": runner.run(
+                spec.with_policy(PolicySpec.power_aware(bsld_threshold, None)).scaled(1.5)
+            ).average_wait(),
+        }
+    return Table3(rows=rows, paper=PAPER_TABLE3)

@@ -1,0 +1,28 @@
+"""Metrics: bounded slowdown and aggregate statistics."""
+
+from repro.metrics.aggregates import Summary, mean, median, percentile, stddev, summarize
+from repro.metrics.breakdown import (
+    ClassMetrics,
+    breakdown,
+    by_reduction,
+    by_runtime_bands,
+    by_size_bands,
+)
+from repro.metrics.bsld import BSLD_THRESHOLD_SECONDS, bounded_slowdown, predicted_bsld
+
+__all__ = [
+    "BSLD_THRESHOLD_SECONDS",
+    "ClassMetrics",
+    "breakdown",
+    "by_reduction",
+    "by_runtime_bands",
+    "by_size_bands",
+    "Summary",
+    "bounded_slowdown",
+    "mean",
+    "median",
+    "percentile",
+    "predicted_bsld",
+    "stddev",
+    "summarize",
+]

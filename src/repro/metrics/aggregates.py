@@ -1,0 +1,66 @@
+"""Aggregate statistics over job outcomes and plain samples."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["mean", "median", "percentile", "stddev", "Summary", "summarize"]
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation."""
+    if not values:
+        raise ValueError("stddev of an empty sequence")
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    value = ordered[low] * (1.0 - weight) + ordered[high] * weight
+    # Clamp float round-off so the result stays inside its bracket.
+    return min(max(value, ordered[low]), ordered[high])
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+class Summary(dict):
+    """A plain dict of named statistics with attribute-free access."""
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """n/mean/std/min/p50/p90/p99/max of a sample."""
+    if not values:
+        raise ValueError("summarize of an empty sequence")
+    return Summary(
+        n=len(values),
+        mean=mean(values),
+        std=stddev(values),
+        min=min(values),
+        p50=median(values),
+        p90=percentile(values, 90.0),
+        p99=percentile(values, 99.0),
+        max=max(values),
+    )

@@ -1,0 +1,138 @@
+"""Per-class breakdowns of simulation results.
+
+The paper reports aggregate BSLD and energy.  For analysis (and the
+extended ablations) it is often more informative to split metrics by
+job class: size bands, runtime bands, or reduced/unreduced status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.metrics.aggregates import mean
+from repro.metrics.bsld import BSLD_THRESHOLD_SECONDS
+
+if TYPE_CHECKING:  # imported for annotations only; avoids package cycles
+    from repro.scheduling.job import JobOutcome
+    from repro.scheduling.result import SimulationResult
+
+__all__ = [
+    "ClassMetrics",
+    "breakdown",
+    "by_size_bands",
+    "by_runtime_bands",
+    "by_reduction",
+    "DEFAULT_SIZE_BANDS",
+    "DEFAULT_RUNTIME_BANDS",
+]
+
+#: Size bands (upper bounds, inclusive) used by default: serial, small,
+#: medium, large, huge.
+DEFAULT_SIZE_BANDS: tuple[tuple[str, int], ...] = (
+    ("serial", 1),
+    ("2-8", 8),
+    ("9-64", 64),
+    ("65-512", 512),
+    (">512", 10**9),
+)
+
+#: Runtime bands in seconds: the first matches the BSLD "very short"
+#: threshold of the paper.
+DEFAULT_RUNTIME_BANDS: tuple[tuple[str, float], ...] = (
+    ("<=10min", 600.0),
+    ("10min-1h", 3600.0),
+    ("1h-6h", 6.0 * 3600.0),
+    (">6h", float("inf")),
+)
+
+
+@dataclass(frozen=True)
+class ClassMetrics:
+    """Aggregates over one class of jobs."""
+
+    label: str
+    jobs: int
+    avg_bsld: float
+    avg_wait: float
+    reduced_jobs: int
+    energy: float
+    cpu_seconds: float
+
+    @property
+    def reduced_fraction(self) -> float:
+        return self.reduced_jobs / self.jobs if self.jobs else 0.0
+
+
+def _metrics(label: str, outcomes: Sequence[JobOutcome]) -> ClassMetrics:
+    return ClassMetrics(
+        label=label,
+        jobs=len(outcomes),
+        avg_bsld=mean([o.bsld(BSLD_THRESHOLD_SECONDS) for o in outcomes]) if outcomes else 0.0,
+        avg_wait=mean([o.wait_time for o in outcomes]) if outcomes else 0.0,
+        reduced_jobs=sum(1 for o in outcomes if o.was_reduced),
+        energy=sum(o.energy for o in outcomes),
+        cpu_seconds=sum(o.job.size * o.penalized_runtime for o in outcomes),
+    )
+
+
+def breakdown(
+    result: SimulationResult,
+    classifier: Callable[[JobOutcome], str],
+    order: Sequence[str] | None = None,
+) -> list[ClassMetrics]:
+    """Split ``result`` into classes by ``classifier`` and aggregate each.
+
+    ``order`` fixes the output ordering (classes absent from the result
+    are included with zero counts); without it, classes appear in
+    first-seen order.
+    """
+    buckets: dict[str, list[JobOutcome]] = {}
+    if order is not None:
+        for label in order:
+            buckets[label] = []
+    for outcome in result.outcomes:
+        label = classifier(outcome)
+        if order is not None and label not in buckets:
+            raise ValueError(f"classifier produced unknown label {label!r}")
+        buckets.setdefault(label, []).append(outcome)
+    return [_metrics(label, outcomes) for label, outcomes in buckets.items()]
+
+
+def by_size_bands(
+    result: SimulationResult,
+    bands: tuple[tuple[str, int], ...] = DEFAULT_SIZE_BANDS,
+) -> list[ClassMetrics]:
+    """Aggregate by job size bands."""
+
+    def classify(outcome: JobOutcome) -> str:
+        for label, bound in bands:
+            if outcome.job.size <= bound:
+                return label
+        return bands[-1][0]
+
+    return breakdown(result, classify, order=[label for label, _ in bands])
+
+
+def by_runtime_bands(
+    result: SimulationResult,
+    bands: tuple[tuple[str, float], ...] = DEFAULT_RUNTIME_BANDS,
+) -> list[ClassMetrics]:
+    """Aggregate by nominal-runtime bands."""
+
+    def classify(outcome: JobOutcome) -> str:
+        for label, bound in bands:
+            if outcome.job.runtime <= bound:
+                return label
+        return bands[-1][0]
+
+    return breakdown(result, classify, order=[label for label, _ in bands])
+
+
+def by_reduction(result: SimulationResult) -> list[ClassMetrics]:
+    """Two classes: jobs run reduced vs at the top gear."""
+    return breakdown(
+        result,
+        lambda outcome: "reduced" if outcome.was_reduced else "full speed",
+        order=["reduced", "full speed"],
+    )

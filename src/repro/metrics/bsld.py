@@ -1,0 +1,94 @@
+"""Bounded slowdown (BSLD) metrics — Eqs. (1), (2) and (6) of the paper.
+
+BSLD is the user-satisfaction metric the policy optimises against:
+
+    BSLD = max( (WaitTime + RunTime) / max(Th, RunTime), 1 )      (1)
+
+with ``Th = 600 s`` so that very short jobs do not dominate averages.
+When DVFS stretches a job, the *penalised* runtime enters the numerator
+while the denominator keeps the nominal (top-frequency) runtime,
+
+    BSLD = max( (WaitTime + PenalizedRunTime) / max(Th, RunTime), 1 )   (6)
+
+so a pure slowdown with zero wait still registers as a penalty.  The
+scheduler's *predicted* BSLD (Eq. 2) replaces runtimes with the user's
+requested time ``RQ`` scaled by the β-model coefficient:
+
+    PredBSLD = max( (WT + RQ*Coef(f)) / max(Th, RQ), 1 )          (2)
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BSLD_THRESHOLD_SECONDS",
+    "bounded_slowdown",
+    "predicted_bsld",
+]
+
+#: ``Th`` in the BSLD formulas: jobs shorter than 10 minutes count as "very short".
+BSLD_THRESHOLD_SECONDS = 600.0
+
+
+def bounded_slowdown(
+    wait_time: float,
+    runtime: float,
+    penalized_runtime: float | None = None,
+    threshold: float = BSLD_THRESHOLD_SECONDS,
+) -> float:
+    """BSLD of a completed job.
+
+    Parameters
+    ----------
+    wait_time:
+        Seconds between submission and start.
+    runtime:
+        Nominal runtime at the top frequency (denominator bound).
+    penalized_runtime:
+        Actual runtime including any DVFS stretch; defaults to
+        ``runtime`` (no frequency scaling).
+    threshold:
+        The ``Th`` bound; non-positive values reduce BSLD to plain
+        (unbounded) slowdown.
+    """
+    if wait_time < 0.0:
+        raise ValueError(f"wait_time must be non-negative, got {wait_time}")
+    if runtime < 0.0:
+        raise ValueError(f"runtime must be non-negative, got {runtime}")
+    if penalized_runtime is None:
+        penalized_runtime = runtime
+    if penalized_runtime < 0.0:
+        raise ValueError(f"penalized_runtime must be non-negative, got {penalized_runtime}")
+    denominator = max(threshold, runtime)
+    if denominator <= 0.0:
+        raise ValueError("runtime and threshold are both zero; BSLD undefined")
+    return max((wait_time + penalized_runtime) / denominator, 1.0)
+
+
+def predicted_bsld(
+    wait_time: float,
+    requested_time: float,
+    coefficient: float = 1.0,
+    threshold: float = BSLD_THRESHOLD_SECONDS,
+) -> float:
+    """Scheduler-side BSLD estimate for a tentative allocation (Eq. 2).
+
+    Parameters
+    ----------
+    wait_time:
+        ``WT``: wait time the allocation would impose
+        (scheduled start − submit).
+    requested_time:
+        ``RQ``: the user's runtime estimate at the top frequency.
+    coefficient:
+        ``Coef(f)`` from the β time model for the candidate gear.
+    """
+    if wait_time < 0.0:
+        raise ValueError(f"wait_time must be non-negative, got {wait_time}")
+    if requested_time < 0.0:
+        raise ValueError(f"requested_time must be non-negative, got {requested_time}")
+    if coefficient < 1.0 - 1e-12:
+        raise ValueError(f"time-penalty coefficient must be >= 1, got {coefficient}")
+    denominator = max(threshold, requested_time)
+    if denominator <= 0.0:
+        raise ValueError("requested_time and threshold are both zero; BSLD undefined")
+    return max((wait_time + requested_time * coefficient) / denominator, 1.0)

@@ -1,0 +1,33 @@
+"""Power, energy and execution-time models (§4 of the paper)."""
+
+from repro.power.beta_model import (
+    BetaAssigner,
+    BimodalBeta,
+    ConstantBeta,
+    TruncatedNormalBeta,
+    UniformBeta,
+)
+from repro.power.energy import EnergyAccounting, EnergyReport
+from repro.power.model import PAPER_ACTIVITY_RATIO, PAPER_STATIC_SHARE, PowerModel
+from repro.power.sleep import SleepEnergyReport, SleepStateConfig, busy_series, sleep_energy
+from repro.power.time_model import BetaTimeModel, DEFAULT_BETA, PAPER_BETA
+
+__all__ = [
+    "BetaAssigner",
+    "BetaTimeModel",
+    "BimodalBeta",
+    "ConstantBeta",
+    "DEFAULT_BETA",
+    "EnergyAccounting",
+    "EnergyReport",
+    "PAPER_ACTIVITY_RATIO",
+    "PAPER_BETA",
+    "PAPER_STATIC_SHARE",
+    "PowerModel",
+    "SleepEnergyReport",
+    "SleepStateConfig",
+    "TruncatedNormalBeta",
+    "busy_series",
+    "sleep_energy",
+    "UniformBeta",
+]

@@ -1,0 +1,142 @@
+"""Per-job β assignment models (the paper's §7 future work, implemented).
+
+The paper assumes a single β = 0.5 for every job and explicitly defers
+"an analysis of the β parameter that would allow modeling of different
+job potentials to exploit DVFS" to future work.  This module provides
+that modelling: distributions that assign each job its own
+CPU-boundedness coefficient, which the simulator and the frequency
+policy then honour end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from random import Random
+from typing import Sequence
+
+from repro.power.time_model import DEFAULT_BETA
+
+__all__ = [
+    "BetaAssigner",
+    "ConstantBeta",
+    "UniformBeta",
+    "BimodalBeta",
+    "TruncatedNormalBeta",
+]
+
+
+class BetaAssigner(ABC):
+    """Strategy assigning a β in ``[0, 1]`` to each job."""
+
+    @abstractmethod
+    def sample(self, rng: Random) -> float:
+        """Draw one β value."""
+
+    def assign(self, n: int, seed: int = 0) -> list[float]:
+        """Draw ``n`` β values reproducibly from ``seed``."""
+        rng = Random(seed)
+        return [self.sample(rng) for _ in range(n)]
+
+
+@dataclass(frozen=True)
+class ConstantBeta(BetaAssigner):
+    """Every job shares the same β (the paper's assumption)."""
+
+    beta: float = DEFAULT_BETA
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.beta <= 1.0:
+            raise ValueError(f"beta must be in [0, 1], got {self.beta}")
+
+    def sample(self, rng: Random) -> float:
+        return self.beta
+
+
+@dataclass(frozen=True)
+class UniformBeta(BetaAssigner):
+    """β uniform on ``[low, high]``."""
+
+    low: float = 0.2
+    high: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low <= self.high <= 1.0:
+            raise ValueError(f"need 0 <= low <= high <= 1, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class BimodalBeta(BetaAssigner):
+    """A memory/communication-bound class and a CPU-bound class.
+
+    ``cpu_bound_fraction`` of the jobs draw around ``cpu_bound_beta``
+    (frequency scaling hurts them), the rest around ``memory_bound_beta``
+    (nearly free to slow down).  Jitter is uniform ±``jitter``.
+    """
+
+    cpu_bound_fraction: float = 0.5
+    cpu_bound_beta: float = 0.85
+    memory_bound_beta: float = 0.25
+    jitter: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cpu_bound_fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {self.cpu_bound_fraction}")
+        for name, value in (
+            ("cpu_bound_beta", self.cpu_bound_beta),
+            ("memory_bound_beta", self.memory_bound_beta),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.jitter < 0.0:
+            raise ValueError(f"jitter must be non-negative, got {self.jitter}")
+
+    def sample(self, rng: Random) -> float:
+        centre = (
+            self.cpu_bound_beta
+            if rng.random() < self.cpu_bound_fraction
+            else self.memory_bound_beta
+        )
+        value = centre + rng.uniform(-self.jitter, self.jitter)
+        return min(1.0, max(0.0, value))
+
+
+@dataclass(frozen=True)
+class TruncatedNormalBeta(BetaAssigner):
+    """β normal around ``mean`` with ``std``, truncated to ``[0, 1]``."""
+
+    mean: float = DEFAULT_BETA
+    std: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mean <= 1.0:
+            raise ValueError(f"mean must be in [0, 1], got {self.mean}")
+        if self.std < 0.0:
+            raise ValueError(f"std must be non-negative, got {self.std}")
+
+    def sample(self, rng: Random) -> float:
+        if self.std == 0.0:
+            return self.mean
+        # Rejection sampling; the acceptance region always has positive
+        # mass because mean lies inside [0, 1].
+        for _ in range(1000):
+            value = rng.gauss(self.mean, self.std)
+            if 0.0 <= value <= 1.0:
+                return value
+        return min(1.0, max(0.0, self.mean))  # pragma: no cover - unreachable in practice
+
+
+def summarize_betas(betas: Sequence[float]) -> dict[str, float]:
+    """Mean/std/min/max of a β sample (convenience for reports)."""
+    if not betas:
+        raise ValueError("no betas to summarise")
+    n = len(betas)
+    low, high = min(betas), max(betas)
+    # Clamp float round-off so mean stays within the sample bounds.
+    mean = min(max(sum(betas) / n, low), high)
+    var = sum((b - mean) ** 2 for b in betas) / n
+    return {"n": float(n), "mean": mean, "std": math.sqrt(var), "min": low, "max": high}

@@ -1,0 +1,136 @@
+"""Workload-level energy accounting (§4 and §5 of the paper).
+
+Two scenarios are tracked, mirroring the paper:
+
+* **computational energy** (``idle = 0``): only processors executing a
+  job consume power; idle processors are free.  This isolates the
+  saving potential of frequency scaling and system enlarging.
+* **idle = low**: idle processors consume the idle power of the
+  :class:`~repro.power.model.PowerModel` (lowest gear, idle activity).
+
+Per-job active energy is accumulated as jobs complete; the idle
+component is integrated over the span from the first job submission to
+the last job completion at the end of the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.gears import Gear
+from repro.power.model import PowerModel
+
+__all__ = ["EnergyAccounting", "EnergyReport"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Immutable snapshot of a finished simulation's energy use.
+
+    Attributes
+    ----------
+    computational:
+        Sum over jobs of ``size * P_active(gear) * runtime`` — the
+        ``E_idle=0`` scenario of the paper.
+    idle:
+        Energy spent by idle processors over the accounting span in the
+        ``E_idle=low`` scenario.
+    total_idle_low:
+        ``computational + idle``.
+    busy_cpu_seconds:
+        CPU-seconds spent executing jobs.
+    idle_cpu_seconds:
+        CPU-seconds no job was using over the accounting span.
+    span:
+        Accounting interval length in seconds.
+    """
+
+    computational: float
+    idle: float
+    busy_cpu_seconds: float
+    idle_cpu_seconds: float
+    span: float
+
+    @property
+    def total_idle_low(self) -> float:
+        return self.computational + self.idle
+
+    def by_scenario(self, scenario: str) -> float:
+        """Energy under ``"idle0"`` (computational) or ``"idlelow"``."""
+        if scenario == "idle0":
+            return self.computational
+        if scenario == "idlelow":
+            return self.total_idle_low
+        raise ValueError(f"unknown energy scenario {scenario!r}; use 'idle0' or 'idlelow'")
+
+
+class EnergyAccounting:
+    """Accumulates job energies during a simulation run.
+
+    The simulator calls :meth:`add_job` whenever a job finishes and
+    :meth:`report` once at the end with the total number of processors
+    and the accounting span.
+    """
+
+    def __init__(self, model: PowerModel) -> None:
+        self._model = model
+        self._computational = 0.0
+        self._busy_cpu_seconds = 0.0
+        self._jobs = 0
+
+    @property
+    def model(self) -> PowerModel:
+        return self._model
+
+    @property
+    def jobs_accounted(self) -> int:
+        return self._jobs
+
+    def add_segment(self, gear: Gear, cpus: int, seconds: float) -> float:
+        """Account one constant-gear execution segment of a job.
+
+        Jobs re-geared mid-run (dynamic boost) are accounted as several
+        segments; call :meth:`count_job` once when the job completes.
+        """
+        energy = self._model.active_energy(gear, cpus, seconds)
+        self._computational += energy
+        self._busy_cpu_seconds += cpus * seconds
+        return energy
+
+    def count_job(self) -> None:
+        self._jobs += 1
+
+    def add_job(self, gear: Gear, cpus: int, seconds: float) -> float:
+        """Account one completed single-gear job; returns its active energy."""
+        energy = self.add_segment(gear, cpus, seconds)
+        self.count_job()
+        return energy
+
+    def report(self, total_cpus: int, span_start: float, span_end: float) -> EnergyReport:
+        """Close the books over ``[span_start, span_end]``.
+
+        ``span`` is clamped below at the busy-CPU-seconds floor: a
+        zero-length span with accounted jobs would otherwise produce a
+        negative idle time.
+        """
+        if total_cpus <= 0:
+            raise ValueError(f"total_cpus must be positive, got {total_cpus}")
+        if span_end < span_start:
+            raise ValueError(f"span_end {span_end} precedes span_start {span_start}")
+        span = span_end - span_start
+        idle_cpu_seconds = total_cpus * span - self._busy_cpu_seconds
+        if idle_cpu_seconds < 0.0:
+            # Tolerate float fuzz only; anything larger is an accounting bug.
+            if idle_cpu_seconds < -1e-6 * max(1.0, self._busy_cpu_seconds):
+                raise ValueError(
+                    "busy CPU-seconds exceed machine capacity over the span: "
+                    f"busy={self._busy_cpu_seconds}, capacity={total_cpus * span}"
+                )
+            idle_cpu_seconds = 0.0
+        return EnergyReport(
+            computational=self._computational,
+            idle=self._model.idle_energy(idle_cpu_seconds),
+            busy_cpu_seconds=self._busy_cpu_seconds,
+            idle_cpu_seconds=idle_cpu_seconds,
+            span=span,
+        )

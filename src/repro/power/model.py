@@ -1,0 +1,139 @@
+"""CPU power model: dynamic + static components (§4 of the paper).
+
+Dynamic power follows the classic CMOS switching equation
+
+    P_dynamic = A * C * f * V^2                      (Eq. 3)
+
+with activity factor ``A`` and total switched capacitance ``C``.  Static
+(leakage) power follows Butts & Sohi's linear-in-voltage model
+
+    P_static = alpha * V                             (Eq. 4)
+
+Calibration, copied from the paper:
+
+* all applications share one *running* activity factor; *idle* CPUs use
+  a 2.5x smaller activity factor,
+* ``alpha`` is chosen so that static power is a configurable share
+  (25% in the paper) of the total active power at the top gear,
+* an idle processor clocks at the *lowest* gear with the idle activity
+  factor, which with the paper's gear set works out to 21% of the power
+  of a processor running a job at the top gear (asserted in tests).
+
+Absolute units are arbitrary (``A*C`` is normalised to 1 for a running
+CPU); every reported energy is a ratio to a no-DVFS baseline, exactly as
+in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.gears import Gear, GearSet, PAPER_GEAR_SET
+
+__all__ = ["PowerModel", "PAPER_ACTIVITY_RATIO", "PAPER_STATIC_SHARE"]
+
+#: Running-to-idle activity factor ratio measured by Feng et al. / Kamil et al.
+PAPER_ACTIVITY_RATIO = 2.5
+#: Static share of total active power at the top gear (§4).
+PAPER_STATIC_SHARE = 0.25
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-processor power model over a :class:`~repro.core.gears.GearSet`.
+
+    Parameters
+    ----------
+    gears:
+        The machine's DVFS ladder; the top gear anchors the static-power
+        calibration and the lowest gear sets the idle operating point.
+    running_activity:
+        ``A*C`` product for a processor executing a job.  The absolute
+        value only fixes the (arbitrary) power unit.
+    activity_ratio:
+        How much more switching a running CPU does than an idle one.
+    static_share:
+        Fraction of *total* active power at the top gear contributed by
+        static power.  Must lie in ``[0, 1)``.
+    """
+
+    gears: GearSet = PAPER_GEAR_SET
+    running_activity: float = 1.0
+    activity_ratio: float = PAPER_ACTIVITY_RATIO
+    static_share: float = PAPER_STATIC_SHARE
+    alpha: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.running_activity <= 0.0:
+            raise ValueError(f"running_activity must be positive, got {self.running_activity}")
+        if self.activity_ratio < 1.0:
+            raise ValueError(
+                f"activity_ratio must be >= 1 (running busier than idle), got {self.activity_ratio}"
+            )
+        if not 0.0 <= self.static_share < 1.0:
+            raise ValueError(f"static_share must be in [0, 1), got {self.static_share}")
+        top = self.gears.top
+        dyn_top = self.running_activity * top.frequency * top.voltage**2
+        # static = share * (dyn + static)  =>  static = share/(1-share) * dyn
+        static_top = self.static_share / (1.0 - self.static_share) * dyn_top
+        object.__setattr__(self, "alpha", static_top / top.voltage)
+
+    # -- component powers -----------------------------------------------------
+    @property
+    def idle_activity(self) -> float:
+        return self.running_activity / self.activity_ratio
+
+    def dynamic_power(self, gear: Gear, running: bool = True) -> float:
+        """``A*C*f*V^2`` with the running or idle activity factor."""
+        activity = self.running_activity if running else self.idle_activity
+        return activity * gear.frequency * gear.voltage**2
+
+    def static_power(self, gear: Gear) -> float:
+        """``alpha * V`` leakage power at this gear's voltage."""
+        return self.alpha * gear.voltage
+
+    # -- operating-point powers -------------------------------------------------
+    def active_power(self, gear: Gear) -> float:
+        """Total power of a processor executing a job at ``gear``."""
+        return self.dynamic_power(gear, running=True) + self.static_power(gear)
+
+    def idle_power(self) -> float:
+        """Total power of an idle processor.
+
+        Idle CPUs run at the lowest gear with the idle activity factor
+        (§4 of the paper).
+        """
+        low = self.gears.lowest
+        return self.dynamic_power(low, running=False) + self.static_power(low)
+
+    def idle_fraction_of_top(self) -> float:
+        """Idle power as a fraction of active power at the top gear.
+
+        The paper reports 21% for its gear set; a unit test pins this.
+        """
+        return self.idle_power() / self.active_power(self.gears.top)
+
+    # -- energies ---------------------------------------------------------------
+    def active_energy(self, gear: Gear, cpus: int, seconds: float) -> float:
+        """Energy of ``cpus`` processors running a job at ``gear`` for ``seconds``."""
+        if cpus < 0:
+            raise ValueError(f"cpus must be non-negative, got {cpus}")
+        if seconds < 0.0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        return self.active_power(gear) * cpus * seconds
+
+    def idle_energy(self, cpu_seconds: float) -> float:
+        """Energy of idle processors accumulating ``cpu_seconds`` of idleness."""
+        if cpu_seconds < 0.0:
+            raise ValueError(f"cpu_seconds must be non-negative, got {cpu_seconds}")
+        return self.idle_power() * cpu_seconds
+
+    # -- summaries ----------------------------------------------------------------
+    def power_table(self) -> list[tuple[Gear, float, float, float]]:
+        """(gear, dynamic, static, total active) rows, ascending frequency."""
+        rows = []
+        for gear in self.gears:
+            dyn = self.dynamic_power(gear, running=True)
+            sta = self.static_power(gear)
+            rows.append((gear, dyn, sta, dyn + sta))
+        return rows

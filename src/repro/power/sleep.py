@@ -1,0 +1,173 @@
+"""Idle power management with sleep states (related-work comparator).
+
+The paper's §6 discusses the *other* school of HPC power management:
+powering down idle nodes (Lawson & Smirni; Hikita et al.; Pinheiro
+et al.) and deep idle states (Meisner's PowerNap).  This module
+implements that family as an energy post-processor so it can be
+compared — and combined — with the paper's DVFS policy:
+
+* an idle processor keeps burning :meth:`PowerModel.idle_power` until it
+  has been idle for ``sleep_after_seconds``;
+* it then drops to ``sleep_power_fraction`` of idle power (0 = perfect
+  PowerNap);
+* waking costs ``wake_energy_idle_seconds`` worth of idle energy
+  (amortised transition cost; Pinheiro et al. report tens of seconds of
+  transition for full shutdown, near-zero for PowerNap).
+
+Processors are anonymous, so idle intervals are reconstructed from the
+busy-CPU step series with the standard LIFO (stack) discipline: the
+processor idle the longest is the last to be re-engaged, which is the
+optimal assignment for maximising sleep time and is what a
+sleep-aware resource selector would implement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.model import PowerModel
+from repro.scheduling.result import SimulationResult
+
+__all__ = ["SleepStateConfig", "SleepEnergyReport", "sleep_energy", "busy_series"]
+
+
+@dataclass(frozen=True)
+class SleepStateConfig:
+    """Parameters of the idle-sleep policy."""
+
+    sleep_after_seconds: float = 300.0
+    sleep_power_fraction: float = 0.05
+    wake_energy_idle_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.sleep_after_seconds < 0.0:
+            raise ValueError(
+                f"sleep_after_seconds must be >= 0, got {self.sleep_after_seconds}"
+            )
+        if not 0.0 <= self.sleep_power_fraction <= 1.0:
+            raise ValueError(
+                f"sleep_power_fraction must be in [0, 1], got {self.sleep_power_fraction}"
+            )
+        if self.wake_energy_idle_seconds < 0.0:
+            raise ValueError(
+                f"wake_energy_idle_seconds must be >= 0, got {self.wake_energy_idle_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class SleepEnergyReport:
+    """Idle-side energy under a sleep policy (computational side unchanged)."""
+
+    idle_awake_cpu_seconds: float
+    asleep_cpu_seconds: float
+    wake_count: int
+    idle_energy: float  # total idle-side energy including transitions
+
+    @property
+    def sleep_fraction(self) -> float:
+        total = self.idle_awake_cpu_seconds + self.asleep_cpu_seconds
+        if total <= 0.0:
+            return 0.0
+        return self.asleep_cpu_seconds / total
+
+
+def busy_series(result: SimulationResult) -> list[tuple[float, int]]:
+    """The exact busy-CPU step function of a finished simulation.
+
+    Built from job start/finish times (no timeline recording needed):
+    returns ``[(time, busy_cpus), ...]`` with the count valid from each
+    time until the next entry.
+    """
+    events: dict[float, int] = {}
+    for outcome in result.outcomes:
+        events[outcome.start_time] = events.get(outcome.start_time, 0) + outcome.job.size
+        events[outcome.finish_time] = events.get(outcome.finish_time, 0) - outcome.job.size
+    busy = 0
+    series: list[tuple[float, int]] = []
+    for time in sorted(events):
+        busy += events[time]
+        if series and series[-1][0] == time:
+            series[-1] = (time, busy)
+        else:
+            series.append((time, busy))
+    if busy != 0:
+        raise ValueError(f"busy series does not return to zero (ends at {busy})")
+    return series
+
+
+def sleep_energy(
+    result: SimulationResult,
+    config: SleepStateConfig,
+    model: PowerModel | None = None,
+    span_start: float | None = None,
+    span_end: float | None = None,
+) -> SleepEnergyReport:
+    """Idle-side energy of ``result`` under the sleep policy.
+
+    Uses the LIFO idle-stack discipline: when ``busy`` rises by ``k``,
+    the ``k`` *most recently idled* processors wake; when it falls, the
+    freed processors join the top of the idle stack.  Each idle interval
+    of length ``L`` contributes ``min(L, T)`` awake idle seconds plus
+    ``max(L - T, 0)`` sleeping seconds (``T = sleep_after_seconds``) and
+    one wake transition if it slept.
+    """
+    model = model or PowerModel(gears=result.machine.gears)
+    series = busy_series(result)
+    if span_start is None:
+        span_start = min((o.job.submit_time for o in result.outcomes), default=0.0)
+    if span_end is None:
+        span_end = max((o.finish_time for o in result.outcomes), default=span_start)
+    if span_end < span_start:
+        raise ValueError(f"span_end {span_end} precedes span_start {span_start}")
+
+    total = result.machine.total_cpus
+    # idle stack: list of idle-since timestamps, most recent last.
+    idle_stack: list[float] = [span_start] * total
+    awake_idle = 0.0
+    asleep = 0.0
+    wakes = 0
+    threshold = config.sleep_after_seconds
+
+    def settle(idled_since: float, until: float) -> None:
+        nonlocal awake_idle, asleep, wakes
+        length = max(until - idled_since, 0.0)
+        if length > threshold:
+            awake_idle_part = threshold
+            asleep_part = length - threshold
+            wakes_here = 1
+        else:
+            awake_idle_part = length
+            asleep_part = 0.0
+            wakes_here = 0
+        awake_idle += awake_idle_part
+        asleep += asleep_part
+        wakes += wakes_here
+
+    previous_busy = 0
+    for time, busy in series:
+        if time > span_end:
+            break
+        if not 0 <= busy <= total:
+            raise ValueError(f"busy count {busy} outside machine bounds at t={time}")
+        delta = busy - previous_busy
+        if delta > 0:
+            for _ in range(delta):
+                settle(idle_stack.pop(), time)
+        elif delta < 0:
+            idle_stack.extend([time] * (-delta))
+        previous_busy = busy
+    for idled_since in idle_stack:
+        settle(idled_since, span_end)
+
+    idle_power = model.idle_power()
+    energy = (
+        awake_idle * idle_power
+        + asleep * idle_power * config.sleep_power_fraction
+        + wakes * config.wake_energy_idle_seconds * idle_power
+    )
+    return SleepEnergyReport(
+        idle_awake_cpu_seconds=awake_idle,
+        asleep_cpu_seconds=asleep,
+        wake_count=wakes,
+        idle_energy=energy,
+    )

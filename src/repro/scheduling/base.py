@@ -1,0 +1,366 @@
+"""Shared scheduler machinery: job lifecycle, bookkeeping, boost, results.
+
+Concrete policies (FCFS, EASY, conservative) subclass
+:class:`Scheduler` and implement a single hook, ``_schedule_pass``,
+invoked after every arrival and completion — the paper's "rescheduling
+of all queued jobs is done when a job finishes earlier than it has been
+expected" falls out of re-running the pass on each completion event.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_left, insort
+from collections import deque
+from dataclasses import dataclass
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.machine import Machine
+from repro.cluster.processors import ProcessorPool
+from repro.core.dynamic_boost import DynamicBoostConfig, boost_plan
+from repro.core.frequency_policy import FrequencyPolicy, SchedulingContext
+from repro.core.gears import Gear
+from repro.power.energy import EnergyAccounting
+from repro.power.model import PowerModel
+from repro.power.time_model import BetaTimeModel, DEFAULT_BETA
+from repro.scheduling.job import Job, JobOutcome, validate_jobs
+from repro.scheduling.result import SimulationResult, TimelinePoint
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.events import EventKind
+
+__all__ = ["Scheduler", "SchedulerConfig"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Cross-cutting simulation options.
+
+    Attributes
+    ----------
+    track_processor_ids:
+        Use explicit first-fit CPU identities (slower; identities do
+        not affect metrics on a flat machine, see DESIGN.md).
+    validate:
+        Enable per-pass invariant assertions (used heavily in tests).
+    boost:
+        Dynamic-boost extension configuration, or ``None`` to disable.
+    record_timeline:
+        Record a (time, queue length, busy CPUs) sample after every
+        event; needed only by timeline-style figures.
+    clamp_runtimes:
+        Clamp ``runtime`` to ``requested_time`` on ingest
+        (kill-at-limit semantics; keeps reservations conservative).
+    """
+
+    track_processor_ids: bool = False
+    validate: bool = False
+    boost: DynamicBoostConfig | None = None
+    record_timeline: bool = False
+    clamp_runtimes: bool = True
+
+
+class _RunningJob:
+    """Mutable state of a job in execution."""
+
+    __slots__ = (
+        "job",
+        "gear",
+        "first_gear",
+        "start",
+        "segment_start",
+        "energy",
+        "actual_end",
+        "estimated_end",
+        "finish_handle",
+        "ever_reduced",
+        "allocation",
+        "estimate_entry",
+    )
+
+    def __init__(self, job: Job, gear: Gear, start: float, allocation: Allocation) -> None:
+        self.job = job
+        self.gear = gear
+        self.first_gear = gear
+        self.start = start
+        self.segment_start = start
+        self.energy = 0.0
+        self.actual_end = start
+        self.estimated_end = start
+        self.finish_handle = None
+        self.ever_reduced = False
+        self.allocation = allocation
+        self.estimate_entry: tuple[float, int, int] | None = None
+
+
+class Scheduler(ABC):
+    """Base event-driven job scheduler over a DVFS machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        policy: FrequencyPolicy,
+        *,
+        beta: float = DEFAULT_BETA,
+        power_model: PowerModel | None = None,
+        config: SchedulerConfig | None = None,
+    ) -> None:
+        self._machine = machine
+        self._gears = machine.gears
+        self._policy = policy
+        self._time_model = BetaTimeModel.for_gear_set(machine.gears, beta)
+        policy.bind(machine.gears, self._time_model)
+        if power_model is not None and power_model.gears != machine.gears:
+            raise ValueError("power model and machine use different gear sets")
+        self._power_model = power_model or PowerModel(gears=machine.gears)
+        self._config = config or SchedulerConfig()
+
+        # Per-run state, initialised in run().
+        self._engine: Engine
+        self._pool: ProcessorPool
+        self._accounting: EnergyAccounting
+        self._queue: deque[Job]
+        self._running: dict[int, _RunningJob]
+        self._estimates: list[tuple[float, int, int]]  # (estimated_end, job_id, size)
+        self._outcomes: list[JobOutcome]
+        self._timeline: list[TimelinePoint]
+
+    # -- read-only views used by policies and tests -----------------------------
+    @property
+    def machine(self) -> Machine:
+        return self._machine
+
+    @property
+    def policy(self) -> FrequencyPolicy:
+        return self._policy
+
+    @property
+    def time_model(self) -> BetaTimeModel:
+        return self._time_model
+
+    @property
+    def power_model(self) -> PowerModel:
+        return self._power_model
+
+    @property
+    def config(self) -> SchedulerConfig:
+        return self._config
+
+    # -- the public entry point ----------------------------------------------------
+    def run(self, jobs: list[Job]) -> SimulationResult:
+        """Simulate ``jobs`` (sorted by submit time) to completion."""
+        if self._config.clamp_runtimes:
+            jobs = [job.clamped() for job in jobs]
+        validate_jobs(jobs, self._machine.total_cpus)
+
+        self._engine = Engine()
+        self._pool = ProcessorPool(
+            self._machine.total_cpus, track_ids=self._config.track_processor_ids
+        )
+        self._accounting = EnergyAccounting(self._power_model)
+        self._queue = deque()
+        self._running = {}
+        self._estimates = []
+        self._outcomes = []
+        self._timeline = []
+        self._trigger = "init"  # "arrival" | "finish": what fired the current pass
+        self._reset_pass_state()
+
+        self._engine.on(EventKind.JOB_ARRIVAL, self._on_arrival)
+        self._engine.on(EventKind.JOB_FINISH, self._on_finish)
+        for job in jobs:
+            self._engine.schedule(job.submit_time, EventKind.JOB_ARRIVAL, job)
+        self._engine.run(max_events=4 * len(jobs) + 64)
+
+        if len(self._outcomes) != len(jobs):
+            raise SimulationError(
+                f"{len(jobs) - len(self._outcomes)} of {len(jobs)} jobs never completed"
+            )
+        outcomes = tuple(sorted(self._outcomes, key=lambda o: o.job.job_id))
+        span_start = jobs[0].submit_time if jobs else 0.0
+        span_end = max((o.finish_time for o in outcomes), default=span_start)
+        report = self._accounting.report(self._machine.total_cpus, span_start, span_end)
+        return SimulationResult(
+            machine=self._machine,
+            policy=self._policy.describe(),
+            outcomes=outcomes,
+            energy=report,
+            events_processed=self._engine.events_processed,
+            timeline=tuple(self._timeline),
+        )
+
+    # -- event handlers ----------------------------------------------------------
+    def _on_arrival(self, now: float, job: Job) -> None:
+        self._queue.append(job)
+        self._trigger = "arrival"
+        self._run_pass(now)
+
+    def _on_finish(self, now: float, running: _RunningJob) -> None:
+        running.energy += self._accounting.add_segment(
+            running.gear, running.job.size, now - running.segment_start
+        )
+        self._accounting.count_job()
+        self._pool.release(running.allocation)
+        self._drop_estimate(running)
+        del self._running[running.job.job_id]
+        self._outcomes.append(
+            JobOutcome(
+                job=running.job,
+                start_time=running.start,
+                finish_time=now,
+                gear=running.first_gear,
+                penalized_runtime=now - running.start,
+                energy=running.energy,
+                was_reduced=running.ever_reduced,
+            )
+        )
+        self._trigger = "finish"
+        self._run_pass(now)
+
+    def _run_pass(self, now: float) -> None:
+        self._schedule_pass(now)
+        if self._maybe_boost(now):
+            # Boosting shortens running-job estimates, which can open new
+            # backfill windows; run one more pass (boost is then a no-op).
+            self._schedule_pass(now)
+        if self._config.validate:
+            self._check_invariants(now)
+        if self._config.record_timeline:
+            self._timeline.append(
+                TimelinePoint(time=now, queued_jobs=len(self._queue), busy_cpus=self._pool.busy_cpus)
+            )
+
+    # -- the policy hook -------------------------------------------------------------
+    @abstractmethod
+    def _schedule_pass(self, now: float) -> None:
+        """Start/reserve/backfill queued jobs at time ``now``."""
+
+    def _reset_pass_state(self) -> None:
+        """Hook for subclasses holding per-run scratch state."""
+
+    # -- shared mechanics ----------------------------------------------------------
+    def _start_heads(self, now: float) -> None:
+        """Launch queue heads while they fit (shared FCFS prefix of every pass)."""
+        while self._queue:
+            head = self._queue[0]
+            if not self._pool.fits(head.size):
+                break
+            ctx = SchedulingContext.with_fixed_wait(
+                now=now,
+                wait_time=now - head.submit_time,
+                wq_size=len(self._queue) - 1,
+                utilization=self._utilization(),
+                must_schedule=True,
+            )
+            gear = self._policy.select_gear(head, ctx)
+            if gear is None:
+                raise SimulationError(
+                    f"policy {self._policy.describe()} refused to schedule queue head "
+                    f"{head.job_id} (must_schedule contexts cannot be skipped)"
+                )
+            self._queue.popleft()
+            self._start_job(now, head, gear)
+
+    def _start_job(self, now: float, job: Job, gear: Gear) -> _RunningJob:
+        coefficient = self._time_model.coefficient(gear.frequency, job.beta)
+        allocation = self._pool.allocate(job.size)
+        running = _RunningJob(job, gear, now, allocation)
+        running.actual_end = now + job.runtime * coefficient
+        estimated = now + job.requested_time * coefficient
+        # Keep the reservation profile conservative even for unclamped traces.
+        running.estimated_end = max(estimated, running.actual_end)
+        running.ever_reduced = gear != self._gears.top
+        running.finish_handle = self._engine.schedule(
+            running.actual_end, EventKind.JOB_FINISH, running
+        )
+        entry = (running.estimated_end, job.job_id, job.size)
+        insort(self._estimates, entry)
+        running.estimate_entry = entry
+        self._running[job.job_id] = running
+        return running
+
+    def _drop_estimate(self, running: _RunningJob) -> None:
+        entry = running.estimate_entry
+        if entry is None:
+            raise SimulationError(f"job {running.job.job_id} has no estimate entry")
+        index = bisect_left(self._estimates, entry)
+        if index >= len(self._estimates) or self._estimates[index] != entry:
+            raise SimulationError(f"estimate entry for job {running.job.job_id} lost")
+        self._estimates.pop(index)
+        running.estimate_entry = None
+
+    def _maybe_boost(self, now: float) -> bool:
+        boost = self._config.boost
+        if boost is None or not boost.should_boost(len(self._queue)):
+            return False
+        top = self._gears.top
+        boosted = False
+        for running in self._running.values():
+            if running.gear == top:
+                continue
+            plan = boost_plan(
+                now=now,
+                current_gear=running.gear,
+                gears=self._gears,
+                time_model=self._time_model,
+                beta=running.job.beta,
+                actual_end=running.actual_end,
+                estimated_end=running.estimated_end,
+                config=boost,
+            )
+            if plan is None:
+                continue
+            new_actual, new_estimated = plan
+            self._switch_gear(running, top, now, new_actual, new_estimated)
+            boosted = True
+        return boosted
+
+    def _switch_gear(
+        self,
+        running: _RunningJob,
+        gear: Gear,
+        now: float,
+        new_actual_end: float,
+        new_estimated_end: float,
+    ) -> None:
+        running.energy += self._accounting.add_segment(
+            running.gear, running.job.size, now - running.segment_start
+        )
+        running.segment_start = now
+        running.gear = gear
+        self._engine.cancel(running.finish_handle)
+        running.finish_handle = self._engine.schedule(
+            new_actual_end, EventKind.JOB_FINISH, running
+        )
+        running.actual_end = new_actual_end
+        self._drop_estimate(running)
+        running.estimated_end = new_estimated_end
+        entry = (new_estimated_end, running.job.job_id, running.job.size)
+        insort(self._estimates, entry)
+        running.estimate_entry = entry
+
+    def _utilization(self) -> float:
+        return self._pool.busy_cpus / self._pool.total_cpus
+
+    # -- validation -----------------------------------------------------------------
+    def _check_invariants(self, now: float) -> None:
+        busy = sum(r.job.size for r in self._running.values())
+        if busy != self._pool.busy_cpus:
+            raise SimulationError(
+                f"CPU accounting drift at t={now}: running jobs hold {busy} CPUs "
+                f"but the pool reports {self._pool.busy_cpus}"
+            )
+        if not 0 <= self._pool.free_cpus <= self._pool.total_cpus:
+            raise SimulationError(f"free CPU count out of range: {self._pool.free_cpus}")
+        if len(self._estimates) != len(self._running):
+            raise SimulationError(
+                f"estimate list ({len(self._estimates)}) out of sync with "
+                f"running set ({len(self._running)})"
+            )
+        for running in self._running.values():
+            if running.estimated_end + 1e-9 < running.actual_end:
+                raise SimulationError(
+                    f"job {running.job.job_id} estimate precedes its actual end"
+                )
+        submits = [job.submit_time for job in self._queue]
+        if submits != sorted(submits):
+            raise SimulationError("wait queue lost FCFS order")

@@ -1,0 +1,135 @@
+"""EASY backfilling with pluggable frequency assignment (paper §2).
+
+EASY (Mu'alem & Feitelson) runs jobs in FCFS order, gives the queue
+head a reservation at the earliest time enough processors free up, and
+*backfills* later arrivals into the gaps provided they cannot delay the
+head.  The power-aware variant of the paper is this scheduler with a
+:class:`~repro.core.frequency_policy.BsldThresholdPolicy` plugged in:
+``MakeJobReservation`` corresponds to the head path below and
+``BackfillJob`` to the backfill scan.
+
+The implementation exploits a structural fact: with only running jobs
+holding processors, the free-CPU profile is *non-decreasing in time*,
+so the head's earliest start ``t_res`` does not depend on its duration
+and the classic O(1) backfill admission test is exact:
+
+    size <= free_now  AND  (now + duration <= t_res  OR  size <= extra)
+
+where ``extra`` is the number of processors left over at ``t_res`` once
+the head has its share.  A slow profile-based reference implementation
+(:mod:`repro.scheduling.reference`) cross-validates this scheduler in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+from repro.core.frequency_policy import SchedulingContext
+from repro.core.gears import Gear
+from repro.scheduling.base import Scheduler
+from repro.scheduling.job import Job
+from repro.sim.engine import SimulationError
+
+__all__ = ["EasyBackfilling"]
+
+
+class EasyBackfilling(Scheduler):
+    """EASY backfilling; the paper's baseline and power-aware scheduler."""
+
+    def _reset_pass_state(self) -> None:
+        self._reservation_watch: tuple[int, float] | None = None
+
+    def _schedule_pass(self, now: float) -> None:
+        self._start_heads(now)
+        if not self._queue:
+            self._reservation_watch = None
+            return
+        head = self._queue[0]
+        t_res, extra = self._head_reservation(head)
+        if self.config.validate:
+            self._watch_reservation(head, t_res)
+        if len(self._queue) > 1:
+            self._backfill_scan(now, head, t_res, extra)
+
+    # -- reservation --------------------------------------------------------------
+    def _head_reservation(self, head: Job) -> tuple[float, int]:
+        """Earliest start ``t_res`` for the head, and the spare CPUs then.
+
+        Walks running jobs in order of their *estimated* (requested-time
+        based) completions, accumulating freed processors until the head
+        fits.  All completions sharing the crossing timestamp count
+        towards ``extra``.
+        """
+        free = self._pool.free_cpus
+        if free >= head.size:
+            raise SimulationError(
+                f"reservation requested for head {head.job_id} that already fits"
+            )
+        estimates = self._estimates
+        t_res: float | None = None
+        index = 0
+        for index, (end, _job_id, size) in enumerate(estimates):
+            free += size
+            if free >= head.size:
+                t_res = end
+                break
+        if t_res is None:
+            raise SimulationError(
+                f"head {head.job_id} (size {head.size}) cannot fit even on the "
+                f"drained machine; trace validation should have caught this"
+            )
+        for end, _job_id, size in islice(estimates, index + 1, None):
+            if end != t_res:
+                break
+            free += size
+        return t_res, free - head.size
+
+    def _watch_reservation(self, head: Job, t_res: float) -> None:
+        """Validate the EASY guarantee: a head's reservation never slips."""
+        watch = self._reservation_watch
+        if watch is not None and watch[0] == head.job_id and t_res > watch[1] + 1e-9:
+            raise SimulationError(
+                f"EASY guarantee violated: head {head.job_id} reservation moved "
+                f"from {watch[1]} to {t_res}"
+            )
+        self._reservation_watch = (head.job_id, t_res)
+
+    # -- backfilling -----------------------------------------------------------------
+    def _backfill_scan(self, now: float, head: Job, t_res: float, extra: int) -> None:
+        for job in list(islice(self._queue, 1, len(self._queue))):
+            free_now = self._pool.free_cpus
+            if free_now == 0:
+                break
+            if job.size > free_now:
+                continue
+            gear = self._policy.select_gear(
+                job,
+                SchedulingContext.with_fixed_wait(
+                    now=now,
+                    wait_time=now - job.submit_time,
+                    wq_size=len(self._queue) - 1,
+                    utilization=self._utilization(),
+                    must_schedule=False,
+                    feasible=self._backfill_test(job, now, t_res, extra),
+                ),
+            )
+            if gear is None:
+                continue
+            self._queue.remove(job)
+            self._start_job(now, job, gear)
+            # The new running job changes the estimate profile; recompute.
+            t_res, extra = self._head_reservation(head)
+
+    def _backfill_test(self, job: Job, now: float, t_res: float, extra: int):
+        """The O(1) admission test at a given gear (see module docstring)."""
+
+        def feasible(gear: Gear) -> bool:
+            if job.size > self._pool.free_cpus:
+                return False
+            duration = job.requested_time * self._time_model.coefficient(
+                gear.frequency, job.beta
+            )
+            return now + duration <= t_res or job.size <= extra
+
+        return feasible

@@ -1,0 +1,90 @@
+"""Export simulation outcomes for external analysis.
+
+``outcomes_to_csv`` writes one row per job with everything a downstream
+notebook needs (waits, gears, BSLD, energy); ``result_summary_row``
+flattens a whole run into one record for sweep dataframes.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Mapping
+
+from repro.metrics.bsld import BSLD_THRESHOLD_SECONDS
+from repro.scheduling.result import SimulationResult
+
+__all__ = ["outcomes_to_csv", "result_summary_row"]
+
+_FIELDS = (
+    "job_id",
+    "submit_time",
+    "size",
+    "runtime",
+    "requested_time",
+    "beta",
+    "start_time",
+    "finish_time",
+    "wait_time",
+    "penalized_runtime",
+    "frequency_ghz",
+    "voltage",
+    "was_reduced",
+    "bsld",
+    "energy",
+)
+
+
+def outcomes_to_csv(
+    result: SimulationResult,
+    path: str | os.PathLike[str],
+    *,
+    bsld_threshold: float = BSLD_THRESHOLD_SECONDS,
+) -> int:
+    """Write per-job rows to ``path``; returns the number of rows."""
+    with open(path, "w", encoding="utf-8", newline="") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(_FIELDS)
+        for outcome in result.outcomes:
+            job = outcome.job
+            writer.writerow(
+                [
+                    job.job_id,
+                    f"{job.submit_time:.6f}",
+                    job.size,
+                    f"{job.runtime:.6f}",
+                    f"{job.requested_time:.6f}",
+                    "" if job.beta is None else f"{job.beta:.4f}",
+                    f"{outcome.start_time:.6f}",
+                    f"{outcome.finish_time:.6f}",
+                    f"{outcome.wait_time:.6f}",
+                    f"{outcome.penalized_runtime:.6f}",
+                    f"{outcome.gear.frequency:g}",
+                    f"{outcome.gear.voltage:g}",
+                    int(outcome.was_reduced),
+                    f"{outcome.bsld(bsld_threshold):.6f}",
+                    f"{outcome.energy:.6f}",
+                ]
+            )
+    return len(result.outcomes)
+
+
+def result_summary_row(result: SimulationResult) -> Mapping[str, float | int | str]:
+    """One flat record summarising a run (for sweep tabulation)."""
+    return {
+        "machine": result.machine.name,
+        "total_cpus": result.machine.total_cpus,
+        "policy": result.policy,
+        "jobs": result.job_count,
+        "avg_bsld": result.average_bsld(),
+        "avg_wait": result.average_wait(),
+        "reduced_jobs": result.reduced_jobs,
+        "energy_idle0": result.energy.computational,
+        "energy_idlelow": result.energy.total_idle_low,
+        "busy_cpu_seconds": result.energy.busy_cpu_seconds,
+        "idle_cpu_seconds": result.energy.idle_cpu_seconds,
+        "span": result.energy.span,
+        "utilization": result.utilization,
+        "makespan": result.makespan,
+        "events": result.events_processed,
+    }

@@ -1,0 +1,19 @@
+"""Strict first-come-first-served scheduling (no backfilling).
+
+The sanity baseline: jobs start in submission order only.  Useful for
+quantifying how much of EASY's performance comes from backfilling and
+as a lower bound in policy-comparison ablations.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.base import Scheduler
+
+__all__ = ["FcfsScheduler"]
+
+
+class FcfsScheduler(Scheduler):
+    """Start queue heads while they fit; never look past the head."""
+
+    def _schedule_pass(self, now: float) -> None:
+        self._start_heads(now)

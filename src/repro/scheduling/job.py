@@ -1,0 +1,151 @@
+"""Job model: trace-side :class:`Job` and simulation-side :class:`JobOutcome`.
+
+A :class:`Job` is the immutable description read from a workload trace
+(SWF record or synthetic generator).  All times are seconds relative to
+the trace origin; ``runtime`` and ``requested_time`` are *nominal*, i.e.
+measured at the machine's top frequency — the β time model stretches
+them when a lower gear is assigned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
+
+from repro.metrics.bsld import BSLD_THRESHOLD_SECONDS, bounded_slowdown
+
+if TYPE_CHECKING:  # imported for annotations only; avoids package cycles
+    from repro.core.gears import Gear
+
+__all__ = ["Job", "JobOutcome", "validate_jobs"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One rigid parallel job from a workload trace.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier within the trace (SWF job number).
+    submit_time:
+        Arrival time in seconds from trace origin.
+    runtime:
+        Actual execution time at the top frequency, in seconds.
+    requested_time:
+        The user's runtime estimate (backfilling relies on it); jobs are
+        assumed killed at this limit, so ``runtime <= requested_time``
+        after normalisation.
+    size:
+        Number of processors (rigid allocation).
+    user_id / group_id / executable:
+        Optional SWF metadata (``-1`` = unknown).
+    beta:
+        Optional per-job CPU-boundedness for the β time model;
+        ``None`` means "use the simulation's global β".
+    """
+
+    job_id: int
+    submit_time: float
+    runtime: float
+    requested_time: float
+    size: int
+    user_id: int = -1
+    group_id: int = -1
+    executable: int = -1
+    beta: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.submit_time < 0.0:
+            raise ValueError(f"job {self.job_id}: negative submit time {self.submit_time}")
+        if self.runtime < 0.0:
+            raise ValueError(f"job {self.job_id}: negative runtime {self.runtime}")
+        if self.requested_time <= 0.0:
+            raise ValueError(
+                f"job {self.job_id}: requested_time must be positive, got {self.requested_time}"
+            )
+        if self.size <= 0:
+            raise ValueError(f"job {self.job_id}: size must be positive, got {self.size}")
+        if self.beta is not None and not 0.0 <= self.beta <= 1.0:
+            raise ValueError(f"job {self.job_id}: beta must be in [0, 1], got {self.beta}")
+
+    def clamped(self) -> "Job":
+        """Copy with ``runtime`` clamped to ``requested_time`` (kill-at-limit)."""
+        if self.runtime <= self.requested_time:
+            return self
+        return replace(self, runtime=self.requested_time)
+
+    def with_beta(self, beta: float) -> "Job":
+        return replace(self, beta=beta)
+
+    @property
+    def area(self) -> float:
+        """CPU-seconds of work at the top frequency (``size * runtime``)."""
+        return self.size * self.runtime
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """What the simulation decided and observed for one job."""
+
+    job: Job
+    start_time: float
+    finish_time: float
+    gear: Gear
+    penalized_runtime: float
+    energy: float
+    was_reduced: bool
+
+    def __post_init__(self) -> None:
+        if self.start_time < self.job.submit_time - 1e-9:
+            raise ValueError(
+                f"job {self.job.job_id} started at {self.start_time} "
+                f"before submission {self.job.submit_time}"
+            )
+        if self.finish_time < self.start_time - 1e-9:
+            raise ValueError(
+                f"job {self.job.job_id} finished at {self.finish_time} "
+                f"before starting at {self.start_time}"
+            )
+
+    @property
+    def wait_time(self) -> float:
+        return self.start_time - self.job.submit_time
+
+    def bsld(self, threshold: float = BSLD_THRESHOLD_SECONDS) -> float:
+        """Eq. (6): penalised runtime in the numerator, nominal in the bound."""
+        return bounded_slowdown(
+            wait_time=self.wait_time,
+            runtime=self.job.runtime,
+            penalized_runtime=self.penalized_runtime,
+            threshold=threshold,
+        )
+
+    @property
+    def slowdown_factor(self) -> float:
+        """``Coef(f)`` actually experienced (1.0 when not reduced)."""
+        if self.job.runtime == 0.0:
+            return 1.0
+        return self.penalized_runtime / self.job.runtime
+
+
+def validate_jobs(jobs: Sequence[Job], total_cpus: int) -> None:
+    """Reject traces no schedule could ever run on ``total_cpus`` CPUs."""
+    if total_cpus <= 0:
+        raise ValueError(f"machine must have at least one CPU, got {total_cpus}")
+    seen: set[int] = set()
+    previous_submit = 0.0
+    for job in jobs:
+        if job.job_id in seen:
+            raise ValueError(f"duplicate job id {job.job_id} in trace")
+        seen.add(job.job_id)
+        if job.size > total_cpus:
+            raise ValueError(
+                f"job {job.job_id} needs {job.size} CPUs but the machine has {total_cpus}"
+            )
+        if job.submit_time < previous_submit:
+            raise ValueError(
+                f"jobs not sorted by submit time at job {job.job_id} "
+                f"({job.submit_time} < {previous_submit})"
+            )
+        previous_submit = job.submit_time

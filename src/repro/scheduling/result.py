@@ -1,0 +1,98 @@
+"""The immutable record a scheduler run produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.machine import Machine
+from repro.core.gears import Gear
+from repro.metrics.aggregates import mean
+from repro.metrics.bsld import BSLD_THRESHOLD_SECONDS
+from repro.power.energy import EnergyReport
+from repro.scheduling.job import JobOutcome
+
+__all__ = ["SimulationResult", "TimelinePoint"]
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """Machine state sampled after one simulation event."""
+
+    time: float
+    queued_jobs: int
+    busy_cpus: int
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything measured during one simulation run.
+
+    ``outcomes`` is ordered by job id, so paired runs of the same trace
+    under different policies can be compared job-by-job (Figure 6 of
+    the paper does exactly this for wait times).
+    """
+
+    machine: Machine
+    policy: str
+    outcomes: tuple[JobOutcome, ...]
+    energy: EnergyReport
+    events_processed: int
+    timeline: tuple[TimelinePoint, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        ids = [o.job.job_id for o in self.outcomes]
+        if ids != sorted(ids):
+            raise ValueError("outcomes must be ordered by job id")
+
+    # -- headline metrics ------------------------------------------------------
+    @property
+    def job_count(self) -> int:
+        return len(self.outcomes)
+
+    def average_bsld(self, threshold: float = BSLD_THRESHOLD_SECONDS) -> float:
+        """BSLD averaged over all simulated jobs (the paper's Figure 5 metric)."""
+        return mean([o.bsld(threshold) for o in self.outcomes])
+
+    def average_wait(self) -> float:
+        """Mean wait time in seconds (the paper's Table 3 metric)."""
+        return mean([o.wait_time for o in self.outcomes])
+
+    @property
+    def reduced_jobs(self) -> int:
+        """Jobs run at a frequency below Ftop (the paper's Figure 4 metric)."""
+        return sum(1 for o in self.outcomes if o.was_reduced)
+
+    def gear_histogram(self) -> dict[Gear, int]:
+        histogram: dict[Gear, int] = {}
+        for outcome in self.outcomes:
+            histogram[outcome.gear] = histogram.get(outcome.gear, 0) + 1
+        return histogram
+
+    @property
+    def makespan(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return max(o.finish_time for o in self.outcomes)
+
+    @property
+    def utilization(self) -> float:
+        """Busy CPU-seconds over machine capacity across the accounting span."""
+        capacity = self.machine.total_cpus * self.energy.span
+        if capacity <= 0.0:
+            return 0.0
+        return self.energy.busy_cpu_seconds / capacity
+
+    # -- per-job series -----------------------------------------------------------
+    def wait_times(self) -> list[float]:
+        """Per-job wait times ordered by job id (Figure 6's series)."""
+        return [o.wait_time for o in self.outcomes]
+
+    def bslds(self, threshold: float = BSLD_THRESHOLD_SECONDS) -> list[float]:
+        return [o.bsld(threshold) for o in self.outcomes]
+
+    def describe(self) -> str:
+        return (
+            f"{self.machine.name}: {self.job_count} jobs under {self.policy}; "
+            f"avg BSLD {self.average_bsld():.2f}, avg wait {self.average_wait():.0f}s, "
+            f"{self.reduced_jobs} reduced jobs, utilization {self.utilization:.1%}"
+        )

@@ -1,0 +1,15 @@
+"""Discrete-event simulation engine (the Alvio substitute)."""
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.events import EventHandle, EventKind, EventQueue
+from repro.sim.rng import RngStreams, substream
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "EventKind",
+    "EventQueue",
+    "RngStreams",
+    "SimulationError",
+    "substream",
+]

@@ -1,0 +1,94 @@
+"""The discrete-event engine driving every simulation.
+
+The engine owns the clock and the event queue and dispatches events to
+registered handlers.  It is deliberately tiny and generic: all
+scheduling knowledge lives in the scheduler classes, which register one
+handler per :class:`~repro.sim.events.EventKind`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.events import EventHandle, EventKind, EventQueue
+
+__all__ = ["Engine", "SimulationError"]
+
+Handler = Callable[[float, Any], None]
+
+
+class SimulationError(RuntimeError):
+    """An internal inconsistency detected while simulating."""
+
+
+class Engine:
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._handlers: dict[EventKind, Handler] = {}
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    # -- clock & stats ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # -- wiring ------------------------------------------------------------------
+    def on(self, kind: EventKind, handler: Handler) -> None:
+        """Register the handler for ``kind`` (exactly one per kind)."""
+        if kind in self._handlers:
+            raise ValueError(f"a handler for {kind.name} is already registered")
+        self._handlers[kind] = handler
+
+    def schedule(self, time: float, kind: EventKind, payload: Any = None) -> EventHandle:
+        """Queue an event; scheduling into the past is a simulation bug."""
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"attempt to schedule a {kind.name} event at {time} "
+                f"before the current time {self._now}"
+            )
+        return self._queue.push(max(time, self._now), kind, payload)
+
+    def cancel(self, handle: EventHandle) -> None:
+        self._queue.cancel(handle)
+
+    # -- main loop -------------------------------------------------------------------
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Process events until the queue drains (or a bound is hit).
+
+        ``until`` stops the clock after the last event at or before that
+        time; ``max_events`` guards against runaway simulations.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                if until is not None and self._queue.peek_time() > until:
+                    break
+                if max_events is not None and self._events_processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded the {max_events}-event budget at t={self._now}"
+                    )
+                event = self._queue.pop()
+                if event.time < self._now - 1e-9:
+                    raise SimulationError(
+                        f"time went backwards: {self._now} -> {event.time}"
+                    )
+                self._now = max(self._now, event.time)
+                handler = self._handlers.get(event.kind)
+                if handler is None:
+                    raise SimulationError(f"no handler registered for {event.kind.name}")
+                handler(self._now, event.payload)
+                self._events_processed += 1
+        finally:
+            self._running = False

@@ -1,0 +1,83 @@
+"""Event types and the cancellable priority event queue.
+
+Ordering at equal timestamps follows classic job-scheduler-simulator
+convention: job completions are processed before arrivals so that a job
+arriving at time ``t`` sees the processors freed at ``t``.  Ties beyond
+``(time, kind)`` break by insertion order, keeping runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any
+
+__all__ = ["EventKind", "EventHandle", "EventQueue"]
+
+
+class EventKind(IntEnum):
+    """Event categories; smaller values win ties at equal times."""
+
+    JOB_FINISH = 0
+    JOB_ARRIVAL = 1
+    CONTROL = 2
+
+
+@dataclass
+class EventHandle:
+    """A scheduled event; keep it to :meth:`EventQueue.cancel` it later."""
+
+    time: float
+    kind: EventKind
+    payload: Any
+    seq: int
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Min-heap of events with O(1) lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, EventHandle]] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> EventHandle:
+        if time != time:  # NaN guard
+            raise ValueError("event time is NaN")
+        handle = EventHandle(time=time, kind=kind, payload=payload, seq=self._seq)
+        heapq.heappush(self._heap, (time, int(kind), self._seq, handle))
+        self._seq += 1
+        self._live += 1
+        return handle
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Mark an event dead; it will be skipped when popped."""
+        if not handle.cancelled:
+            handle.cancelled = True
+            self._live -= 1
+
+    def pop(self) -> EventHandle:
+        """Remove and return the earliest live event."""
+        while self._heap:
+            _, _, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._live -= 1
+            return handle
+        raise IndexError("pop from an empty event queue")
+
+    def peek_time(self) -> float:
+        """Timestamp of the earliest live event."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            raise IndexError("peek into an empty event queue")
+        return self._heap[0][0]

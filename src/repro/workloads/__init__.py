@@ -1,0 +1,49 @@
+"""Workloads: SWF ingestion, synthetic PWA-style generators, cleaning."""
+
+from repro.workloads.cleaning import FlurryFilter, remove_flurries
+from repro.workloads.generator import generate_workload, load_workload
+from repro.workloads.models import (
+    ArrivalModel,
+    EstimateModel,
+    PAPER_BASELINE_BSLD,
+    RuntimeClass,
+    SizeModel,
+    TRACE_MODELS,
+    TraceModel,
+    WORKLOAD_NAMES,
+    trace_model,
+)
+from repro.workloads.segment import (
+    busiest_segment,
+    rebase_times,
+    segment_load,
+    select_segment,
+)
+from repro.workloads.stats import WorkloadStats, workload_stats
+from repro.workloads.swf import SwfError, SwfHeader, read_swf, write_swf
+
+__all__ = [
+    "ArrivalModel",
+    "EstimateModel",
+    "FlurryFilter",
+    "PAPER_BASELINE_BSLD",
+    "RuntimeClass",
+    "SizeModel",
+    "SwfError",
+    "SwfHeader",
+    "TRACE_MODELS",
+    "TraceModel",
+    "WORKLOAD_NAMES",
+    "WorkloadStats",
+    "busiest_segment",
+    "generate_workload",
+    "load_workload",
+    "read_swf",
+    "rebase_times",
+    "remove_flurries",
+    "segment_load",
+    "select_segment",
+    "trace_model",
+    "workload_stats",
+    "write_swf",
+]

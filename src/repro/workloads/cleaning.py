@@ -1,0 +1,82 @@
+"""Trace cleaning: flurry removal in the spirit of the PWA cleaned logs.
+
+The paper simulates *cleaned* archive traces: "a cleaned trace does not
+contain flurries of activity by individual users which may not be
+representative of normal usage."  When ingesting raw SWF logs this
+module provides the analogous filter: bursts of many near-identical
+submissions by one user are thinned to a representative sample.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.scheduling.job import Job
+
+__all__ = ["FlurryFilter", "remove_flurries"]
+
+
+@dataclass(frozen=True)
+class FlurryFilter:
+    """Parameters of the flurry heuristic.
+
+    A *flurry* is more than ``max_burst`` jobs from the same user inside
+    a sliding ``window_seconds`` window whose sizes and runtimes are
+    each within ``similarity`` relative tolerance of the burst's first
+    job.  From every detected flurry only each ``keep_every``-th job
+    survives.
+    """
+
+    window_seconds: float = 3600.0
+    max_burst: int = 20
+    similarity: float = 0.2
+    keep_every: int = 10
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0.0:
+            raise ValueError(f"window_seconds must be positive, got {self.window_seconds}")
+        if self.max_burst < 1:
+            raise ValueError(f"max_burst must be >= 1, got {self.max_burst}")
+        if not 0.0 <= self.similarity <= 1.0:
+            raise ValueError(f"similarity must be in [0, 1], got {self.similarity}")
+        if self.keep_every < 1:
+            raise ValueError(f"keep_every must be >= 1, got {self.keep_every}")
+
+    def similar(self, a: Job, b: Job) -> bool:
+        def close(x: float, y: float) -> bool:
+            scale = max(abs(x), abs(y), 1.0)
+            return abs(x - y) <= self.similarity * scale
+
+        return a.size == b.size and close(a.runtime, b.runtime)
+
+
+def remove_flurries(jobs: Sequence[Job], config: FlurryFilter | None = None) -> list[Job]:
+    """Return ``jobs`` with per-user flurries thinned (order preserved).
+
+    Jobs with unknown users (``user_id < 0``) are never treated as
+    flurries — there is no identity to attribute the burst to.
+    """
+    config = config or FlurryFilter()
+    recent: dict[int, deque[Job]] = {}
+    burst_position: dict[int, int] = {}
+    kept: list[Job] = []
+    for job in jobs:
+        if job.user_id < 0:
+            kept.append(job)
+            continue
+        window = recent.setdefault(job.user_id, deque())
+        while window and job.submit_time - window[0].submit_time > config.window_seconds:
+            window.popleft()
+        similar_count = sum(1 for other in window if config.similar(job, other))
+        window.append(job)
+        if similar_count >= config.max_burst:
+            position = burst_position.get(job.user_id, 0)
+            burst_position[job.user_id] = position + 1
+            if position % config.keep_every != 0:
+                continue
+        else:
+            burst_position[job.user_id] = 0
+        kept.append(job)
+    return kept

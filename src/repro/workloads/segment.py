@@ -1,0 +1,99 @@
+"""Trace segment selection (the paper's §3.2 methodology).
+
+The paper simulates 5000-job *segments* of much longer archive logs
+(e.g. "jobs 20K-25K" of CTC), chosen "so that they do not have many
+jobs removed".  These helpers reproduce that workflow for users feeding
+real SWF logs into the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.scheduling.job import Job
+
+__all__ = ["select_segment", "rebase_times", "busiest_segment", "segment_load"]
+
+
+def rebase_times(jobs: Sequence[Job]) -> list[Job]:
+    """Shift submit times so the first job arrives at t=0."""
+    if not jobs:
+        return []
+    origin = min(job.submit_time for job in jobs)
+    if origin == 0.0:
+        return list(jobs)
+    return [replace(job, submit_time=job.submit_time - origin) for job in jobs]
+
+
+def select_segment(
+    jobs: Sequence[Job],
+    start_index: int,
+    count: int,
+    *,
+    rebase: bool = True,
+    renumber: bool = False,
+) -> list[Job]:
+    """Jobs ``start_index .. start_index + count`` of a longer trace.
+
+    ``rebase`` shifts submit times to start at zero (the simulator does
+    not require it but normalised spans compare more easily);
+    ``renumber`` rewrites job ids to ``1..count`` (useful when merging
+    segments from different logs).
+    """
+    if start_index < 0:
+        raise ValueError(f"start_index must be >= 0, got {start_index}")
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if start_index + count > len(jobs):
+        raise ValueError(
+            f"segment [{start_index}, {start_index + count}) exceeds the "
+            f"{len(jobs)}-job trace"
+        )
+    segment = list(jobs[start_index : start_index + count])
+    if rebase:
+        segment = rebase_times(segment)
+    if renumber:
+        segment = [replace(job, job_id=index + 1) for index, job in enumerate(segment)]
+    return segment
+
+
+def segment_load(jobs: Sequence[Job], total_cpus: int) -> float:
+    """Offered load (CPU-seconds per capacity-second) over the segment span."""
+    if not jobs:
+        raise ValueError("empty segment")
+    if total_cpus <= 0:
+        raise ValueError(f"total_cpus must be positive, got {total_cpus}")
+    span = max(job.submit_time for job in jobs) - min(job.submit_time for job in jobs)
+    if span <= 0.0:
+        return float("inf")
+    return sum(job.area for job in jobs) / (span * total_cpus)
+
+
+def busiest_segment(
+    jobs: Sequence[Job],
+    count: int,
+    total_cpus: int,
+    *,
+    stride: int | None = None,
+) -> tuple[int, list[Job]]:
+    """The ``count``-job window with the highest offered load.
+
+    Returns ``(start_index, segment)``; the segment is rebased.  The
+    scan uses ``stride`` (default ``count // 10``) between candidate
+    windows, which is plenty for the smooth load profiles of real logs.
+    """
+    if count > len(jobs):
+        raise ValueError(f"trace has {len(jobs)} jobs, cannot take {count}")
+    step = stride if stride is not None else max(count // 10, 1)
+    if step <= 0:
+        raise ValueError(f"stride must be positive, got {stride}")
+    best_index = 0
+    best_load = -1.0
+    for start in range(0, len(jobs) - count + 1, step):
+        window = jobs[start : start + count]
+        load = segment_load(window, total_cpus)
+        if load > best_load:
+            best_load = load
+            best_index = start
+    return best_index, select_segment(jobs, best_index, count)

@@ -1,0 +1,70 @@
+"""Descriptive statistics of a workload (used by reports and tests)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.metrics.aggregates import Summary, summarize
+from repro.scheduling.job import Job
+
+__all__ = ["WorkloadStats", "workload_stats"]
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    jobs: int
+    serial_fraction: float
+    total_area: float
+    span: float
+    offered_load_per_cpu: float | None
+    sizes: Summary
+    runtimes: Summary
+    requests: Summary
+    overestimation: Summary  # requested_time / runtime, runtime > 0 only
+
+    def render(self) -> str:
+        lines = [
+            f"jobs: {self.jobs}",
+            f"serial fraction: {self.serial_fraction:.1%}",
+            f"span: {self.span / 3600.0:.1f} h",
+        ]
+        if self.offered_load_per_cpu is not None:
+            lines.append(f"offered load: {self.offered_load_per_cpu:.2f} of capacity")
+        for label, summary in (
+            ("size", self.sizes),
+            ("runtime [s]", self.runtimes),
+            ("request [s]", self.requests),
+            ("overestimation x", self.overestimation),
+        ):
+            lines.append(
+                f"{label}: mean {summary['mean']:.1f}, p50 {summary['p50']:.1f}, "
+                f"p90 {summary['p90']:.1f}, max {summary['max']:.1f}"
+            )
+        return "\n".join(lines)
+
+
+def workload_stats(jobs: Sequence[Job], total_cpus: int | None = None) -> WorkloadStats:
+    """Compute summary statistics; ``total_cpus`` enables the load figure."""
+    if not jobs:
+        raise ValueError("cannot summarise an empty workload")
+    sizes = [float(job.size) for job in jobs]
+    runtimes = [job.runtime for job in jobs]
+    requests = [job.requested_time for job in jobs]
+    ratios = [job.requested_time / job.runtime for job in jobs if job.runtime > 0.0]
+    span = max(job.submit_time for job in jobs) - min(job.submit_time for job in jobs)
+    area = sum(job.area for job in jobs)
+    load = None
+    if total_cpus is not None and span > 0.0:
+        load = area / (span * total_cpus)
+    return WorkloadStats(
+        jobs=len(jobs),
+        serial_fraction=sum(1 for job in jobs if job.size == 1) / len(jobs),
+        total_area=area,
+        span=span,
+        offered_load_per_cpu=load,
+        sizes=summarize(sizes),
+        runtimes=summarize(runtimes),
+        requests=summarize(requests),
+        overestimation=summarize(ratios) if ratios else summarize([1.0]),
+    )

@@ -1,0 +1,54 @@
+"""Unit tests for the machine description."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.core.gears import PAPER_GEAR_SET, single_gear_set
+
+
+class TestMachine:
+    def test_defaults_to_paper_gears(self):
+        machine = Machine("CTC", 430)
+        assert machine.gears == PAPER_GEAR_SET
+        assert machine.top_frequency == 2.3
+
+    def test_rejects_empty_machine(self):
+        with pytest.raises(ValueError, match="CPU"):
+            Machine("m", 0)
+
+    def test_custom_gears(self):
+        machine = Machine("m", 4, gears=single_gear_set(1.0, 1.0))
+        assert machine.top_frequency == 1.0
+
+
+class TestScaling:
+    def test_paper_factors(self):
+        machine = Machine("SDSC", 128)
+        assert machine.scaled(1.2).total_cpus == 154  # round(153.6)
+        assert machine.scaled(1.5).total_cpus == 192
+        assert machine.scaled(2.25).total_cpus == 288
+
+    def test_identity_scale_keeps_name(self):
+        machine = Machine("CTC", 430)
+        assert machine.scaled(1.0).name == "CTC"
+        assert machine.scaled(1.0).total_cpus == 430
+
+    def test_scaled_name_suffix(self):
+        assert Machine("CTC", 430).scaled(1.5).name == "CTCx1.5"
+
+    def test_gears_preserved(self):
+        machine = Machine("m", 10, gears=single_gear_set())
+        assert machine.scaled(2.0).gears == machine.gears
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError, match="factor"):
+            Machine("m", 10).scaled(0.0)
+        with pytest.raises(ValueError, match="factor"):
+            Machine("m", 10).scaled(-1.5)
+
+    def test_rejects_vanishing_machine(self):
+        with pytest.raises(ValueError, match="CPU"):
+            Machine("m", 1).scaled(0.2)
+
+    def test_shrinking_allowed(self):
+        assert Machine("m", 100).scaled(0.5).total_cpus == 50

@@ -1,0 +1,130 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.cluster.machine import Machine
+from repro.core.gears import PAPER_GEAR_SET
+from repro.scheduling.job import Job
+
+# One shared hypothesis profile: scheduler property tests run whole
+# simulations per example, so keep the example count moderate and the
+# deadline off (simulation time varies with the drawn workload).
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """An 8-CPU machine with the paper gear set."""
+    return Machine("test", total_cpus=8, gears=PAPER_GEAR_SET)
+
+
+@pytest.fixture
+def medium_machine() -> Machine:
+    return Machine("test", total_cpus=64, gears=PAPER_GEAR_SET)
+
+
+def make_job(
+    job_id: int = 1,
+    submit: float = 0.0,
+    runtime: float = 1000.0,
+    requested: float | None = None,
+    size: int = 1,
+    beta: float | None = None,
+) -> Job:
+    """Concise job constructor for hand-built scheduling scenarios."""
+    return Job(
+        job_id=job_id,
+        submit_time=submit,
+        runtime=runtime,
+        requested_time=requested if requested is not None else max(runtime, 1.0),
+        size=size,
+        beta=beta,
+    )
+
+
+def random_workload(
+    seed: int,
+    n_jobs: int,
+    max_cpus: int,
+    *,
+    mean_gap: float = 300.0,
+    max_runtime: float = 5000.0,
+) -> list[Job]:
+    """A small random-but-reproducible workload for invariant tests."""
+    rng = random.Random(seed)
+    clock = 0.0
+    jobs = []
+    for index in range(n_jobs):
+        clock += rng.expovariate(1.0 / mean_gap)
+        runtime = rng.uniform(1.0, max_runtime)
+        requested = runtime * rng.uniform(1.0, 5.0)
+        jobs.append(
+            Job(
+                job_id=index + 1,
+                submit_time=clock,
+                runtime=runtime,
+                requested_time=requested,
+                size=rng.randint(1, max_cpus),
+            )
+        )
+    return jobs
+
+
+# -- hypothesis strategies shared across test modules -------------------------
+
+job_ids = st.integers(min_value=1, max_value=10**6)
+small_floats = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def job_strategy(draw, max_size: int = 16):
+    submit = draw(st.floats(min_value=0.0, max_value=1e5, allow_nan=False))
+    runtime = draw(st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+    over = draw(st.floats(min_value=1.0, max_value=10.0, allow_nan=False))
+    requested = max(runtime * over, 1.0)
+    return Job(
+        job_id=draw(job_ids),
+        submit_time=submit,
+        runtime=runtime,
+        requested_time=requested,
+        size=draw(st.integers(min_value=1, max_value=max_size)),
+    )
+
+
+@st.composite
+def workload_strategy(draw, max_jobs: int = 25, max_cpus: int = 8):
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=3000.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    jobs = []
+    clock = 0.0
+    for index, gap in enumerate(gaps):
+        clock += gap
+        runtime = draw(st.floats(min_value=0.0, max_value=4000.0, allow_nan=False))
+        over = draw(st.floats(min_value=1.0, max_value=6.0, allow_nan=False))
+        jobs.append(
+            Job(
+                job_id=index + 1,
+                submit_time=clock,
+                runtime=runtime,
+                requested_time=max(runtime * over, 1.0),
+                size=draw(st.integers(min_value=1, max_value=max_cpus)),
+            )
+        )
+    return jobs

@@ -1,0 +1,183 @@
+"""Unit tests for the frequency-assignment policies (Figures 1-2 logic)."""
+
+import pytest
+
+from repro.core.frequency_policy import (
+    BsldThresholdPolicy,
+    FixedGearPolicy,
+    NO_WQ_LIMIT,
+    SchedulingContext,
+)
+from repro.core.gears import PAPER_GEAR_SET
+from repro.power.time_model import BetaTimeModel
+from tests.conftest import make_job
+
+TIME_MODEL = BetaTimeModel.for_gear_set(PAPER_GEAR_SET)
+
+
+def bind(policy):
+    policy.bind(PAPER_GEAR_SET, TIME_MODEL)
+    return policy
+
+
+def ctx(wait=0.0, wq=0, must=True, feasible=None, util=0.5):
+    return SchedulingContext.with_fixed_wait(
+        now=0.0,
+        wait_time=wait,
+        wq_size=wq,
+        utilization=util,
+        must_schedule=must,
+        feasible=feasible or (lambda gear: True),
+    )
+
+
+class TestFixedGearPolicy:
+    def test_defaults_to_top(self):
+        policy = bind(FixedGearPolicy())
+        assert policy.select_gear(make_job(), ctx()) == PAPER_GEAR_SET.top
+        assert not policy.applies_dvfs
+        assert policy.describe() == "FixedGear(top)"
+
+    def test_pinned_gear(self):
+        policy = bind(FixedGearPolicy(0.8))
+        assert policy.select_gear(make_job(), ctx()) == PAPER_GEAR_SET.lowest
+        assert policy.applies_dvfs
+
+    def test_unknown_frequency_raises_at_bind(self):
+        with pytest.raises(KeyError):
+            bind(FixedGearPolicy(1.75))
+
+    def test_infeasible_returns_none(self):
+        policy = bind(FixedGearPolicy())
+        assert policy.select_gear(make_job(), ctx(feasible=lambda g: False)) is None
+
+
+class TestBsldThresholdSelection:
+    def test_zero_wait_long_request_picks_lowest_passing_gear(self):
+        # pred = Coef(f) for RQ >= 600 at zero wait.
+        job = make_job(runtime=5000.0, requested=5000.0)
+        assert bind(BsldThresholdPolicy(2.0, None)).select_gear(job, ctx()).frequency == 0.8
+        assert bind(BsldThresholdPolicy(1.5, None)).select_gear(job, ctx()).frequency == 1.4
+        assert bind(BsldThresholdPolicy(1.2, None)).select_gear(job, ctx()).frequency == 1.7
+
+    def test_short_request_always_lowest(self):
+        # RQ=300 < 600: pred = max(300*Coef/600, 1) = 1 < any threshold.
+        job = make_job(runtime=300.0, requested=300.0)
+        policy = bind(BsldThresholdPolicy(1.5, None))
+        assert policy.select_gear(job, ctx()).frequency == 0.8
+
+    def test_large_wait_forces_top_for_head(self):
+        job = make_job(runtime=1000.0, requested=1000.0)
+        policy = bind(BsldThresholdPolicy(2.0, None))
+        # wait 10000s: pred at top = 11 > 2, but the head must schedule.
+        gear = policy.select_gear(job, ctx(wait=10000.0, must=True))
+        assert gear == PAPER_GEAR_SET.top
+
+    def test_large_wait_backfill_allowed_at_top_by_default(self):
+        job = make_job(runtime=1000.0, requested=1000.0)
+        policy = bind(BsldThresholdPolicy(2.0, None))
+        gear = policy.select_gear(job, ctx(wait=10000.0, must=False))
+        assert gear == PAPER_GEAR_SET.top  # relaxed Figure-2 reading
+
+    def test_strict_mode_blocks_top_backfill(self):
+        job = make_job(runtime=1000.0, requested=1000.0)
+        policy = bind(BsldThresholdPolicy(2.0, None, strict_top_backfill=True))
+        assert policy.select_gear(job, ctx(wait=10000.0, must=False)) is None
+
+    def test_strict_mode_still_schedules_heads(self):
+        job = make_job(runtime=1000.0, requested=1000.0)
+        policy = bind(BsldThresholdPolicy(2.0, None, strict_top_backfill=True))
+        assert policy.select_gear(job, ctx(wait=10000.0, must=True)) == PAPER_GEAR_SET.top
+
+
+class TestWqThreshold:
+    def test_wq_over_threshold_goes_top(self):
+        job = make_job(runtime=5000.0, requested=5000.0)
+        policy = bind(BsldThresholdPolicy(3.0, wq_threshold=4))
+        assert policy.select_gear(job, ctx(wq=5)).frequency == 2.3
+        assert policy.select_gear(job, ctx(wq=4)).frequency == 0.8
+
+    def test_wq_zero_semantics(self):
+        """WQ threshold 0 still reduces when no *other* job waits."""
+        job = make_job(runtime=5000.0, requested=5000.0)
+        policy = bind(BsldThresholdPolicy(2.0, wq_threshold=0))
+        assert policy.select_gear(job, ctx(wq=0)).frequency == 0.8
+        assert policy.select_gear(job, ctx(wq=1)).frequency == 2.3
+
+    def test_no_limit(self):
+        job = make_job(runtime=5000.0, requested=5000.0)
+        policy = bind(BsldThresholdPolicy(2.0, NO_WQ_LIMIT))
+        assert policy.select_gear(job, ctx(wq=10**6)).frequency == 0.8
+
+
+class TestFeasibility:
+    def test_infeasible_low_gears_skipped(self):
+        job = make_job(runtime=5000.0, requested=5000.0)
+        policy = bind(BsldThresholdPolicy(2.0, None))
+        gear = policy.select_gear(job, ctx(feasible=lambda g: g.frequency >= 1.4))
+        # 1.4 GHz is feasible and pred = Coef(1.4) = 1.32 < 2.
+        assert gear.frequency == pytest.approx(1.4)
+
+    def test_nothing_feasible_backfill_returns_none(self):
+        job = make_job(runtime=5000.0, requested=5000.0)
+        policy = bind(BsldThresholdPolicy(2.0, None))
+        assert policy.select_gear(job, ctx(feasible=lambda g: False, must=False)) is None
+
+    def test_nothing_feasible_head_still_returns_top(self):
+        """Heads fall back to Ftop even if the feasibility probe objects;
+        EASY's reservation for the head cannot be skipped."""
+        job = make_job(runtime=5000.0, requested=5000.0)
+        policy = bind(BsldThresholdPolicy(2.0, None))
+        assert policy.select_gear(job, ctx(feasible=lambda g: False, must=True)) == PAPER_GEAR_SET.top
+
+
+class TestPredict:
+    def test_matches_formula(self):
+        policy = bind(BsldThresholdPolicy(2.0, None))
+        job = make_job(runtime=1000.0, requested=1200.0)
+        low = PAPER_GEAR_SET.lowest
+        expected = (600.0 + 1200.0 * 1.9375) / 1200.0
+        assert policy.predict(job, low, wait_time=600.0) == pytest.approx(expected)
+
+    def test_honours_per_job_beta(self):
+        policy = bind(BsldThresholdPolicy(2.0, None))
+        cpu_bound = make_job(runtime=5000.0, requested=5000.0, beta=1.0)
+        mem_bound = make_job(runtime=5000.0, requested=5000.0, beta=0.0)
+        low = PAPER_GEAR_SET.lowest
+        assert policy.predict(cpu_bound, low, 0.0) == pytest.approx(2.3 / 0.8)
+        assert policy.predict(mem_bound, low, 0.0) == pytest.approx(1.0)
+
+    def test_per_job_beta_changes_selection(self):
+        policy = bind(BsldThresholdPolicy(1.5, None))
+        mem_bound = make_job(runtime=5000.0, requested=5000.0, beta=0.1)
+        assert policy.select_gear(mem_bound, ctx()).frequency == 0.8
+
+
+class TestValidation:
+    def test_threshold_below_one_rejected(self):
+        with pytest.raises(ValueError, match="bsld_threshold"):
+            BsldThresholdPolicy(0.9, None)
+
+    def test_negative_wq_rejected(self):
+        with pytest.raises(ValueError, match="wq_threshold"):
+            BsldThresholdPolicy(2.0, -1)
+
+    def test_describe(self):
+        assert BsldThresholdPolicy(2.0, 4).describe() == "BSLDthreshold=2, WQthreshold=4"
+        assert "NO" in BsldThresholdPolicy(2.0, None).describe()
+        assert "strict" in BsldThresholdPolicy(2.0, None, strict_top_backfill=True).describe()
+
+    def test_gear_dependent_wait_context(self):
+        """SchedulingContext supports per-gear wait times (conservative BF)."""
+        policy = bind(BsldThresholdPolicy(1.5, None))
+        job = make_job(runtime=5000.0, requested=5000.0)
+        # Lower gears imply huge waits; only 2.0 GHz sees a zero wait.
+        context = SchedulingContext(
+            now=0.0,
+            wait_time_for=lambda gear: 0.0 if gear.frequency >= 2.0 else 1e6,
+            wq_size=0,
+            utilization=0.0,
+            must_schedule=True,
+            feasible=lambda gear: True,
+        )
+        assert policy.select_gear(job, context).frequency == pytest.approx(2.0)

@@ -1,0 +1,128 @@
+"""Unit tests for DVFS gears and gear sets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.gears import Gear, GearSet, PAPER_GEAR_SET, single_gear_set
+
+
+class TestGear:
+    def test_fields(self):
+        gear = Gear(2.3, 1.5)
+        assert gear.frequency == 2.3
+        assert gear.voltage == 1.5
+
+    def test_orders_by_frequency(self):
+        assert Gear(0.8, 1.0) < Gear(1.1, 1.1)
+
+    def test_equality_and_hash(self):
+        assert Gear(1.4, 1.2) == Gear(1.4, 1.2)
+        assert hash(Gear(1.4, 1.2)) == hash(Gear(1.4, 1.2))
+
+    @pytest.mark.parametrize("frequency", [0.0, -1.0])
+    def test_rejects_bad_frequency(self, frequency):
+        with pytest.raises(ValueError, match="frequency"):
+            Gear(frequency, 1.0)
+
+    @pytest.mark.parametrize("voltage", [0.0, -0.5])
+    def test_rejects_bad_voltage(self, voltage):
+        with pytest.raises(ValueError, match="voltage"):
+            Gear(1.0, voltage)
+
+
+class TestGearSet:
+    def test_sorts_ascending(self):
+        gears = GearSet([Gear(2.3, 1.5), Gear(0.8, 1.0)])
+        assert gears.frequencies == (0.8, 2.3)
+
+    def test_lowest_and_top(self):
+        assert PAPER_GEAR_SET.lowest.frequency == 0.8
+        assert PAPER_GEAR_SET.top.frequency == 2.3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            GearSet([])
+
+    def test_rejects_duplicate_frequencies(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            GearSet([Gear(1.0, 1.0), Gear(1.0, 1.2)])
+
+    def test_rejects_non_monotone_voltage(self):
+        with pytest.raises(ValueError, match="voltage"):
+            GearSet([Gear(1.0, 1.2), Gear(2.0, 1.0)])
+
+    def test_len_iter_getitem_contains(self):
+        assert len(PAPER_GEAR_SET) == 6
+        assert list(PAPER_GEAR_SET)[0] == PAPER_GEAR_SET[0]
+        assert Gear(1.4, 1.2) in PAPER_GEAR_SET
+        assert Gear(9.9, 9.9) not in PAPER_GEAR_SET
+
+    def test_equality_and_hash(self):
+        clone = GearSet(list(PAPER_GEAR_SET))
+        assert clone == PAPER_GEAR_SET
+        assert hash(clone) == hash(PAPER_GEAR_SET)
+        assert PAPER_GEAR_SET != single_gear_set()
+        assert PAPER_GEAR_SET.__eq__(42) is NotImplemented
+
+    def test_ascending_descending(self):
+        ascending = PAPER_GEAR_SET.ascending()
+        assert list(ascending) == sorted(ascending)
+        assert PAPER_GEAR_SET.descending() == tuple(reversed(ascending))
+
+    def test_by_frequency(self):
+        assert PAPER_GEAR_SET.by_frequency(1.7) == Gear(1.7, 1.3)
+        with pytest.raises(KeyError):
+            PAPER_GEAR_SET.by_frequency(1.75)
+
+    def test_index(self):
+        assert PAPER_GEAR_SET.index(PAPER_GEAR_SET.lowest) == 0
+        assert PAPER_GEAR_SET.index(PAPER_GEAR_SET.top) == 5
+
+    def test_at_or_above(self):
+        upper = PAPER_GEAR_SET.at_or_above(1.7)
+        assert [g.frequency for g in upper] == [1.7, 2.0, 2.3]
+        assert PAPER_GEAR_SET.at_or_above(0.0) == PAPER_GEAR_SET.ascending()
+
+    def test_voltages(self):
+        assert PAPER_GEAR_SET.voltages == (1.0, 1.1, 1.2, 1.3, 1.4, 1.5)
+
+
+class TestPaperGearSet:
+    """Table 2 of the paper is a constant; pin it exactly."""
+
+    def test_exact_table2(self):
+        expected = [(0.8, 1.0), (1.1, 1.1), (1.4, 1.2), (1.7, 1.3), (2.0, 1.4), (2.3, 1.5)]
+        assert [(g.frequency, g.voltage) for g in PAPER_GEAR_SET] == expected
+
+
+class TestSingleGearSet:
+    def test_default_matches_paper_top(self):
+        assert single_gear_set().top == PAPER_GEAR_SET.top
+        assert len(single_gear_set()) == 1
+
+    def test_custom(self):
+        gears = single_gear_set(1.0, 1.1)
+        assert gears.lowest == gears.top == Gear(1.0, 1.1)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+            st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_gearset_construction_property(pairs):
+    """Any frequency-unique, voltage-monotone ladder constructs and sorts."""
+    pairs = sorted(set((f, v) for f, v in pairs))
+    # force voltage monotone by sorting voltages to match frequencies
+    freqs = sorted({f for f, _ in pairs})
+    volts = sorted(v for _, v in pairs)[: len(freqs)]
+    while len(volts) < len(freqs):
+        volts.append(volts[-1] + 0.01)
+    gears = GearSet([Gear(f, v) for f, v in zip(freqs, volts)])
+    assert gears.frequencies == tuple(freqs)
+    assert gears.lowest.frequency <= gears.top.frequency

@@ -1,0 +1,98 @@
+"""Integration tests for the ablation studies (small traces)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    beta_sweep,
+    gear_ladder_ablation,
+    policy_comparison,
+    static_share_sweep,
+    strict_backfill_comparison,
+)
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(n_jobs=100)
+
+
+class TestBetaSweep:
+    def test_beta_zero_reduces_everything_for_free(self, runner):
+        sweep = beta_sweep(runner, workload="LLNLThunder", betas=(0.0, 1.0))
+        by_beta = {row[0]: row for row in sweep.rows}
+        # beta=0: no time penalty, all jobs reduced, max energy saving.
+        assert by_beta[0.0][3] >= by_beta[1.0][3]
+        assert by_beta[0.0][1] <= by_beta[1.0][1] + 1e-9
+
+    def test_energy_ratio_bounds(self, runner):
+        sweep = beta_sweep(runner, workload="CTC", betas=(0.0, 0.5))
+        for _, energy, bsld, reduced in sweep.rows:
+            assert 0.0 < energy <= 1.0 + 1e-9
+            assert bsld >= 1.0
+        assert "beta sensitivity" in sweep.render()
+
+
+class TestStaticShareSweep:
+    def test_more_static_power_less_relative_saving(self, runner):
+        """Static power scales only with V (not f*V^2), so a larger
+        static share damps the relative benefit of down-clocking."""
+        sweep = static_share_sweep(runner, workload="LLNLThunder", shares=(0.0, 0.5))
+        by_share = {row[0]: row for row in sweep.rows}
+        assert by_share[0.5][1] >= by_share[0.0][1] - 1e-9
+        assert "static power share" in sweep.render()
+
+
+class TestStrictBackfill:
+    def test_three_variants(self, runner):
+        comparison = strict_backfill_comparison(runner, workload="SDSC")
+        labels = [row[0] for row in comparison.rows]
+        assert labels == ["no-DVFS", "relaxed (default)", "strict (literal)"]
+
+    def test_strict_never_waits_less(self, runner):
+        comparison = strict_backfill_comparison(runner, workload="SDSC")
+        by_label = {row[0]: row for row in comparison.rows}
+        # strict mode blocks Ftop backfills -> waits cannot improve
+        assert by_label["strict (literal)"][2] >= by_label["relaxed (default)"][2] - 1e-6
+        assert "Figure-2" in comparison.render()
+
+
+class TestPolicyComparison:
+    def test_rows_present(self, runner):
+        comparison = policy_comparison(runner, workload="CTC", n_jobs=100)
+        labels = [row[0] for row in comparison.rows]
+        assert "EASY no-DVFS" in labels
+        assert "FCFS no-DVFS" in labels
+        assert "Conservative DVFS(2,NO)" in labels
+        assert any("boost" in label for label in labels)
+
+    def test_fcfs_worst_or_equal_wait(self, runner):
+        comparison = policy_comparison(runner, workload="CTC", n_jobs=100)
+        by_label = {row[0]: row for row in comparison.rows}
+        assert by_label["FCFS no-DVFS"][2] >= by_label["EASY no-DVFS"][2] - 1e-6
+
+    def test_boost_between_plain_extremes(self, runner):
+        comparison = policy_comparison(runner, workload="CTC", n_jobs=100)
+        by_label = {row[0]: row for row in comparison.rows}
+        plain = by_label["EASY DVFS(2,NO)"]
+        boosted = by_label["EASY DVFS(2,NO)+boost4"]
+        assert boosted[2] <= plain[2] + 1e-6  # boost can only cut waits
+        assert "policy comparison" in comparison.render()
+
+
+class TestGearLadder:
+    def test_ladder_rows(self, runner):
+        ablation = gear_ladder_ablation(runner, workload="SDSCBlue")
+        assert len(ablation.rows) == 3
+        for _, energy, bsld, reduced in ablation.rows:
+            assert energy > 0.0
+            assert bsld >= 1.0
+            assert reduced >= 0
+        assert "gear-set granularity" in ablation.render()
+
+    def test_upper_half_ladder_saves_less_than_full(self, runner):
+        ablation = gear_ladder_ablation(runner, workload="LLNLThunder")
+        by_label = {row[0]: row for row in ablation.rows}
+        full = by_label["full paper ladder"][1]
+        upper = by_label["upper half {1.7, 2.0, 2.3}"][1]
+        assert upper >= full - 1e-9  # fewer/shallower gears -> less saving

@@ -1,0 +1,81 @@
+"""Unit/integration tests for the system-dimensioning advisor."""
+
+import pytest
+
+from repro.experiments.advisor import recommend_system_size
+from repro.experiments.config import PolicySpec
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(n_jobs=150)
+
+
+class TestRecommendation:
+    def test_chooses_sla_satisfying_candidate(self, runner):
+        recommendation = recommend_system_size(
+            runner, "SDSC", sla_bsld=8.0, size_factors=(1.0, 1.5, 2.0)
+        )
+        assert recommendation.sla_feasible
+        assert recommendation.chosen.meets_sla
+        assert recommendation.chosen.avg_bsld <= 8.0
+
+    def test_unsatisfiable_sla_returns_none(self, runner):
+        recommendation = recommend_system_size(
+            runner, "SDSC", sla_bsld=1.0001, size_factors=(1.0,)
+        )
+        assert not recommendation.sla_feasible
+        assert recommendation.chosen is None
+        assert "No evaluated size satisfies" in recommendation.render()
+
+    def test_loose_sla_minimises_energy(self, runner):
+        """With every candidate feasible, the idle=low objective picks
+        the energy minimum, not just the smallest machine."""
+        recommendation = recommend_system_size(
+            runner, "LLNLThunder", sla_bsld=100.0, size_factors=(1.0, 1.5, 2.0)
+        )
+        assert recommendation.sla_feasible
+        energies = {c.size_factor: c.energy_idlelow for c in recommendation.candidates}
+        assert recommendation.chosen.energy_idlelow == min(energies.values())
+
+    def test_idle0_objective(self, runner):
+        recommendation = recommend_system_size(
+            runner, "LLNLThunder", sla_bsld=100.0, size_factors=(1.0, 1.5),
+            objective="idle0",
+        )
+        feasible = [c for c in recommendation.candidates if c.meets_sla]
+        assert recommendation.chosen.energy_idle0 == min(c.energy_idle0 for c in feasible)
+
+    def test_custom_policy(self, runner):
+        recommendation = recommend_system_size(
+            runner, "CTC", sla_bsld=50.0,
+            policy=PolicySpec.power_aware(1.5, 0), size_factors=(1.0,),
+        )
+        assert "DVFS(1.5,0)" in recommendation.render()
+
+    def test_candidates_cover_all_factors(self, runner):
+        recommendation = recommend_system_size(
+            runner, "CTC", sla_bsld=50.0, size_factors=(1.0, 1.2, 1.5)
+        )
+        assert [c.size_factor for c in recommendation.candidates] == [1.0, 1.2, 1.5]
+
+    def test_validation(self, runner):
+        with pytest.raises(ValueError, match="unsatisfiable"):
+            recommend_system_size(runner, "CTC", sla_bsld=0.5)
+        with pytest.raises(ValueError, match="objective"):
+            recommend_system_size(runner, "CTC", sla_bsld=2.0, objective="both")
+
+    def test_render_marks_chosen(self, runner):
+        recommendation = recommend_system_size(
+            runner, "SDSC", sla_bsld=8.0, size_factors=(1.0, 2.0)
+        )
+        assert "<- chosen" in recommendation.render()
+
+    def test_cli_advise(self, capsys):
+        from repro.cli import main
+
+        code = main(["--jobs", "80", "advise", "LLNLThunder", "--sla-bsld", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Dimensioning LLNLThunder" in out

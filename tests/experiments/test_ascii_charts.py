@@ -1,0 +1,90 @@
+"""Unit tests for terminal chart rendering."""
+
+import pytest
+
+from repro.experiments.ascii_charts import bar_chart, format_table, line_plot, _downsample
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 20.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "1.500" in text
+        assert "20.250" in text
+
+    def test_large_floats_rounded(self):
+        text = format_table(["v"], [[12345.678]])
+        assert "12346" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_string_cells_left_aligned(self):
+        text = format_table(["w", "x"], [["abc", 1.0], ["defgh", 2.0]])
+        lines = text.splitlines()
+        assert lines[2].startswith("abc ")
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title_and_values(self):
+        text = bar_chart(["x"], [0.5], title="chart")
+        assert text.startswith("chart")
+        assert "0.500" in text
+
+    def test_explicit_vmax(self):
+        text = bar_chart(["x"], [1.0], width=10, vmax=2.0)
+        assert text.count("#") == 5
+
+    def test_empty(self):
+        assert bar_chart([], [], title="t") == "t"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="same length"):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_values_clamped(self):
+        text = bar_chart(["a", "b"], [-1.0, 1.0], width=10)
+        assert text.splitlines()[0].count("#") == 0
+
+
+class TestLinePlot:
+    def test_two_series_with_legend(self):
+        text = line_plot({"one": [0, 1, 2, 3], "two": [3, 2, 1, 0]}, width=20, height=6)
+        assert "*=one" in text
+        assert "o=two" in text
+        assert "+" + "-" * 20 in text
+
+    def test_title(self):
+        assert line_plot({"s": [1.0]}, title="wait").startswith("wait")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="series"):
+            line_plot({})
+        with pytest.raises(ValueError, match="non-empty"):
+            line_plot({"s": []})
+
+    def test_constant_series(self):
+        text = line_plot({"flat": [5.0] * 10}, width=10, height=4)
+        assert "*" in text
+
+
+class TestDownsample:
+    def test_short_series_padded(self):
+        assert _downsample([1.0, 2.0], 4) == [1.0, 2.0, 2.0, 2.0]
+
+    def test_long_series_averaged(self):
+        out = _downsample([0.0, 2.0, 4.0, 6.0], 2)
+        assert out == [1.0, 5.0]
+
+    def test_exact_width(self):
+        assert _downsample([1.0, 2.0, 3.0], 3) == [1.0, 2.0, 3.0]

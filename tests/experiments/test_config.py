@@ -1,0 +1,108 @@
+"""Unit tests for experiment descriptors."""
+
+import pytest
+
+from repro.core.frequency_policy import BsldThresholdPolicy, FixedGearPolicy
+from repro.core.util_policy import UtilizationTriggeredPolicy
+from repro.experiments.config import (
+    BSLD_THRESHOLDS,
+    PolicySpec,
+    RunSpec,
+    SIZE_FACTORS,
+    WQ_THRESHOLDS,
+    wq_label,
+)
+
+
+class TestPaperGrids:
+    def test_threshold_grid_matches_paper(self):
+        assert BSLD_THRESHOLDS == (1.5, 2.0, 3.0)
+        assert WQ_THRESHOLDS == (0, 4, 16, None)
+
+    def test_size_factors_match_paper(self):
+        assert SIZE_FACTORS == (1.0, 1.1, 1.2, 1.5, 1.75, 2.0, 2.25)
+
+    def test_wq_label(self):
+        assert wq_label(None) == "NO"
+        assert wq_label(0) == "0"
+        assert wq_label(16) == "16"
+
+
+class TestPolicySpec:
+    def test_baseline_builds_fixed_top(self):
+        policy = PolicySpec.baseline().build()
+        assert isinstance(policy, FixedGearPolicy)
+        assert not policy.applies_dvfs
+
+    def test_power_aware_builds_bsld_policy(self):
+        spec = PolicySpec.power_aware(2.0, 4)
+        policy = spec.build()
+        assert isinstance(policy, BsldThresholdPolicy)
+        assert policy.bsld_threshold == 2.0
+        assert policy.wq_threshold == 4
+
+    def test_util_kind(self):
+        assert isinstance(PolicySpec(kind="util").build(), UtilizationTriggeredPolicy)
+
+    def test_fixed_kind_requires_frequency(self):
+        with pytest.raises(ValueError, match="fixed_frequency"):
+            PolicySpec(kind="fixed")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown policy kind"):
+            PolicySpec(kind="magic")
+
+    def test_boost_config(self):
+        assert PolicySpec.baseline().boost_config() is None
+        spec = PolicySpec.power_aware(2.0, None, boost_trigger=4)
+        assert spec.boost_config().wq_trigger == 4
+
+    def test_labels(self):
+        assert PolicySpec.baseline().label() == "NoDVFS"
+        assert PolicySpec.power_aware(2.0, None).label() == "DVFS(2,NO)"
+        assert PolicySpec.power_aware(1.5, 4).label() == "DVFS(1.5,4)"
+        assert "strict" in PolicySpec.power_aware(2.0, 0, strict_top_backfill=True).label()
+        assert "boost" in PolicySpec.power_aware(2.0, 0, boost_trigger=2).label()
+        assert PolicySpec(kind="fixed", fixed_frequency=0.8).label() == "Fixed0.8GHz"
+        assert PolicySpec(kind="util").label() == "UtilTrigger"
+
+    def test_hashable_for_caching(self):
+        a = PolicySpec.power_aware(2.0, 4)
+        b = PolicySpec.power_aware(2.0, 4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestRunSpec:
+    def test_defaults(self):
+        spec = RunSpec(workload="CTC")
+        assert spec.n_jobs == 5000
+        assert spec.size_factor == 1.0
+        assert spec.scheduler == "easy"
+
+    def test_with_policy_and_scaled(self):
+        spec = RunSpec(workload="CTC", n_jobs=100)
+        powered = spec.with_policy(PolicySpec.power_aware(3.0, None))
+        assert powered.policy.bsld_threshold == 3.0
+        assert powered.n_jobs == 100
+        bigger = powered.scaled(1.5)
+        assert bigger.size_factor == 1.5
+        assert bigger.policy == powered.policy
+
+    def test_label(self):
+        spec = RunSpec(workload="SDSC", policy=PolicySpec.power_aware(2.0, 0))
+        assert spec.label() == "SDSC DVFS(2,0)"
+        assert "x1.5" in spec.scaled(1.5).label()
+
+    @pytest.mark.parametrize(
+        "kw,match",
+        [
+            (dict(n_jobs=0), "n_jobs"),
+            (dict(size_factor=0.0), "size_factor"),
+            (dict(scheduler="random"), "scheduler"),
+        ],
+    )
+    def test_validation(self, kw, match):
+        with pytest.raises(ValueError, match=match):
+            RunSpec(workload="CTC", **kw)

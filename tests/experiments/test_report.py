@@ -1,0 +1,61 @@
+"""Integration test for the reproduction report builder."""
+
+import pytest
+
+from repro.experiments.report import build_report
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return build_report(ExperimentRunner(n_jobs=80), include_ablations=False)
+
+
+class TestReport:
+    def test_all_sections_present(self, report_text):
+        for heading in (
+            "Table 1",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Figure 9",
+            "Table 3",
+            "Reproduction notes",
+        ):
+            assert heading in report_text, f"missing section {heading!r}"
+
+    def test_paper_values_embedded(self, report_text):
+        assert "24.91" in report_text  # SDSC Table 1 anchor
+        assert "1219" in report_text  # Thunder Figure 4 anchor
+        assert "36001" in report_text  # SDSC Table 3 anchor
+
+    def test_markdown_table_syntax(self, report_text):
+        assert "| Workload | CPUs | Paper | Measured |" in report_text
+
+    def test_no_ablations_flag(self, report_text):
+        assert "Ablation A1" not in report_text
+
+    def test_with_ablations(self):
+        text = build_report(ExperimentRunner(n_jobs=60), include_ablations=True)
+        assert "Ablation A1" in text
+        assert "Ablation A4" in text
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_file = tmp_path / "EXPERIMENTS.md"
+        code = main(
+            ["--jobs", "60", "report", "--no-ablations", "--output", str(out_file)]
+        )
+        assert code == 0
+        assert "wrote report" in capsys.readouterr().out
+        assert out_file.read_text().startswith("# EXPERIMENTS")
+
+    def test_cli_sleep_ablation(self, capsys):
+        from repro.cli import main
+
+        assert main(["--jobs", "60", "ablation", "sleep"]) == 0
+        assert "idle sleep states" in capsys.readouterr().out

@@ -1,0 +1,81 @@
+"""Unit tests for the memoising experiment runner."""
+
+import pytest
+
+from repro.experiments.config import PolicySpec, RunSpec
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture
+def runner():
+    return ExperimentRunner(n_jobs=150)
+
+
+class TestTraceCache:
+    def test_jobs_cached_by_identity(self, runner):
+        assert runner.jobs_for("CTC") is runner.jobs_for("CTC")
+
+    def test_distinct_workloads_distinct_traces(self, runner):
+        assert runner.jobs_for("CTC") is not runner.jobs_for("SDSC")
+
+    def test_explicit_length(self, runner):
+        assert len(runner.jobs_for("CTC", 37)) == 37
+        assert len(runner.jobs_for("CTC")) == 150
+
+
+class TestMachineFor:
+    def test_paper_sizes(self, runner):
+        assert runner.machine_for("SDSCBlue").total_cpus == 1152
+        assert runner.machine_for("SDSCBlue", 1.5).total_cpus == 1728
+
+    def test_unknown_workload(self, runner):
+        with pytest.raises(KeyError):
+            runner.machine_for("nope")
+
+
+class TestResultCache:
+    def test_identical_spec_served_from_cache(self, runner):
+        spec = RunSpec(workload="CTC", n_jobs=150)
+        first = runner.run(spec)
+        assert runner.cached_runs == 1
+        second = runner.run(RunSpec(workload="CTC", n_jobs=150))
+        assert second is first
+        assert runner.cached_runs == 1
+
+    def test_different_policy_not_shared(self, runner):
+        base = runner.baseline("CTC")
+        powered = runner.power_aware("CTC", 2.0, 4)
+        assert base is not powered
+        assert runner.cached_runs == 2
+
+    def test_baseline_helper_is_nodvfs(self, runner):
+        result = runner.baseline("CTC")
+        assert result.reduced_jobs == 0
+        assert result.policy == "FixedGear(top)"
+
+    def test_power_aware_helper(self, runner):
+        result = runner.power_aware("LLNLThunder", 2.0, None)
+        assert "BSLDthreshold=2" in result.policy
+
+    def test_size_factor_spawns_new_run(self, runner):
+        small = runner.baseline("CTC")
+        large = runner.baseline("CTC", size_factor=1.5)
+        assert large.machine.total_cpus == 645
+        assert small.machine.total_cpus == 430
+
+    def test_scheduler_choice(self, runner):
+        spec = RunSpec(workload="CTC", n_jobs=80, scheduler="fcfs")
+        fcfs = runner.run(spec)
+        easy = runner.run(RunSpec(workload="CTC", n_jobs=80, scheduler="easy"))
+        assert fcfs.average_wait() >= easy.average_wait() - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            ExperimentRunner(n_jobs=0)
+
+
+class TestValidateMode:
+    def test_validate_flag_runs_checks(self):
+        runner = ExperimentRunner(n_jobs=60, validate=True)
+        result = runner.power_aware("SDSC", 2.0, 4)
+        assert result.job_count == 60

@@ -1,0 +1,99 @@
+"""Unit tests for aggregate statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.aggregates import mean, median, percentile, stddev, summarize
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_single(self):
+        assert mean([7.0]) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            mean([])
+
+
+class TestStddev:
+    def test_constant_sample(self):
+        assert stddev([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        assert stddev([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            stddev([])
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 3.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 100.0) == 5.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25.0) == pytest.approx(2.5)
+
+    def test_single_value(self):
+        assert percentile([42.0], 90.0) == 42.0
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError, match="q"):
+            percentile([1.0], -5.0)
+        with pytest.raises(ValueError, match="q"):
+            percentile([1.0], 101.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
+
+    @given(samples, st.floats(min_value=0.0, max_value=100.0))
+    def test_within_sample_bounds(self, data, q):
+        value = percentile(data, q)
+        assert min(data) <= value <= max(data)
+
+    @given(samples)
+    def test_monotone_in_q(self, data):
+        qs = [0.0, 25.0, 50.0, 75.0, 100.0]
+        values = [percentile(data, q) for q in qs]
+        assert values == sorted(values)
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary["n"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["p50"] == pytest.approx(2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize([])
+
+    @given(samples)
+    def test_ordering_property(self, data):
+        summary = summarize(data)
+        assert (
+            summary["min"]
+            <= summary["p50"]
+            <= summary["p90"]
+            <= summary["p99"]
+            <= summary["max"]
+        )

@@ -1,0 +1,98 @@
+"""Unit tests for per-class metric breakdowns."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.core.frequency_policy import BsldThresholdPolicy, FixedGearPolicy
+from repro.metrics.breakdown import (
+    DEFAULT_RUNTIME_BANDS,
+    DEFAULT_SIZE_BANDS,
+    breakdown,
+    by_reduction,
+    by_runtime_bands,
+    by_size_bands,
+)
+from repro.scheduling.easy import EasyBackfilling
+from tests.conftest import make_job, random_workload
+
+
+@pytest.fixture(scope="module")
+def result():
+    jobs = random_workload(seed=77, n_jobs=80, max_cpus=8)
+    return EasyBackfilling(Machine("m", 8), BsldThresholdPolicy(3.0, None)).run(jobs)
+
+
+class TestGenericBreakdown:
+    def test_classes_partition_jobs(self, result):
+        classes = breakdown(result, lambda o: "even" if o.job.job_id % 2 == 0 else "odd")
+        assert sum(c.jobs for c in classes) == result.job_count
+
+    def test_energy_partition(self, result):
+        classes = breakdown(result, lambda o: str(o.job.size % 3))
+        assert sum(c.energy for c in classes) == pytest.approx(result.energy.computational)
+
+    def test_fixed_order_includes_empty_classes(self, result):
+        classes = breakdown(result, lambda o: "all", order=["none", "all"])
+        assert [c.label for c in classes] == ["none", "all"]
+        assert classes[0].jobs == 0
+        assert classes[0].avg_bsld == 0.0
+
+    def test_unknown_label_rejected(self, result):
+        with pytest.raises(ValueError, match="unknown label"):
+            breakdown(result, lambda o: "mystery", order=["known"])
+
+
+class TestSizeBands:
+    def test_default_bands_cover_everything(self, result):
+        classes = by_size_bands(result)
+        assert [c.label for c in classes] == [label for label, _ in DEFAULT_SIZE_BANDS]
+        assert sum(c.jobs for c in classes) == result.job_count
+
+    def test_serial_band(self):
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, size=1),
+            make_job(2, submit=1.0, runtime=100.0, size=4),
+        ]
+        run = EasyBackfilling(Machine("m", 8), FixedGearPolicy()).run(jobs)
+        classes = {c.label: c for c in by_size_bands(run)}
+        assert classes["serial"].jobs == 1
+        assert classes["2-8"].jobs == 1
+
+    def test_custom_bands(self, result):
+        classes = by_size_bands(result, bands=(("small", 4), ("big", 10**9)))
+        assert [c.label for c in classes] == ["small", "big"]
+
+
+class TestRuntimeBands:
+    def test_default_bands(self, result):
+        classes = by_runtime_bands(result)
+        assert [c.label for c in classes] == [label for label, _ in DEFAULT_RUNTIME_BANDS]
+        assert sum(c.jobs for c in classes) == result.job_count
+
+    def test_band_boundaries(self):
+        jobs = [
+            make_job(1, submit=0.0, runtime=600.0, size=1),   # <=10min (inclusive)
+            make_job(2, submit=1.0, runtime=601.0, size=1),   # 10min-1h
+        ]
+        run = EasyBackfilling(Machine("m", 8), FixedGearPolicy()).run(jobs)
+        classes = {c.label: c for c in by_runtime_bands(run)}
+        assert classes["<=10min"].jobs == 1
+        assert classes["10min-1h"].jobs == 1
+
+
+class TestReductionSplit:
+    def test_reduced_class_counts(self, result):
+        classes = {c.label: c for c in by_reduction(result)}
+        assert classes["reduced"].jobs == result.reduced_jobs
+        assert classes["reduced"].jobs + classes["full speed"].jobs == result.job_count
+        assert classes["reduced"].reduced_fraction == (
+            1.0 if classes["reduced"].jobs else 0.0
+        )
+
+    def test_reduced_jobs_cheaper_per_cpu_second(self, result):
+        """The point of the policy: reduced jobs burn less energy per
+        CPU-second of occupation than full-speed ones."""
+        classes = {c.label: c for c in by_reduction(result)}
+        reduced, full = classes["reduced"], classes["full speed"]
+        if reduced.jobs and full.jobs:
+            assert (reduced.energy / reduced.cpu_seconds) < (full.energy / full.cpu_seconds)

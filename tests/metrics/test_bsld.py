@@ -1,0 +1,125 @@
+"""Unit and property tests for the BSLD formulas (Eqs. 1, 2, 6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.bsld import (
+    BSLD_THRESHOLD_SECONDS,
+    bounded_slowdown,
+    predicted_bsld,
+)
+
+waits = st.floats(min_value=0.0, max_value=1e7, allow_nan=False)
+runtimes = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+coefficients = st.floats(min_value=1.0, max_value=3.0, allow_nan=False)
+
+
+class TestBoundedSlowdown:
+    def test_paper_threshold_default(self):
+        assert BSLD_THRESHOLD_SECONDS == 600.0
+
+    def test_no_wait_long_job_is_one(self):
+        assert bounded_slowdown(0.0, 3600.0) == 1.0
+
+    def test_plain_slowdown_for_long_jobs(self):
+        # wait 3600 on a 3600s job: (3600+3600)/3600 = 2
+        assert bounded_slowdown(3600.0, 3600.0) == pytest.approx(2.0)
+
+    def test_short_jobs_bounded_by_threshold(self):
+        # 60s job with 60s wait: (60+60)/600, clamped to 1 -- the bound
+        # exists precisely to mute such jobs.
+        assert bounded_slowdown(60.0, 60.0) == 1.0
+
+    def test_eq6_penalized_numerator_nominal_denominator(self):
+        # 1000s job stretched to 1937.5s, no wait: the penalty must show.
+        value = bounded_slowdown(0.0, 1000.0, penalized_runtime=1937.5)
+        assert value == pytest.approx(1937.5 / 1000.0)
+
+    def test_penalized_defaults_to_runtime(self):
+        assert bounded_slowdown(500.0, 1000.0) == bounded_slowdown(
+            500.0, 1000.0, penalized_runtime=1000.0
+        )
+
+    def test_zero_runtime_uses_threshold(self):
+        assert bounded_slowdown(300.0, 0.0) == 1.0
+        assert bounded_slowdown(1200.0, 0.0) == pytest.approx(2.0)
+
+    def test_custom_threshold(self):
+        assert bounded_slowdown(50.0, 50.0, threshold=10.0) == pytest.approx(2.0)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError, match="wait_time"):
+            bounded_slowdown(-1.0, 100.0)
+        with pytest.raises(ValueError, match="runtime"):
+            bounded_slowdown(1.0, -100.0)
+        with pytest.raises(ValueError, match="penalized"):
+            bounded_slowdown(1.0, 100.0, penalized_runtime=-1.0)
+
+    def test_zero_over_zero_rejected(self):
+        with pytest.raises(ValueError, match="undefined"):
+            bounded_slowdown(0.0, 0.0, threshold=0.0)
+
+    @given(waits, runtimes)
+    def test_at_least_one(self, wait, runtime):
+        assert bounded_slowdown(wait, runtime) >= 1.0
+
+    @given(runtimes, waits, waits)
+    def test_monotone_in_wait(self, runtime, wait_a, wait_b):
+        lo, hi = sorted((wait_a, wait_b))
+        assert bounded_slowdown(lo, runtime) <= bounded_slowdown(hi, runtime)
+
+    @given(waits, runtimes, st.floats(min_value=1.0, max_value=3.0, allow_nan=False))
+    def test_monotone_in_penalty(self, wait, runtime, stretch):
+        plain = bounded_slowdown(wait, runtime)
+        stretched = bounded_slowdown(wait, runtime, penalized_runtime=runtime * stretch)
+        assert stretched >= plain - 1e-12
+
+
+class TestPredictedBsld:
+    def test_eq2_shape(self):
+        # WT=600, RQ=1200, Coef=1.5: (600 + 1800)/1200 = 2
+        assert predicted_bsld(600.0, 1200.0, 1.5) == pytest.approx(2.0)
+
+    def test_short_request_bounded(self):
+        # RQ below the threshold: denominator is 600.
+        assert predicted_bsld(0.0, 300.0, 1.0) == 1.0
+        assert predicted_bsld(900.0, 300.0, 1.0) == pytest.approx(2.0)
+
+    def test_zero_wait_top_gear_is_one(self):
+        assert predicted_bsld(0.0, 10000.0, 1.0) == 1.0
+
+    def test_zero_wait_reduced_gear_equals_coefficient(self):
+        # For long requests the prediction at zero wait is exactly Coef(f).
+        assert predicted_bsld(0.0, 10000.0, 1.9375) == pytest.approx(1.9375)
+
+    def test_rejects_coefficient_below_one(self):
+        with pytest.raises(ValueError, match="coefficient"):
+            predicted_bsld(0.0, 1000.0, 0.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="wait_time"):
+            predicted_bsld(-1.0, 1000.0)
+        with pytest.raises(ValueError, match="requested_time"):
+            predicted_bsld(1.0, -1000.0)
+
+    def test_zero_request_zero_threshold_rejected(self):
+        with pytest.raises(ValueError, match="undefined"):
+            predicted_bsld(0.0, 0.0, threshold=0.0)
+
+    @given(waits, runtimes, coefficients)
+    def test_at_least_one(self, wait, request, coefficient):
+        assert predicted_bsld(wait, request, coefficient) >= 1.0
+
+    @given(waits, st.floats(min_value=1.0, max_value=1e6, allow_nan=False), coefficients)
+    def test_monotone_in_coefficient(self, wait, request, coefficient):
+        base = predicted_bsld(wait, request, 1.0)
+        reduced = predicted_bsld(wait, request, coefficient)
+        assert reduced >= base - 1e-12
+
+    @given(st.floats(min_value=600.0, max_value=1e6, allow_nan=False), coefficients)
+    def test_prediction_matches_outcome_for_exact_estimates(self, runtime, coefficient):
+        """If the user estimate is exact and the wait is as predicted,
+        Eq. 2 equals Eq. 6."""
+        prediction = predicted_bsld(0.0, runtime, coefficient)
+        outcome = bounded_slowdown(0.0, runtime, penalized_runtime=runtime * coefficient)
+        assert prediction == pytest.approx(outcome)

@@ -1,0 +1,127 @@
+"""Unit tests for per-job β assignment models."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.power.beta_model import (
+    BimodalBeta,
+    ConstantBeta,
+    TruncatedNormalBeta,
+    UniformBeta,
+    summarize_betas,
+)
+
+ASSIGNERS = [
+    ConstantBeta(0.5),
+    UniformBeta(0.2, 0.8),
+    BimodalBeta(),
+    TruncatedNormalBeta(0.5, 0.15),
+]
+
+
+@pytest.mark.parametrize("assigner", ASSIGNERS, ids=lambda a: type(a).__name__)
+class TestCommonProperties:
+    def test_samples_in_unit_interval(self, assigner):
+        values = assigner.assign(500, seed=3)
+        assert all(0.0 <= value <= 1.0 for value in values)
+
+    def test_deterministic_in_seed(self, assigner):
+        assert assigner.assign(50, seed=11) == assigner.assign(50, seed=11)
+
+    def test_different_seeds_differ(self, assigner):
+        if isinstance(assigner, ConstantBeta):
+            pytest.skip("constant assigner is seed-independent by design")
+        assert assigner.assign(50, seed=1) != assigner.assign(50, seed=2)
+
+
+class TestConstantBeta:
+    def test_always_same(self):
+        assert set(ConstantBeta(0.3).assign(10)) == {0.3}
+
+    @pytest.mark.parametrize("beta", [-0.1, 1.5])
+    def test_validation(self, beta):
+        with pytest.raises(ValueError, match="beta"):
+            ConstantBeta(beta)
+
+
+class TestUniformBeta:
+    def test_within_range(self):
+        values = UniformBeta(0.4, 0.6).assign(200, seed=5)
+        assert all(0.4 <= v <= 0.6 for v in values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="low"):
+            UniformBeta(0.8, 0.2)
+        with pytest.raises(ValueError, match="low"):
+            UniformBeta(-0.1, 0.5)
+
+
+class TestBimodalBeta:
+    def test_two_clusters(self):
+        assigner = BimodalBeta(
+            cpu_bound_fraction=0.5, cpu_bound_beta=0.9, memory_bound_beta=0.1, jitter=0.02
+        )
+        values = assigner.assign(400, seed=9)
+        low = [v for v in values if v < 0.5]
+        high = [v for v in values if v >= 0.5]
+        assert 100 < len(low) < 300  # roughly half each
+        assert all(v <= 0.12 for v in low)
+        assert all(v >= 0.88 for v in high)
+
+    def test_extreme_fractions(self):
+        all_cpu = BimodalBeta(cpu_bound_fraction=1.0, jitter=0.0)
+        assert set(all_cpu.assign(20)) == {all_cpu.cpu_bound_beta}
+        no_cpu = BimodalBeta(cpu_bound_fraction=0.0, jitter=0.0)
+        assert set(no_cpu.assign(20)) == {no_cpu.memory_bound_beta}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fraction"):
+            BimodalBeta(cpu_bound_fraction=1.2)
+        with pytest.raises(ValueError, match="cpu_bound_beta"):
+            BimodalBeta(cpu_bound_beta=1.2)
+        with pytest.raises(ValueError, match="jitter"):
+            BimodalBeta(jitter=-0.1)
+
+
+class TestTruncatedNormal:
+    def test_zero_std_is_constant(self):
+        assert set(TruncatedNormalBeta(0.4, 0.0).assign(10)) == {0.4}
+
+    def test_mean_roughly_respected(self):
+        values = TruncatedNormalBeta(0.5, 0.1).assign(2000, seed=13)
+        assert sum(values) / len(values) == pytest.approx(0.5, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mean"):
+            TruncatedNormalBeta(mean=1.2)
+        with pytest.raises(ValueError, match="std"):
+            TruncatedNormalBeta(std=-0.5)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize_betas([0.2, 0.4, 0.6])
+        assert summary["n"] == 3
+        assert summary["mean"] == pytest.approx(0.4)
+        assert summary["min"] == 0.2
+        assert summary["max"] == 0.6
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="betas"):
+            summarize_betas([])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1))
+    def test_bounds_property(self, betas):
+        summary = summarize_betas(betas)
+        assert summary["min"] <= summary["mean"] <= summary["max"]
+        assert summary["std"] >= 0.0
+
+
+def test_sample_uses_supplied_rng():
+    """sample() must draw from the passed rng, not global state."""
+    assigner = UniformBeta(0.0, 1.0)
+    a = assigner.sample(random.Random(42))
+    b = assigner.sample(random.Random(42))
+    assert a == b

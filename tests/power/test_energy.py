@@ -1,0 +1,103 @@
+"""Unit tests for workload-level energy accounting."""
+
+import pytest
+
+from repro.core.gears import PAPER_GEAR_SET
+from repro.power.energy import EnergyAccounting, EnergyReport
+from repro.power.model import PowerModel
+
+MODEL = PowerModel()
+
+
+def make_report(**overrides):
+    defaults = dict(
+        computational=100.0, idle=10.0, busy_cpu_seconds=50.0, idle_cpu_seconds=5.0, span=20.0
+    )
+    defaults.update(overrides)
+    return EnergyReport(**defaults)
+
+
+class TestEnergyReport:
+    def test_total(self):
+        assert make_report().total_idle_low == pytest.approx(110.0)
+
+    def test_by_scenario(self):
+        report = make_report()
+        assert report.by_scenario("idle0") == 100.0
+        assert report.by_scenario("idlelow") == 110.0
+
+    def test_by_scenario_rejects_unknown(self):
+        with pytest.raises(ValueError, match="scenario"):
+            make_report().by_scenario("idle-mid")
+
+
+class TestEnergyAccounting:
+    def test_single_job(self):
+        accounting = EnergyAccounting(MODEL)
+        gear = PAPER_GEAR_SET.top
+        energy = accounting.add_job(gear, cpus=4, seconds=100.0)
+        assert energy == pytest.approx(MODEL.active_energy(gear, 4, 100.0))
+        assert accounting.jobs_accounted == 1
+
+    def test_segments_sum_like_a_job(self):
+        gear = PAPER_GEAR_SET.top
+        whole = EnergyAccounting(MODEL)
+        whole.add_job(gear, 2, 100.0)
+        split = EnergyAccounting(MODEL)
+        split.add_segment(gear, 2, 60.0)
+        split.add_segment(gear, 2, 40.0)
+        split.count_job()
+        assert split.jobs_accounted == whole.jobs_accounted
+        report_whole = whole.report(4, 0.0, 200.0)
+        report_split = split.report(4, 0.0, 200.0)
+        assert report_split.computational == pytest.approx(report_whole.computational)
+        assert report_split.busy_cpu_seconds == pytest.approx(report_whole.busy_cpu_seconds)
+
+    def test_mixed_gear_segments(self):
+        low, top = PAPER_GEAR_SET.lowest, PAPER_GEAR_SET.top
+        accounting = EnergyAccounting(MODEL)
+        accounting.add_segment(low, 1, 100.0)
+        accounting.add_segment(top, 1, 50.0)
+        accounting.count_job()
+        expected = MODEL.active_energy(low, 1, 100.0) + MODEL.active_energy(top, 1, 50.0)
+        assert accounting.report(1, 0.0, 150.0).computational == pytest.approx(expected)
+
+    def test_report_idle_accounting(self):
+        accounting = EnergyAccounting(MODEL)
+        accounting.add_job(PAPER_GEAR_SET.top, 2, 50.0)  # 100 busy cpu-seconds
+        report = accounting.report(total_cpus=4, span_start=0.0, span_end=100.0)
+        assert report.busy_cpu_seconds == pytest.approx(100.0)
+        assert report.idle_cpu_seconds == pytest.approx(300.0)
+        assert report.idle == pytest.approx(MODEL.idle_energy(300.0))
+        assert report.span == pytest.approx(100.0)
+
+    def test_report_empty_run(self):
+        report = EnergyAccounting(MODEL).report(8, 0.0, 0.0)
+        assert report.computational == 0.0
+        assert report.idle == 0.0
+
+    def test_report_rejects_bad_span(self):
+        with pytest.raises(ValueError, match="span_end"):
+            EnergyAccounting(MODEL).report(4, 10.0, 5.0)
+
+    def test_report_rejects_bad_cpus(self):
+        with pytest.raises(ValueError, match="total_cpus"):
+            EnergyAccounting(MODEL).report(0, 0.0, 10.0)
+
+    def test_overfull_machine_detected(self):
+        accounting = EnergyAccounting(MODEL)
+        accounting.add_job(PAPER_GEAR_SET.top, 10, 100.0)  # 1000 busy cpu-s
+        with pytest.raises(ValueError, match="capacity"):
+            accounting.report(total_cpus=2, span_start=0.0, span_end=100.0)
+
+    def test_float_fuzz_tolerated(self):
+        accounting = EnergyAccounting(MODEL)
+        accounting.add_job(PAPER_GEAR_SET.top, 1, 100.0 + 1e-10)
+        report = accounting.report(total_cpus=1, span_start=0.0, span_end=100.0)
+        assert report.idle_cpu_seconds == 0.0
+
+    def test_idle_low_always_at_least_computational(self):
+        accounting = EnergyAccounting(MODEL)
+        accounting.add_job(PAPER_GEAR_SET.lowest, 3, 10.0)
+        report = accounting.report(8, 0.0, 50.0)
+        assert report.total_idle_low >= report.computational

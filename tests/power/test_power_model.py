@@ -1,0 +1,139 @@
+"""Unit tests for the CPU power model (Eqs. 3-4 and the paper's anchors)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.gears import Gear, GearSet, PAPER_GEAR_SET
+from repro.power.model import PAPER_ACTIVITY_RATIO, PAPER_STATIC_SHARE, PowerModel
+
+MODEL = PowerModel()
+
+
+class TestPaperAnchors:
+    """Numbers stated verbatim in §4 of the paper."""
+
+    def test_idle_is_21_percent_of_top_running(self):
+        # "an idle processor consumes 21% of the power consumed by a
+        # processor executing a job at the highest frequency"
+        assert MODEL.idle_fraction_of_top() == pytest.approx(0.21, abs=0.005)
+
+    def test_static_share_at_top(self):
+        top = PAPER_GEAR_SET.top
+        static = MODEL.static_power(top)
+        total = MODEL.active_power(top)
+        assert static / total == pytest.approx(PAPER_STATIC_SHARE)
+
+    def test_activity_ratio(self):
+        assert PAPER_ACTIVITY_RATIO == 2.5
+        low = PAPER_GEAR_SET.lowest
+        running = MODEL.dynamic_power(low, running=True)
+        idle = MODEL.dynamic_power(low, running=False)
+        assert running / idle == pytest.approx(2.5)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("activity", [0.0, -1.0])
+    def test_rejects_bad_activity(self, activity):
+        with pytest.raises(ValueError, match="running_activity"):
+            PowerModel(running_activity=activity)
+
+    def test_rejects_activity_ratio_below_one(self):
+        with pytest.raises(ValueError, match="activity_ratio"):
+            PowerModel(activity_ratio=0.5)
+
+    @pytest.mark.parametrize("share", [-0.1, 1.0, 1.5])
+    def test_rejects_bad_static_share(self, share):
+        with pytest.raises(ValueError, match="static_share"):
+            PowerModel(static_share=share)
+
+    def test_zero_static_share(self):
+        model = PowerModel(static_share=0.0)
+        assert model.alpha == 0.0
+        assert model.static_power(PAPER_GEAR_SET.top) == 0.0
+
+    def test_alpha_scales_with_activity(self):
+        double = PowerModel(running_activity=2.0)
+        assert double.alpha == pytest.approx(2.0 * MODEL.alpha)
+
+
+class TestPowers:
+    def test_dynamic_power_formula(self):
+        gear = Gear(2.0, 1.4)
+        assert MODEL.dynamic_power(gear) == pytest.approx(1.0 * 2.0 * 1.4**2)
+
+    def test_active_power_is_dynamic_plus_static(self):
+        for gear in PAPER_GEAR_SET:
+            assert MODEL.active_power(gear) == pytest.approx(
+                MODEL.dynamic_power(gear) + MODEL.static_power(gear)
+            )
+
+    def test_active_power_monotone_in_gear(self):
+        ladder = PAPER_GEAR_SET.ascending()
+        powers = [MODEL.active_power(g) for g in ladder]
+        assert powers == sorted(powers)
+        assert powers[0] < powers[-1]
+
+    def test_idle_power_below_any_active_power(self):
+        assert MODEL.idle_power() < MODEL.active_power(PAPER_GEAR_SET.lowest)
+
+    def test_power_table_rows(self):
+        table = MODEL.power_table()
+        assert len(table) == len(PAPER_GEAR_SET)
+        for gear, dynamic, static, total in table:
+            assert total == pytest.approx(dynamic + static)
+
+
+class TestEnergies:
+    def test_active_energy(self):
+        gear = PAPER_GEAR_SET.top
+        assert MODEL.active_energy(gear, 4, 100.0) == pytest.approx(
+            4 * 100.0 * MODEL.active_power(gear)
+        )
+
+    def test_zero_cases(self):
+        assert MODEL.active_energy(PAPER_GEAR_SET.top, 0, 100.0) == 0.0
+        assert MODEL.active_energy(PAPER_GEAR_SET.top, 4, 0.0) == 0.0
+        assert MODEL.idle_energy(0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="cpus"):
+            MODEL.active_energy(PAPER_GEAR_SET.top, -1, 1.0)
+        with pytest.raises(ValueError, match="seconds"):
+            MODEL.active_energy(PAPER_GEAR_SET.top, 1, -1.0)
+        with pytest.raises(ValueError, match="cpu_seconds"):
+            MODEL.idle_energy(-1.0)
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    )
+    def test_energy_linear_in_cpus_and_time(self, cpus, seconds):
+        gear = PAPER_GEAR_SET.top
+        assert MODEL.active_energy(gear, cpus, seconds) == pytest.approx(
+            cpus * MODEL.active_energy(gear, 1, seconds)
+        )
+
+
+class TestEnergyEfficiencyShape:
+    """Running slower is power-cheaper but takes longer; with beta=0.5 the
+    paper's gear ladder still wins on *energy* at every reduced gear."""
+
+    def test_energy_per_work_decreases_with_gear(self):
+        from repro.power.time_model import BetaTimeModel
+
+        time_model = BetaTimeModel.for_gear_set(PAPER_GEAR_SET)
+        top = PAPER_GEAR_SET.top
+        base = MODEL.active_power(top) * 1.0  # unit nominal runtime
+        for gear in PAPER_GEAR_SET:
+            energy = MODEL.active_power(gear) * time_model.coefficient(gear.frequency)
+            assert energy <= base + 1e-9
+
+    def test_mismatched_gear_set_rejected_by_scheduler(self):
+        from repro.cluster.machine import Machine
+        from repro.core.frequency_policy import FixedGearPolicy
+        from repro.scheduling.easy import EasyBackfilling
+
+        other = GearSet([Gear(1.0, 1.0)])
+        model = PowerModel(gears=other)
+        with pytest.raises(ValueError, match="gear sets"):
+            EasyBackfilling(Machine("m", 4), FixedGearPolicy(), power_model=model)

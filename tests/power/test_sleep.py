@@ -1,0 +1,163 @@
+"""Unit tests for the idle sleep-state energy model."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.core.frequency_policy import FixedGearPolicy
+from repro.power.model import PowerModel
+from repro.power.sleep import SleepStateConfig, busy_series, sleep_energy
+from repro.scheduling.easy import EasyBackfilling
+from tests.conftest import make_job, random_workload
+
+MODEL = PowerModel()
+
+
+def simulate(jobs, cpus=4):
+    return EasyBackfilling(Machine("m", cpus), FixedGearPolicy()).run(jobs)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kw,match",
+        [
+            (dict(sleep_after_seconds=-1.0), "sleep_after"),
+            (dict(sleep_power_fraction=1.5), "sleep_power_fraction"),
+            (dict(wake_energy_idle_seconds=-1.0), "wake_energy"),
+        ],
+    )
+    def test_validation(self, kw, match):
+        with pytest.raises(ValueError, match=match):
+            SleepStateConfig(**kw)
+
+
+class TestBusySeries:
+    def test_single_job(self):
+        result = simulate([make_job(1, submit=0.0, runtime=100.0, size=3)])
+        series = busy_series(result)
+        assert series == [(0.0, 3), (100.0, 0)]
+
+    def test_overlapping_jobs(self):
+        result = simulate(
+            [
+                make_job(1, submit=0.0, runtime=100.0, size=2),
+                make_job(2, submit=50.0, runtime=100.0, size=2),
+            ]
+        )
+        assert busy_series(result) == [(0.0, 2), (50.0, 4), (100.0, 2), (150.0, 0)]
+
+    def test_back_to_back_merges_timestamp(self):
+        result = simulate(
+            [
+                make_job(1, submit=0.0, runtime=100.0, requested=100.0, size=4),
+                make_job(2, submit=0.0, runtime=50.0, size=4),
+            ]
+        )
+        series = busy_series(result)
+        assert (100.0, 4) in series  # finish+start at the same instant
+
+
+class TestSleepEnergy:
+    def test_no_sleep_matches_plain_idle_accounting(self):
+        """With an infinite threshold nothing sleeps: idle energy equals
+        the simulator's own EnergyReport idle component."""
+        jobs = random_workload(seed=9, n_jobs=30, max_cpus=4)
+        result = simulate(jobs)
+        config = SleepStateConfig(sleep_after_seconds=float("1e18"))
+        report = sleep_energy(result, config, MODEL)
+        assert report.asleep_cpu_seconds == 0.0
+        assert report.wake_count == 0
+        assert report.idle_energy == pytest.approx(result.energy.idle, rel=1e-9)
+        assert report.idle_awake_cpu_seconds == pytest.approx(
+            result.energy.idle_cpu_seconds, rel=1e-9
+        )
+
+    def test_immediate_perfect_sleep_zeroes_idle(self):
+        jobs = [make_job(1, submit=0.0, runtime=100.0, size=2)]
+        result = simulate(jobs)
+        config = SleepStateConfig(
+            sleep_after_seconds=0.0, sleep_power_fraction=0.0, wake_energy_idle_seconds=0.0
+        )
+        report = sleep_energy(result, config, MODEL)
+        assert report.idle_energy == pytest.approx(0.0)
+        assert report.sleep_fraction == pytest.approx(1.0)
+
+    def test_hand_computed_scenario(self):
+        # 4 CPUs; one 2-CPU job [0, 100): two CPUs idle 100s, two idle 0+.
+        # Threshold 40s, sleep power 0, wake cost 0:
+        #   the two never-used CPUs: 40 awake + 60 asleep each
+        #   the two job CPUs: idle from t=100 = span end -> nothing.
+        jobs = [make_job(1, submit=0.0, runtime=100.0, size=2)]
+        result = simulate(jobs)
+        config = SleepStateConfig(
+            sleep_after_seconds=40.0, sleep_power_fraction=0.0, wake_energy_idle_seconds=0.0
+        )
+        report = sleep_energy(result, config, MODEL)
+        assert report.idle_awake_cpu_seconds == pytest.approx(80.0)
+        assert report.asleep_cpu_seconds == pytest.approx(120.0)
+        assert report.idle_energy == pytest.approx(MODEL.idle_energy(80.0))
+        assert report.wake_count == 2  # both settle asleep at span end
+
+    def test_wake_cost_accounted(self):
+        jobs = [
+            make_job(1, submit=0.0, runtime=10.0, requested=10.0, size=4),
+            make_job(2, submit=1000.0, runtime=10.0, size=4),
+        ]
+        result = simulate(jobs)
+        config = SleepStateConfig(
+            sleep_after_seconds=100.0, sleep_power_fraction=0.0, wake_energy_idle_seconds=50.0
+        )
+        report = sleep_energy(result, config, MODEL)
+        # All 4 CPUs idle [10, 1000): 100 awake + 890 asleep each, one wake each.
+        assert report.wake_count == 4
+        expected = MODEL.idle_energy(4 * 100.0) + 4 * 50.0 * MODEL.idle_power()
+        assert report.idle_energy == pytest.approx(expected)
+
+    def test_lifo_discipline_maximises_sleep(self):
+        # 2 CPUs; 1-CPU jobs alternating: [0,100), [150,250), ...
+        # LIFO keeps re-using the same (recently idle) CPU, letting the
+        # other one sleep through.
+        jobs = [
+            make_job(i + 1, submit=150.0 * i, runtime=100.0, requested=100.0, size=1)
+            for i in range(4)
+        ]
+        result = simulate(jobs, cpus=2)
+        config = SleepStateConfig(
+            sleep_after_seconds=60.0, sleep_power_fraction=0.0, wake_energy_idle_seconds=0.0
+        )
+        report = sleep_energy(result, config, MODEL)
+        # CPU B never runs anything: idle 0..550 -> 60 awake, 490 asleep.
+        # CPU A: three 50s gaps (never sleeps) + nothing at the end.
+        assert report.asleep_cpu_seconds == pytest.approx(490.0)
+        assert report.idle_awake_cpu_seconds == pytest.approx(60.0 + 3 * 50.0)
+
+    def test_partial_sleep_power(self):
+        jobs = [make_job(1, submit=0.0, runtime=100.0, size=2)]
+        result = simulate(jobs)
+        config = SleepStateConfig(
+            sleep_after_seconds=0.0, sleep_power_fraction=0.5, wake_energy_idle_seconds=0.0
+        )
+        report = sleep_energy(result, config, MODEL)
+        assert report.idle_energy == pytest.approx(MODEL.idle_energy(200.0) * 0.5)
+
+    def test_sleep_only_ever_helps(self):
+        jobs = random_workload(seed=13, n_jobs=40, max_cpus=6)
+        result = simulate(jobs, cpus=6)
+        for threshold in (0.0, 100.0, 10000.0):
+            config = SleepStateConfig(
+                sleep_after_seconds=threshold, wake_energy_idle_seconds=0.0
+            )
+            report = sleep_energy(result, config, MODEL)
+            assert report.idle_energy <= result.energy.idle * (1.0 + 1e-9)
+
+    def test_explicit_span(self):
+        jobs = [make_job(1, submit=0.0, runtime=10.0, size=4)]
+        result = simulate(jobs)
+        config = SleepStateConfig(sleep_after_seconds=1e18)
+        report = sleep_energy(result, config, MODEL, span_start=0.0, span_end=100.0)
+        assert report.idle_awake_cpu_seconds == pytest.approx(4 * 90.0)
+
+    def test_bad_span_rejected(self):
+        jobs = [make_job(1, submit=0.0, runtime=10.0, size=4)]
+        result = simulate(jobs)
+        with pytest.raises(ValueError, match="precedes"):
+            sleep_energy(result, SleepStateConfig(), MODEL, span_start=10.0, span_end=0.0)

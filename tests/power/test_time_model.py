@@ -1,0 +1,134 @@
+"""Unit and property tests for the β execution-time model (Eq. 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.gears import PAPER_GEAR_SET
+from repro.power.time_model import BetaTimeModel, DEFAULT_BETA, PAPER_BETA
+
+MODEL = BetaTimeModel(fmax=2.3, beta=0.5)
+
+frequencies = st.floats(min_value=0.1, max_value=2.3, allow_nan=False)
+betas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestConstruction:
+    def test_paper_beta(self):
+        assert PAPER_BETA == 0.5
+        assert DEFAULT_BETA == PAPER_BETA
+
+    def test_for_gear_set(self):
+        model = BetaTimeModel.for_gear_set(PAPER_GEAR_SET)
+        assert model.fmax == 2.3
+        assert model.beta == DEFAULT_BETA
+
+    @pytest.mark.parametrize("fmax", [0.0, -2.0])
+    def test_rejects_bad_fmax(self, fmax):
+        with pytest.raises(ValueError, match="fmax"):
+            BetaTimeModel(fmax=fmax)
+
+    @pytest.mark.parametrize("beta", [-0.1, 1.1])
+    def test_rejects_bad_beta(self, beta):
+        with pytest.raises(ValueError, match="beta"):
+            BetaTimeModel(fmax=2.3, beta=beta)
+
+
+class TestCoefficient:
+    def test_identity_at_fmax(self):
+        assert MODEL.coefficient(2.3) == pytest.approx(1.0)
+
+    def test_paper_value_at_lowest_gear(self):
+        # beta=0.5, f=0.8: 0.5*(2.3/0.8 - 1) + 1 = 1.9375
+        assert MODEL.coefficient(0.8) == pytest.approx(1.9375)
+
+    def test_beta_one_inverse_proportionality(self):
+        model = BetaTimeModel(fmax=2.0, beta=1.0)
+        assert model.coefficient(1.0) == pytest.approx(2.0)  # half speed, double time
+
+    def test_beta_zero_is_flat(self):
+        model = BetaTimeModel(fmax=2.0, beta=0.0)
+        assert model.coefficient(0.5) == pytest.approx(1.0)
+
+    def test_per_call_beta_overrides_default(self):
+        assert MODEL.coefficient(0.8, beta=0.0) == pytest.approx(1.0)
+        assert MODEL.coefficient(0.8, beta=1.0) == pytest.approx(2.3 / 0.8)
+
+    def test_coefficient_for_gear(self):
+        gear = PAPER_GEAR_SET.lowest
+        assert MODEL.coefficient_for(gear) == MODEL.coefficient(gear.frequency)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError, match="frequency"):
+            MODEL.coefficient(0.0)
+
+    def test_rejects_bad_per_call_beta(self):
+        with pytest.raises(ValueError, match="beta"):
+            MODEL.coefficient(1.0, beta=2.0)
+
+    @given(frequencies, betas)
+    def test_coefficient_at_least_one_below_fmax(self, frequency, beta):
+        assert MODEL.coefficient(frequency, beta) >= 1.0 - 1e-12
+
+    @given(st.floats(min_value=0.1, max_value=2.2, allow_nan=False))
+    def test_monotone_decreasing_in_frequency(self, frequency):
+        assert MODEL.coefficient(frequency) > MODEL.coefficient(frequency + 0.1)
+
+    @given(frequencies)
+    def test_linear_in_beta(self, frequency):
+        low = MODEL.coefficient(frequency, beta=0.0)
+        high = MODEL.coefficient(frequency, beta=1.0)
+        mid = MODEL.coefficient(frequency, beta=0.5)
+        assert mid == pytest.approx((low + high) / 2.0)
+
+
+class TestScaledTime:
+    def test_scaling(self):
+        assert MODEL.scaled_time(1000.0, 0.8) == pytest.approx(1937.5)
+
+    def test_zero_time(self):
+        assert MODEL.scaled_time(0.0, 0.8) == 0.0
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="time"):
+            MODEL.scaled_time(-1.0, 0.8)
+        with pytest.raises(ValueError, match="time"):
+            MODEL.unscaled_time(-1.0, 0.8)
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), frequencies, betas)
+    def test_scale_unscale_roundtrip(self, time, frequency, beta):
+        scaled = MODEL.scaled_time(time, frequency, beta)
+        assert MODEL.unscaled_time(scaled, frequency, beta) == pytest.approx(time, abs=1e-6)
+
+    def test_slowdown_at(self):
+        assert MODEL.slowdown_at(2.3) == pytest.approx(0.0)
+        assert MODEL.slowdown_at(0.8) == pytest.approx(0.9375)
+
+
+class TestFrequencySwitch:
+    def test_switch_to_same_frequency_is_identity(self):
+        assert MODEL.remaining_time_after_switch(500.0, 1.4, 1.4) == pytest.approx(500.0)
+
+    def test_boost_shortens(self):
+        remaining = MODEL.remaining_time_after_switch(1937.5, 0.8, 2.3)
+        assert remaining == pytest.approx(1000.0)
+
+    def test_rejects_negative_remaining(self):
+        with pytest.raises(ValueError, match="remaining"):
+            MODEL.remaining_time_after_switch(-1.0, 0.8, 2.3)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        frequencies,
+        frequencies,
+        betas,
+    )
+    def test_work_conservation(self, remaining, f_old, f_new, beta):
+        """Switching f1->f2 then f2->f1 recovers the original remaining time."""
+        there = MODEL.remaining_time_after_switch(remaining, f_old, f_new, beta)
+        back = MODEL.remaining_time_after_switch(there, f_new, f_old, beta)
+        assert back == pytest.approx(remaining, abs=1e-6)
+
+    @given(st.floats(min_value=1.0, max_value=1e5, allow_nan=False), betas)
+    def test_boost_never_lengthens(self, remaining, beta):
+        boosted = MODEL.remaining_time_after_switch(remaining, 0.8, 2.3, beta)
+        assert boosted <= remaining + 1e-9

@@ -1,0 +1,139 @@
+"""Dynamic frequency boosting (the paper's future work) end to end."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.core.dynamic_boost import DynamicBoostConfig, boost_plan
+from repro.core.frequency_policy import BsldThresholdPolicy
+from repro.core.gears import PAPER_GEAR_SET
+from repro.power.time_model import BetaTimeModel
+from repro.scheduling.base import SchedulerConfig
+from repro.scheduling.easy import EasyBackfilling
+from tests.conftest import make_job, random_workload
+
+TIME_MODEL = BetaTimeModel.for_gear_set(PAPER_GEAR_SET)
+
+
+class TestBoostPlan:
+    def plan(self, now=0.0, gear=PAPER_GEAR_SET.lowest, actual=1937.5, estimate=1937.5,
+             config=DynamicBoostConfig(wq_trigger=0)):
+        return boost_plan(
+            now=now,
+            current_gear=gear,
+            gears=PAPER_GEAR_SET,
+            time_model=TIME_MODEL,
+            beta=None,
+            actual_end=actual,
+            estimated_end=estimate,
+            config=config,
+        )
+
+    def test_boost_converts_remaining_time(self):
+        # Full job at 0.8 GHz: 1937.5s; boosted at t=0 -> 1000s at top.
+        new_actual, new_estimate = self.plan()
+        assert new_actual == pytest.approx(1000.0)
+        assert new_estimate == pytest.approx(1000.0)
+
+    def test_partial_progress(self):
+        # Boost halfway: remaining 968.75 at 0.8 -> 500 at top.
+        new_actual, _ = self.plan(now=968.75)
+        assert new_actual == pytest.approx(968.75 + 500.0)
+
+    def test_top_gear_returns_none(self):
+        assert self.plan(gear=PAPER_GEAR_SET.top) is None
+
+    def test_nearly_done_returns_none(self):
+        config = DynamicBoostConfig(wq_trigger=0, min_remaining_seconds=120.0)
+        assert self.plan(now=1900.0, config=config) is None
+
+    def test_estimate_scales_too(self):
+        new_actual, new_estimate = self.plan(actual=1937.5, estimate=3875.0)
+        assert new_actual == pytest.approx(1000.0)
+        assert new_estimate == pytest.approx(2000.0)
+
+    def test_estimate_never_undercuts_actual(self):
+        new_actual, new_estimate = self.plan(actual=1937.5, estimate=1937.5)
+        assert new_estimate >= new_actual
+
+    def test_should_boost(self):
+        config = DynamicBoostConfig(wq_trigger=4)
+        assert not config.should_boost(4)
+        assert config.should_boost(5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="wq_trigger"):
+            DynamicBoostConfig(wq_trigger=-1)
+        with pytest.raises(ValueError, match="min_remaining"):
+            DynamicBoostConfig(min_remaining_seconds=-1.0)
+
+
+class TestBoostInScheduler:
+    def test_boost_shortens_reduced_job(self):
+        # Job 1 reduced to 0.8 GHz on an empty machine (would finish at
+        # 1937.5); job 2 arriving at t=100 pushes WQ past the trigger, so
+        # job 1 is boosted and finishes at 100 + 948.4 (remaining work at
+        # top speed) instead.
+        policy = BsldThresholdPolicy(2.0, None)
+        config = SchedulerConfig(
+            validate=True, boost=DynamicBoostConfig(wq_trigger=0, min_remaining_seconds=0.0)
+        )
+        jobs = [
+            make_job(1, submit=0.0, runtime=1000.0, requested=1000.0, size=4),
+            make_job(2, submit=100.0, runtime=10.0, size=4),
+        ]
+        machine = Machine("m", 4)
+        result = EasyBackfilling(machine, policy, config=config).run(jobs)
+        by_id = {o.job.job_id: o for o in result.outcomes}
+        remaining_at_boost = (1937.5 - 100.0) / 1.9375  # work left, at top speed
+        assert by_id[1].finish_time == pytest.approx(100.0 + remaining_at_boost)
+        assert by_id[1].was_reduced  # it *did* run reduced for a while
+        assert by_id[2].start_time == pytest.approx(by_id[1].finish_time)
+
+    def test_boost_energy_is_segmented(self):
+        """Energy of a boosted job = low-gear segment + top-gear segment."""
+        from repro.power.model import PowerModel
+
+        policy = BsldThresholdPolicy(2.0, None)
+        config = SchedulerConfig(
+            boost=DynamicBoostConfig(wq_trigger=0, min_remaining_seconds=0.0)
+        )
+        jobs = [
+            make_job(1, submit=0.0, runtime=1000.0, requested=1000.0, size=2),
+            make_job(2, submit=100.0, runtime=10.0, size=4),
+        ]
+        machine = Machine("m", 4)
+        result = EasyBackfilling(machine, policy, config=config).run(jobs)
+        outcome = {o.job.job_id: o for o in result.outcomes}[1]
+        model = PowerModel()
+        low, top = PAPER_GEAR_SET.lowest, PAPER_GEAR_SET.top
+        segment_low = model.active_energy(low, 2, 100.0)
+        segment_top = model.active_energy(top, 2, outcome.finish_time - 100.0)
+        assert outcome.energy == pytest.approx(segment_low + segment_top)
+
+    def test_boost_never_loses_jobs(self):
+        jobs = random_workload(seed=17, n_jobs=60, max_cpus=8)
+        machine = Machine("m", 8)
+        config = SchedulerConfig(validate=True, boost=DynamicBoostConfig(wq_trigger=2))
+        result = EasyBackfilling(machine, BsldThresholdPolicy(3.0, None), config=config).run(jobs)
+        assert result.job_count == 60
+
+    def test_boost_improves_waits_costs_energy(self):
+        jobs = random_workload(seed=23, n_jobs=80, max_cpus=8, mean_gap=150.0)
+        machine = Machine("m", 8)
+        plain = EasyBackfilling(machine, BsldThresholdPolicy(3.0, None)).run(jobs)
+        boosted = EasyBackfilling(
+            machine,
+            BsldThresholdPolicy(3.0, None),
+            config=SchedulerConfig(boost=DynamicBoostConfig(wq_trigger=1)),
+        ).run(jobs)
+        assert boosted.average_wait() <= plain.average_wait() + 1e-6
+        assert boosted.energy.computational >= plain.energy.computational - 1e-6
+
+    def test_boost_disabled_is_plain(self):
+        jobs = random_workload(seed=31, n_jobs=40, max_cpus=8)
+        machine = Machine("m", 8)
+        a = EasyBackfilling(machine, BsldThresholdPolicy(2.0, 4)).run(jobs)
+        b = EasyBackfilling(
+            machine, BsldThresholdPolicy(2.0, 4), config=SchedulerConfig(boost=None)
+        ).run(jobs)
+        assert [o.finish_time for o in a.outcomes] == [o.finish_time for o in b.outcomes]

@@ -1,0 +1,191 @@
+"""Hand-built EASY backfilling scenarios with exact expected schedules."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.core.frequency_policy import BsldThresholdPolicy, FixedGearPolicy
+from repro.scheduling.base import SchedulerConfig
+from repro.scheduling.easy import EasyBackfilling
+from tests.conftest import make_job
+
+
+def run_easy(jobs, cpus=4, policy=None):
+    machine = Machine("m", cpus)
+    scheduler = EasyBackfilling(
+        machine, policy or FixedGearPolicy(), config=SchedulerConfig(validate=True)
+    )
+    return scheduler.run(jobs)
+
+
+def starts(result):
+    return {o.job.job_id: o.start_time for o in result.outcomes}
+
+
+class TestBackfillBasics:
+    def test_short_job_backfills_before_blocked_head(self):
+        # 1: holds 3/4 CPUs until t=100 (requested exactly).
+        # 2: needs 4 -> reserved at t=100.
+        # 3: 1 CPU for 50s -> finishes by 100, backfills at t=2.
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, size=3),
+            make_job(2, submit=1.0, runtime=50.0, size=4),
+            make_job(3, submit=2.0, runtime=50.0, requested=50.0, size=1),
+        ]
+        assert starts(run_easy(jobs)) == {1: 0.0, 2: 100.0, 3: 2.0}
+
+    def test_backfill_must_not_delay_reservation(self):
+        # 3 requests 200s: running past the reservation at t=100 on the
+        # head's CPUs would delay it -> no backfill.
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, size=3),
+            make_job(2, submit=1.0, runtime=50.0, size=4),
+            make_job(3, submit=2.0, runtime=200.0, requested=200.0, size=1),
+        ]
+        assert starts(run_easy(jobs)) == {1: 0.0, 2: 100.0, 3: 150.0}
+
+    def test_backfill_on_extra_processors_may_run_long(self):
+        # Head 2 needs only 2 CPUs at t=100; one CPU is spare ("extra"),
+        # so 3 may backfill even though it runs past the reservation.
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, size=3),
+            make_job(2, submit=1.0, runtime=50.0, size=2),
+            make_job(3, submit=2.0, runtime=500.0, requested=500.0, size=1),
+        ]
+        assert starts(run_easy(jobs)) == {1: 0.0, 2: 100.0, 3: 2.0}
+
+    def test_backfill_respects_current_free_count(self):
+        # Two 1-CPU candidates, one free CPU: only the first backfills.
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, size=3),
+            make_job(2, submit=1.0, runtime=50.0, size=4),
+            make_job(3, submit=2.0, runtime=50.0, requested=50.0, size=1),
+            make_job(4, submit=3.0, runtime=50.0, requested=50.0, size=1),
+        ]
+        result = starts(run_easy(jobs))
+        assert result[3] == 2.0
+        # 4 cannot backfill (no free CPU at t=3; after 3 finishes at t=52
+        # it would run past the reservation with extra=0), and the head
+        # then takes the whole machine until t=150.
+        assert result[4] == 150.0
+
+    def test_early_finish_triggers_rescheduling(self):
+        # Head requests 1000s but finishes at 100s: the reservation for 2
+        # collapses from 1000 to 100.
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, requested=1000.0, size=4),
+            make_job(2, submit=1.0, runtime=50.0, size=4),
+        ]
+        assert starts(run_easy(jobs)) == {1: 0.0, 2: 100.0}
+
+    def test_queue_respects_fcfs_between_equal_jobs(self):
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, size=4),
+            make_job(2, submit=1.0, runtime=100.0, size=4),
+            make_job(3, submit=2.0, runtime=100.0, size=4),
+        ]
+        assert starts(run_easy(jobs)) == {1: 0.0, 2: 100.0, 3: 200.0}
+
+
+class TestReservationSemantics:
+    def test_reservation_uses_requested_times(self):
+        # Running job requests 500s (runs 500): reservation at 500 even
+        # though a shorter actual runtime would be nicer.
+        jobs = [
+            make_job(1, submit=0.0, runtime=500.0, requested=500.0, size=4),
+            make_job(2, submit=1.0, runtime=10.0, size=4),
+        ]
+        assert starts(run_easy(jobs))[2] == 500.0
+
+    def test_multiple_finishes_accumulate_for_wide_head(self):
+        # Head needs all 4 CPUs; running jobs release 2 at t=100, 2 at 200.
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, requested=100.0, size=2),
+            make_job(2, submit=0.0, runtime=200.0, requested=200.0, size=2),
+            make_job(3, submit=1.0, runtime=10.0, size=4),
+        ]
+        assert starts(run_easy(jobs))[3] == 200.0
+
+    def test_same_time_finish_and_arrival(self):
+        # Finish events process before arrivals at the same timestamp, so
+        # a job arriving exactly when CPUs free starts immediately.
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, requested=100.0, size=4),
+            make_job(2, submit=100.0, runtime=10.0, size=4),
+        ]
+        assert starts(run_easy(jobs))[2] == 100.0
+
+
+class TestDvfsScheduling:
+    def test_reduced_job_occupies_longer(self):
+        # With DVFS on an empty machine, job 1 runs at 0.8 GHz
+        # (Coef 1.9375); job 2 needs all CPUs and must wait for the
+        # stretched completion.
+        policy = BsldThresholdPolicy(bsld_threshold=2.0, wq_threshold=None)
+        jobs = [
+            make_job(1, submit=0.0, runtime=1000.0, requested=1000.0, size=4),
+            make_job(2, submit=1.0, runtime=100.0, size=4),
+        ]
+        result = run_easy(jobs, policy=policy)
+        by_id = {o.job.job_id: o for o in result.outcomes}
+        assert by_id[1].gear.frequency == 0.8
+        assert by_id[1].penalized_runtime == pytest.approx(1937.5)
+        assert by_id[2].start_time == pytest.approx(1937.5)
+
+    def test_wq_threshold_zero_blocks_reduction_when_queue_nonempty(self):
+        # Gears are assigned when a job *starts*: job 2 starts while job 3
+        # still waits behind it (WQ size 1 > 0 -> top frequency), whereas
+        # job 3 starts with an empty queue and is reduced.
+        policy = BsldThresholdPolicy(bsld_threshold=3.0, wq_threshold=0)
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, requested=100.0, size=4),
+            make_job(2, submit=1.0, runtime=100.0, requested=100.0, size=4),
+            make_job(3, submit=2.0, runtime=100.0, requested=100.0, size=4),
+        ]
+        result = run_easy(jobs, policy=policy)
+        by_id = {o.job.job_id: o for o in result.outcomes}
+        assert by_id[1].was_reduced  # empty queue when it starts at t=0
+        assert not by_id[2].was_reduced  # job 3 queued behind it at start
+        assert by_id[3].was_reduced  # alone again when it finally starts
+
+    def test_backfilled_job_may_be_reduced_when_bsld_allows(self):
+        # Large threshold: the backfilled job picks the lowest gear that
+        # still fits before the reservation.
+        policy = BsldThresholdPolicy(bsld_threshold=10.0, wq_threshold=None)
+        jobs = [
+            make_job(1, submit=0.0, runtime=1000.0, requested=1000.0, size=3),
+            make_job(2, submit=1.0, runtime=500.0, size=4),
+            # 100s at top; even stretched x1.9375 (194s) it ends before
+            # the reservation at t~1937 -> lowest gear.
+            make_job(3, submit=2.0, runtime=100.0, requested=100.0, size=1),
+        ]
+        result = run_easy(jobs, policy=policy)
+        by_id = {o.job.job_id: o for o in result.outcomes}
+        assert by_id[3].start_time == 2.0
+        assert by_id[3].gear.frequency == 0.8
+
+    def test_backfill_picks_faster_gear_to_fit_window(self):
+        # Job 1 itself is reduced (empty machine) to 0.8 GHz, so it holds
+        # 3 CPUs until 100 * 1.9375 = 193.75 and the head's reservation
+        # sits there.  The 150s backfill candidate must pick a gear whose
+        # stretched duration fits the 191.75s window:
+        #   0.8 GHz: 150*1.9375 = 290.6  -> no
+        #   1.1 GHz: 150*1.545  = 231.8  -> no
+        #   1.4 GHz: 150*1.321  = 198.2  -> no
+        #   1.7 GHz: 150*1.176  = 176.5  -> fits (2 + 176.5 < 193.75)
+        policy = BsldThresholdPolicy(bsld_threshold=10.0, wq_threshold=None)
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, requested=100.0, size=3),
+            make_job(2, submit=1.0, runtime=500.0, size=4),
+            make_job(3, submit=2.0, runtime=150.0, requested=150.0, size=1),
+        ]
+        result = run_easy(jobs, policy=policy)
+        by_id = {o.job.job_id: o for o in result.outcomes}
+        assert by_id[1].gear.frequency == 0.8
+        assert by_id[3].start_time == 2.0
+        assert by_id[3].gear.frequency == pytest.approx(1.7)
+
+    def test_no_dvfs_policy_everything_top(self):
+        jobs = [make_job(i, submit=float(i), runtime=50.0, size=2) for i in range(1, 6)]
+        result = run_easy(jobs)
+        assert result.reduced_jobs == 0
+        assert all(o.gear.frequency == 2.3 for o in result.outcomes)

@@ -1,0 +1,76 @@
+"""The fast EASY implementation must match the profile-based reference.
+
+The fast scheduler uses the O(1) shadow-time/extra-nodes backfill test;
+the reference builds full availability profiles the way the paper's
+pseudocode reads.  On any workload and any frequency policy they must
+produce *identical* schedules (same start time and same gear for every
+job) — this is the strongest correctness statement in the suite.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cluster.machine import Machine
+from repro.core.frequency_policy import BsldThresholdPolicy, FixedGearPolicy
+from repro.scheduling.base import SchedulerConfig
+from repro.scheduling.easy import EasyBackfilling
+from repro.scheduling.reference import ReferenceEasyBackfilling
+from tests.conftest import random_workload, workload_strategy
+
+POLICIES = {
+    "nodvfs": lambda: FixedGearPolicy(),
+    "fixed-low": lambda: FixedGearPolicy(0.8),
+    "bsld(1.5,0)": lambda: BsldThresholdPolicy(1.5, 0),
+    "bsld(2,4)": lambda: BsldThresholdPolicy(2.0, 4),
+    "bsld(3,NO)": lambda: BsldThresholdPolicy(3.0, None),
+    "bsld-strict": lambda: BsldThresholdPolicy(2.0, None, strict_top_backfill=True),
+}
+
+
+def assert_identical_schedules(jobs, cpus, policy_factory):
+    machine = Machine("m", cpus)
+    fast = EasyBackfilling(
+        machine, policy_factory(), config=SchedulerConfig(validate=True)
+    ).run(jobs)
+    reference = ReferenceEasyBackfilling(
+        machine, policy_factory(), config=SchedulerConfig(validate=True)
+    ).run(jobs)
+    for a, b in zip(fast.outcomes, reference.outcomes):
+        assert a.job.job_id == b.job.job_id
+        assert a.start_time == pytest.approx(b.start_time, abs=1e-6), (
+            f"job {a.job.job_id}: fast start {a.start_time}, reference {b.start_time}"
+        )
+        assert a.gear == b.gear, f"job {a.job.job_id}: {a.gear} vs {b.gear}"
+    assert fast.energy.computational == pytest.approx(reference.energy.computational)
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("seed", range(6))
+def test_equivalence_random_workloads(policy_name, seed):
+    jobs = random_workload(seed=seed, n_jobs=60, max_cpus=8)
+    assert_identical_schedules(jobs, 8, POLICIES[policy_name])
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_equivalence_bursty_arrivals(policy_name):
+    """Many same-instant arrivals stress tie-breaking."""
+    jobs = random_workload(seed=99, n_jobs=40, max_cpus=6, mean_gap=1.0)
+    assert_identical_schedules(jobs, 6, POLICIES[policy_name])
+
+
+@given(workload_strategy(max_jobs=20, max_cpus=6))
+@settings(max_examples=25)
+def test_equivalence_property_nodvfs(jobs):
+    assert_identical_schedules(jobs, 6, POLICIES["nodvfs"])
+
+
+@given(workload_strategy(max_jobs=20, max_cpus=6))
+@settings(max_examples=25)
+def test_equivalence_property_bsld(jobs):
+    assert_identical_schedules(jobs, 6, POLICIES["bsld(2,4)"])
+
+
+@given(workload_strategy(max_jobs=15, max_cpus=4))
+@settings(max_examples=20)
+def test_equivalence_property_bsld_no_limit(jobs):
+    assert_identical_schedules(jobs, 4, POLICIES["bsld(3,NO)"])

@@ -1,0 +1,64 @@
+"""Unit tests for CSV export and summary rows."""
+
+import csv
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.core.frequency_policy import BsldThresholdPolicy
+from repro.scheduling.easy import EasyBackfilling
+from repro.scheduling.export import outcomes_to_csv, result_summary_row
+from tests.conftest import make_job, random_workload
+
+
+@pytest.fixture(scope="module")
+def result():
+    jobs = random_workload(seed=55, n_jobs=40, max_cpus=8)
+    jobs = [job.with_beta(0.4) if job.job_id % 2 == 0 else job for job in jobs]
+    return EasyBackfilling(Machine("m", 8), BsldThresholdPolicy(2.0, None)).run(jobs)
+
+
+class TestCsvExport:
+    def test_row_count_and_header(self, result, tmp_path):
+        path = tmp_path / "jobs.csv"
+        written = outcomes_to_csv(result, path)
+        assert written == 40
+        with open(path, newline="") as stream:
+            rows = list(csv.DictReader(stream))
+        assert len(rows) == 40
+        assert set(rows[0]) >= {"job_id", "start_time", "frequency_ghz", "bsld", "energy"}
+
+    def test_values_roundtrip(self, result, tmp_path):
+        path = tmp_path / "jobs.csv"
+        outcomes_to_csv(result, path)
+        with open(path, newline="") as stream:
+            rows = {int(r["job_id"]): r for r in csv.DictReader(stream)}
+        for outcome in result.outcomes:
+            row = rows[outcome.job.job_id]
+            assert float(row["start_time"]) == pytest.approx(outcome.start_time, abs=1e-5)
+            assert float(row["frequency_ghz"]) == outcome.gear.frequency
+            assert int(row["was_reduced"]) == int(outcome.was_reduced)
+            assert float(row["bsld"]) == pytest.approx(outcome.bsld(), abs=1e-5)
+
+    def test_beta_column(self, result, tmp_path):
+        path = tmp_path / "jobs.csv"
+        outcomes_to_csv(result, path)
+        with open(path, newline="") as stream:
+            rows = {int(r["job_id"]): r for r in csv.DictReader(stream)}
+        assert rows[2]["beta"] == "0.4000"
+        assert rows[1]["beta"] == ""
+
+
+class TestSummaryRow:
+    def test_fields(self, result):
+        row = result_summary_row(result)
+        assert row["jobs"] == 40
+        assert row["machine"] == "m"
+        assert row["total_cpus"] == 8
+        assert row["avg_bsld"] >= 1.0
+        assert row["energy_idlelow"] >= row["energy_idle0"]
+        assert 0.0 <= row["utilization"] <= 1.0
+
+    def test_usable_as_table(self, result):
+        rows = [result_summary_row(result), result_summary_row(result)]
+        assert rows[0] == rows[1]

@@ -1,0 +1,100 @@
+"""Hand-built FCFS scenarios with exact expected schedules."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.core.frequency_policy import FixedGearPolicy
+from repro.scheduling.base import SchedulerConfig
+from repro.scheduling.fcfs import FcfsScheduler
+from tests.conftest import make_job
+
+
+def run_fcfs(jobs, cpus=4):
+    machine = Machine("m", cpus)
+    scheduler = FcfsScheduler(machine, FixedGearPolicy(), config=SchedulerConfig(validate=True))
+    return scheduler.run(jobs)
+
+
+def starts(result):
+    return {o.job.job_id: o.start_time for o in result.outcomes}
+
+
+class TestFcfsOrdering:
+    def test_sequential_when_machine_full(self):
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, size=4),
+            make_job(2, submit=0.0, runtime=100.0, size=4),
+        ]
+        assert starts(run_fcfs(jobs)) == {1: 0.0, 2: 100.0}
+
+    def test_parallel_when_it_fits(self):
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, size=2),
+            make_job(2, submit=0.0, runtime=100.0, size=2),
+        ]
+        assert starts(run_fcfs(jobs)) == {1: 0.0, 2: 0.0}
+
+    def test_never_overtakes_head(self):
+        # Job 2 (size 4) cannot start; job 3 (size 1) would fit right now
+        # but FCFS forbids overtaking.
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, size=3),
+            make_job(2, submit=1.0, runtime=50.0, size=4),
+            make_job(3, submit=2.0, runtime=10.0, size=1),
+        ]
+        result = starts(run_fcfs(jobs))
+        assert result == {1: 0.0, 2: 100.0, 3: 150.0}
+
+    def test_uses_runtime_not_request_for_progress(self):
+        # Head finishes at its *actual* runtime (50), not the estimate (500).
+        jobs = [
+            make_job(1, submit=0.0, runtime=50.0, requested=500.0, size=4),
+            make_job(2, submit=0.0, runtime=10.0, size=4),
+        ]
+        assert starts(run_fcfs(jobs)) == {1: 0.0, 2: 50.0}
+
+    def test_idle_gap_when_nothing_queued(self):
+        jobs = [
+            make_job(1, submit=0.0, runtime=10.0, size=1),
+            make_job(2, submit=1000.0, runtime=10.0, size=1),
+        ]
+        assert starts(run_fcfs(jobs)) == {1: 0.0, 2: 1000.0}
+
+
+class TestFcfsAccounting:
+    def test_all_jobs_complete(self):
+        jobs = [make_job(i, submit=float(i), runtime=30.0, size=2) for i in range(1, 9)]
+        result = run_fcfs(jobs)
+        assert result.job_count == 8
+
+    def test_average_wait_exact(self):
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, size=4),
+            make_job(2, submit=0.0, runtime=100.0, size=4),
+        ]
+        assert run_fcfs(jobs).average_wait() == pytest.approx(50.0)
+
+    def test_energy_matches_hand_computation(self):
+        from repro.power.model import PowerModel
+
+        jobs = [make_job(1, submit=0.0, runtime=100.0, size=3)]
+        result = run_fcfs(jobs)
+        model = PowerModel()
+        expected = model.active_power(model.gears.top) * 3 * 100.0
+        assert result.energy.computational == pytest.approx(expected)
+        # idle: 1 CPU for the whole 100s span
+        assert result.energy.idle == pytest.approx(model.idle_energy(100.0))
+
+    def test_fcfs_never_better_than_easy(self):
+        from repro.scheduling.easy import EasyBackfilling
+
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, size=3),
+            make_job(2, submit=1.0, runtime=100.0, size=4),
+            make_job(3, submit=2.0, runtime=10.0, size=1),
+            make_job(4, submit=3.0, runtime=10.0, size=1),
+        ]
+        machine = Machine("m", 4)
+        fcfs = FcfsScheduler(machine, FixedGearPolicy()).run(jobs)
+        easy = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
+        assert easy.average_wait() <= fcfs.average_wait()

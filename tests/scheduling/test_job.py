@@ -1,0 +1,119 @@
+"""Unit tests for the job model and outcome records."""
+
+import pytest
+
+from repro.core.gears import PAPER_GEAR_SET
+from repro.scheduling.job import Job, JobOutcome, validate_jobs
+from tests.conftest import make_job
+
+
+class TestJob:
+    def test_basic_fields(self):
+        job = Job(job_id=1, submit_time=10.0, runtime=100.0, requested_time=200.0, size=4)
+        assert job.area == 400.0
+        assert job.beta is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="submit"):
+            Job(1, -1.0, 10.0, 10.0, 1)
+        with pytest.raises(ValueError, match="runtime"):
+            Job(1, 0.0, -10.0, 10.0, 1)
+        with pytest.raises(ValueError, match="requested_time"):
+            Job(1, 0.0, 10.0, 0.0, 1)
+        with pytest.raises(ValueError, match="size"):
+            Job(1, 0.0, 10.0, 10.0, 0)
+        with pytest.raises(ValueError, match="beta"):
+            Job(1, 0.0, 10.0, 10.0, 1, beta=1.5)
+
+    def test_zero_runtime_allowed(self):
+        assert Job(1, 0.0, 0.0, 10.0, 1).runtime == 0.0
+
+    def test_clamped(self):
+        over = Job(1, 0.0, 300.0, 200.0, 1)
+        clamped = over.clamped()
+        assert clamped.runtime == 200.0
+        assert clamped.requested_time == 200.0
+
+    def test_clamped_noop_returns_self(self):
+        job = make_job(runtime=100.0, requested=200.0)
+        assert job.clamped() is job
+
+    def test_with_beta(self):
+        job = make_job().with_beta(0.25)
+        assert job.beta == 0.25
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            make_job().runtime = 5.0  # type: ignore[misc]
+
+
+class TestJobOutcome:
+    def outcome(self, wait=100.0, runtime=1000.0, stretch=1.0):
+        job = make_job(runtime=runtime, requested=runtime * 2)
+        return JobOutcome(
+            job=job,
+            start_time=job.submit_time + wait,
+            finish_time=job.submit_time + wait + runtime * stretch,
+            gear=PAPER_GEAR_SET.top,
+            penalized_runtime=runtime * stretch,
+            energy=1.0,
+            was_reduced=stretch > 1.0,
+        )
+
+    def test_wait_time(self):
+        assert self.outcome(wait=123.0).wait_time == 123.0
+
+    def test_bsld_unreduced(self):
+        outcome = self.outcome(wait=1000.0, runtime=1000.0)
+        assert outcome.bsld() == pytest.approx(2.0)
+
+    def test_bsld_reduced_uses_penalized_numerator(self):
+        outcome = self.outcome(wait=0.0, runtime=1000.0, stretch=1.9375)
+        assert outcome.bsld() == pytest.approx(1.9375)
+
+    def test_slowdown_factor(self):
+        assert self.outcome(stretch=1.5).slowdown_factor == pytest.approx(1.5)
+        zero = JobOutcome(
+            job=make_job(runtime=0.0),
+            start_time=0.0,
+            finish_time=0.0,
+            gear=PAPER_GEAR_SET.top,
+            penalized_runtime=0.0,
+            energy=0.0,
+            was_reduced=False,
+        )
+        assert zero.slowdown_factor == 1.0
+
+    def test_start_before_submit_rejected(self):
+        job = make_job(submit=100.0)
+        with pytest.raises(ValueError, match="before submission"):
+            JobOutcome(job, 50.0, 200.0, PAPER_GEAR_SET.top, 100.0, 0.0, False)
+
+    def test_finish_before_start_rejected(self):
+        job = make_job()
+        with pytest.raises(ValueError, match="before starting"):
+            JobOutcome(job, 100.0, 50.0, PAPER_GEAR_SET.top, 100.0, 0.0, False)
+
+
+class TestValidateJobs:
+    def test_accepts_good_trace(self):
+        jobs = [make_job(job_id=1, submit=0.0), make_job(job_id=2, submit=10.0)]
+        validate_jobs(jobs, total_cpus=4)
+
+    def test_rejects_oversized_job(self):
+        with pytest.raises(ValueError, match="needs 8 CPUs"):
+            validate_jobs([make_job(size=8)], total_cpus=4)
+
+    def test_rejects_duplicate_ids(self):
+        jobs = [make_job(job_id=1), make_job(job_id=1, submit=5.0)]
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_jobs(jobs, total_cpus=4)
+
+    def test_rejects_unsorted(self):
+        jobs = [make_job(job_id=1, submit=10.0), make_job(job_id=2, submit=5.0)]
+        with pytest.raises(ValueError, match="sorted"):
+            validate_jobs(jobs, total_cpus=4)
+
+    def test_rejects_empty_machine(self):
+        with pytest.raises(ValueError, match="CPU"):
+            validate_jobs([], total_cpus=0)

@@ -1,0 +1,135 @@
+"""Validate the simulator against closed-form queueing theory.
+
+A scheduler simulator should reduce to textbook queues in degenerate
+configurations.  These tests drive the *full* stack (engine, scheduler,
+pool, accounting) and compare measured waits against M/M/1 and M/M/c
+formulas — an end-to-end correctness check no unit test can give.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.core.frequency_policy import FixedGearPolicy
+from repro.scheduling.easy import EasyBackfilling
+from repro.scheduling.fcfs import FcfsScheduler
+from repro.scheduling.job import Job
+
+
+def poisson_serial_jobs(n, arrival_rate, service_rate, seed, *, exact_estimates=True):
+    """Serial jobs, Poisson arrivals, exponential service times."""
+    rng = random.Random(seed)
+    clock = 0.0
+    jobs = []
+    for index in range(n):
+        clock += rng.expovariate(arrival_rate)
+        runtime = rng.expovariate(service_rate)
+        runtime = max(runtime, 1e-6)
+        jobs.append(
+            Job(
+                job_id=index + 1,
+                submit_time=clock,
+                runtime=runtime,
+                requested_time=runtime if exact_estimates else runtime * 3.0,
+                size=1,
+            )
+        )
+    return jobs
+
+
+def mm1_expected_wait(arrival_rate, service_rate):
+    """M/M/1 mean waiting time (time in queue): rho / (mu - lambda)."""
+    rho = arrival_rate / service_rate
+    assert rho < 1.0
+    return rho / (service_rate - arrival_rate)
+
+
+def erlang_c(c, offered):
+    """Erlang-C probability of waiting for an M/M/c queue."""
+    summation = sum(offered**k / math.factorial(k) for k in range(c))
+    top = offered**c / (math.factorial(c) * (1.0 - offered / c))
+    return top / (summation + top)
+
+
+def mmc_expected_wait(arrival_rate, service_rate, c):
+    offered = arrival_rate / service_rate
+    probability_wait = erlang_c(c, offered)
+    return probability_wait / (c * service_rate - arrival_rate)
+
+
+N_JOBS = 12_000  # long runs so sample means settle
+
+
+class TestMM1:
+    @pytest.mark.parametrize("scheduler_cls", [FcfsScheduler, EasyBackfilling])
+    def test_mm1_wait(self, scheduler_cls):
+        """Serial jobs on one CPU: any non-preemptive order-preserving
+        scheduler is an M/M/1 queue."""
+        arrival_rate, service_rate = 0.7, 1.0
+        jobs = poisson_serial_jobs(N_JOBS, arrival_rate, service_rate, seed=42)
+        machine = Machine("mm1", 1)
+        result = scheduler_cls(machine, FixedGearPolicy()).run(jobs)
+        expected = mm1_expected_wait(arrival_rate, service_rate)
+        measured = result.average_wait()
+        # ~15% tolerance: finite sample of a heavy-tailed statistic
+        assert measured == pytest.approx(expected, rel=0.15)
+
+    def test_mm1_low_load_near_zero_wait(self):
+        jobs = poisson_serial_jobs(3000, 0.05, 1.0, seed=7)
+        result = FcfsScheduler(Machine("mm1", 1), FixedGearPolicy()).run(jobs)
+        assert result.average_wait() < mm1_expected_wait(0.05, 1.0) * 2.0
+
+    def test_utilization_matches_rho(self):
+        arrival_rate, service_rate = 0.6, 1.0
+        jobs = poisson_serial_jobs(N_JOBS, arrival_rate, service_rate, seed=3)
+        result = FcfsScheduler(Machine("mm1", 1), FixedGearPolicy()).run(jobs)
+        # busy fraction over the span approximates rho
+        assert result.utilization == pytest.approx(0.6, abs=0.05)
+
+
+class TestMMC:
+    def test_mmc_wait(self):
+        """Serial jobs on c CPUs = M/M/c (backfilling changes nothing:
+        single-CPU jobs are served in order whenever a server frees)."""
+        c, arrival_rate, service_rate = 4, 3.2, 1.0  # rho = 0.8
+        jobs = poisson_serial_jobs(N_JOBS, arrival_rate, service_rate, seed=11)
+        machine = Machine("mmc", c)
+        result = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
+        expected = mmc_expected_wait(arrival_rate, service_rate, c)
+        assert result.average_wait() == pytest.approx(expected, rel=0.2)
+
+    def test_easy_equals_fcfs_for_serial_jobs(self):
+        """With only serial jobs there is nothing to backfill around:
+        EASY and FCFS must produce identical schedules."""
+        jobs = poisson_serial_jobs(2000, 2.5, 1.0, seed=13)
+        machine = Machine("m", 4)
+        easy = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
+        fcfs = FcfsScheduler(machine, FixedGearPolicy()).run(jobs)
+        assert [o.start_time for o in easy.outcomes] == [
+            o.start_time for o in fcfs.outcomes
+        ]
+
+
+class TestLittlesLaw:
+    def test_littles_law_on_queue_length(self):
+        """L = lambda * W on the measured timeline (Little's law)."""
+        from repro.scheduling.base import SchedulerConfig
+
+        arrival_rate, service_rate = 0.75, 1.0
+        jobs = poisson_serial_jobs(8000, arrival_rate, service_rate, seed=29)
+        machine = Machine("mm1", 1)
+        result = FcfsScheduler(
+            machine, FixedGearPolicy(), config=SchedulerConfig(record_timeline=True)
+        ).run(jobs)
+        # time-average queue length from the recorded timeline
+        points = result.timeline
+        area = 0.0
+        for a, b in zip(points, points[1:]):
+            area += a.queued_jobs * (b.time - a.time)
+        span = points[-1].time - points[0].time
+        mean_queue = area / span
+        effective_lambda = result.job_count / span
+        expected_queue = effective_lambda * result.average_wait()
+        assert mean_queue == pytest.approx(expected_queue, rel=0.1)

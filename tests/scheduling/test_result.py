@@ -1,0 +1,129 @@
+"""Unit tests for SimulationResult aggregation."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.core.frequency_policy import BsldThresholdPolicy, FixedGearPolicy
+from repro.core.gears import PAPER_GEAR_SET
+from repro.power.energy import EnergyReport
+from repro.scheduling.easy import EasyBackfilling
+from repro.scheduling.job import JobOutcome
+from repro.scheduling.result import SimulationResult, TimelinePoint
+from tests.conftest import make_job, random_workload
+
+
+def small_result():
+    jobs = [
+        make_job(1, submit=0.0, runtime=1000.0, size=2),
+        make_job(2, submit=0.0, runtime=1000.0, size=2),
+        make_job(3, submit=10.0, runtime=1000.0, size=4),
+    ]
+    return EasyBackfilling(Machine("m", 4), FixedGearPolicy()).run(jobs)
+
+
+class TestAggregates:
+    def test_job_count(self):
+        assert small_result().job_count == 3
+
+    def test_outcomes_sorted_by_job_id(self):
+        result = small_result()
+        ids = [o.job.job_id for o in result.outcomes]
+        assert ids == sorted(ids)
+
+    def test_average_wait_exact(self):
+        # jobs 1,2 start at 0; job 3 waits until 1000.
+        assert small_result().average_wait() == pytest.approx(990.0 / 3.0)
+
+    def test_average_bsld_exact(self):
+        # BSLDs: 1, 1, (990 + 1000)/1000 = 1.99
+        assert small_result().average_bsld() == pytest.approx((1.0 + 1.0 + 1.99) / 3.0)
+
+    def test_makespan(self):
+        assert small_result().makespan == pytest.approx(2000.0)
+
+    def test_utilization(self):
+        # busy = 2*1000 + 2*1000 + 4*1000 = 8000 cpu-s over 4 * 2000
+        assert small_result().utilization == pytest.approx(1.0)
+
+    def test_gear_histogram(self):
+        histogram = small_result().gear_histogram()
+        assert histogram == {PAPER_GEAR_SET.top: 3}
+
+    def test_wait_times_series(self):
+        assert small_result().wait_times() == [0.0, 0.0, 990.0]
+
+    def test_bslds_series(self):
+        assert len(small_result().bslds()) == 3
+
+    def test_describe_mentions_policy(self):
+        assert "FixedGear(top)" in small_result().describe()
+
+
+class TestReducedJobs:
+    def test_reduced_job_counting(self):
+        jobs = [make_job(1, submit=0.0, runtime=1000.0, requested=1000.0, size=1)]
+        result = EasyBackfilling(Machine("m", 4), BsldThresholdPolicy(2.0, None)).run(jobs)
+        assert result.reduced_jobs == 1
+        histogram = result.gear_histogram()
+        assert PAPER_GEAR_SET.lowest in histogram
+
+
+class TestValidation:
+    def test_unsorted_outcomes_rejected(self):
+        outcome = JobOutcome(
+            job=make_job(2),
+            start_time=0.0,
+            finish_time=1000.0,
+            gear=PAPER_GEAR_SET.top,
+            penalized_runtime=1000.0,
+            energy=1.0,
+            was_reduced=False,
+        )
+        other = JobOutcome(
+            job=make_job(1),
+            start_time=0.0,
+            finish_time=1000.0,
+            gear=PAPER_GEAR_SET.top,
+            penalized_runtime=1000.0,
+            energy=1.0,
+            was_reduced=False,
+        )
+        report = EnergyReport(
+            computational=2.0, idle=0.0, busy_cpu_seconds=2000.0,
+            idle_cpu_seconds=0.0, span=1000.0,
+        )
+        with pytest.raises(ValueError, match="ordered"):
+            SimulationResult(
+                machine=Machine("m", 4),
+                policy="x",
+                outcomes=(outcome, other),
+                energy=report,
+                events_processed=4,
+            )
+
+    def test_timeline_points(self):
+        point = TimelinePoint(time=1.0, queued_jobs=2, busy_cpus=3)
+        assert point.time == 1.0
+
+    def test_empty_result_properties(self):
+        report = EnergyReport(
+            computational=0.0, idle=0.0, busy_cpu_seconds=0.0, idle_cpu_seconds=0.0, span=0.0
+        )
+        result = SimulationResult(
+            machine=Machine("m", 4), policy="x", outcomes=(), energy=report, events_processed=0
+        )
+        assert result.makespan == 0.0
+        assert result.utilization == 0.0
+        assert result.reduced_jobs == 0
+
+
+class TestPairedComparisons:
+    def test_wait_series_align_by_job_id(self):
+        """Figure 6 relies on job-aligned wait series across policies."""
+        jobs = random_workload(seed=41, n_jobs=50, max_cpus=8)
+        machine = Machine("m", 8)
+        base = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
+        powered = EasyBackfilling(machine, BsldThresholdPolicy(2.0, 16)).run(jobs)
+        assert [o.job.job_id for o in base.outcomes] == [
+            o.job.job_id for o in powered.outcomes
+        ]

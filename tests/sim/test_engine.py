@@ -1,0 +1,129 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.events import EventKind
+
+
+def collecting_engine():
+    engine = Engine()
+    log = []
+    engine.on(EventKind.JOB_ARRIVAL, lambda now, payload: log.append(("arrival", now, payload)))
+    engine.on(EventKind.JOB_FINISH, lambda now, payload: log.append(("finish", now, payload)))
+    return engine, log
+
+
+class TestDispatch:
+    def test_events_dispatch_in_order(self):
+        engine, log = collecting_engine()
+        engine.schedule(2.0, EventKind.JOB_ARRIVAL, "b")
+        engine.schedule(1.0, EventKind.JOB_ARRIVAL, "a")
+        engine.run()
+        assert [entry[2] for entry in log] == ["a", "b"]
+        assert engine.events_processed == 2
+
+    def test_clock_advances(self):
+        engine, log = collecting_engine()
+        engine.schedule(5.0, EventKind.JOB_ARRIVAL)
+        engine.run()
+        assert engine.now == 5.0
+
+    def test_handler_can_schedule_more(self):
+        engine = Engine()
+        seen = []
+
+        def handler(now, payload):
+            seen.append(now)
+            if payload:
+                engine.schedule(now + 1.0, EventKind.CONTROL, payload - 1)
+
+        engine.on(EventKind.CONTROL, handler)
+        engine.schedule(0.0, EventKind.CONTROL, 3)
+        engine.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_missing_handler_raises(self):
+        engine = Engine()
+        engine.schedule(1.0, EventKind.CONTROL)
+        with pytest.raises(SimulationError, match="no handler"):
+            engine.run()
+
+    def test_duplicate_handler_rejected(self):
+        engine = Engine()
+        engine.on(EventKind.CONTROL, lambda n, p: None)
+        with pytest.raises(ValueError, match="already registered"):
+            engine.on(EventKind.CONTROL, lambda n, p: None)
+
+
+class TestScheduling:
+    def test_schedule_into_past_rejected(self):
+        engine, _ = collecting_engine()
+        engine.schedule(10.0, EventKind.JOB_ARRIVAL)
+        engine.run()
+        with pytest.raises(SimulationError, match="before the current time"):
+            engine.schedule(5.0, EventKind.JOB_ARRIVAL)
+
+    def test_schedule_now_allowed(self):
+        engine = Engine()
+        hits = []
+        engine.on(EventKind.CONTROL, lambda n, p: hits.append(n))
+        engine.schedule(0.0, EventKind.CONTROL)
+        engine.run()
+        engine.schedule(engine.now, EventKind.CONTROL)
+        engine.run()
+        assert hits == [0.0, 0.0]
+
+    def test_cancel(self):
+        engine, log = collecting_engine()
+        handle = engine.schedule(1.0, EventKind.JOB_FINISH, "dead")
+        engine.schedule(2.0, EventKind.JOB_ARRIVAL, "alive")
+        engine.cancel(handle)
+        engine.run()
+        assert [entry[2] for entry in log] == ["alive"]
+
+    def test_pending_events_counter(self):
+        engine, _ = collecting_engine()
+        engine.schedule(1.0, EventKind.JOB_ARRIVAL)
+        engine.schedule(2.0, EventKind.JOB_ARRIVAL)
+        assert engine.pending_events == 2
+        engine.run()
+        assert engine.pending_events == 0
+
+
+class TestRunBounds:
+    def test_until_stops_early(self):
+        engine, log = collecting_engine()
+        engine.schedule(1.0, EventKind.JOB_ARRIVAL, "in")
+        engine.schedule(10.0, EventKind.JOB_ARRIVAL, "out")
+        engine.run(until=5.0)
+        assert [entry[2] for entry in log] == ["in"]
+        assert engine.pending_events == 1
+
+    def test_max_events_guard(self):
+        engine = Engine()
+        engine.on(EventKind.CONTROL, lambda n, p: engine.schedule(n + 1.0, EventKind.CONTROL))
+        engine.schedule(0.0, EventKind.CONTROL)
+        with pytest.raises(SimulationError, match="budget"):
+            engine.run(max_events=100)
+
+    def test_not_reentrant(self):
+        engine = Engine()
+        error = {}
+
+        def handler(now, payload):
+            try:
+                engine.run()
+            except SimulationError as exc:
+                error["message"] = str(exc)
+
+        engine.on(EventKind.CONTROL, handler)
+        engine.schedule(0.0, EventKind.CONTROL)
+        engine.run()
+        assert "reentrant" in error["message"]
+
+    def test_run_on_empty_queue_is_noop(self):
+        engine, log = collecting_engine()
+        engine.run()
+        assert log == []
+        assert engine.now == 0.0

@@ -1,0 +1,99 @@
+"""Unit tests for the cancellable event queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.events import EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        queue = EventQueue()
+        queue.push(5.0, EventKind.JOB_ARRIVAL, "late")
+        queue.push(1.0, EventKind.JOB_ARRIVAL, "early")
+        assert queue.pop().payload == "early"
+        assert queue.pop().payload == "late"
+
+    def test_finish_beats_arrival_at_same_time(self):
+        queue = EventQueue()
+        queue.push(10.0, EventKind.JOB_ARRIVAL, "arrival")
+        queue.push(10.0, EventKind.JOB_FINISH, "finish")
+        assert queue.pop().payload == "finish"
+        assert queue.pop().payload == "arrival"
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        queue = EventQueue()
+        for name in ("a", "b", "c"):
+            queue.push(1.0, EventKind.JOB_ARRIVAL, name)
+        assert [queue.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=50))
+    def test_pops_sorted(self, times):
+        queue = EventQueue()
+        for time in times:
+            queue.push(time, EventKind.CONTROL)
+        popped = [queue.pop().time for _ in range(len(times))]
+        assert popped == sorted(popped)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, EventKind.JOB_FINISH, "dead")
+        queue.push(2.0, EventKind.JOB_FINISH, "alive")
+        queue.cancel(handle)
+        assert len(queue) == 1
+        assert queue.pop().payload == "alive"
+
+    def test_double_cancel_is_idempotent(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, EventKind.JOB_FINISH)
+        queue.cancel(handle)
+        queue.cancel(handle)
+        assert len(queue) == 0
+
+    def test_cancel_then_empty_pop_raises(self):
+        queue = EventQueue()
+        queue.cancel(queue.push(1.0, EventKind.JOB_FINISH))
+        with pytest.raises(IndexError):
+            queue.pop()
+
+
+class TestBookkeeping:
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, EventKind.CONTROL)
+        assert queue
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        queue.push(9.0, EventKind.CONTROL)
+        queue.push(3.0, EventKind.CONTROL)
+        assert queue.peek_time() == 3.0
+        assert len(queue) == 2  # peek does not consume
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, EventKind.CONTROL)
+        queue.push(2.0, EventKind.CONTROL)
+        queue.cancel(first)
+        assert queue.peek_time() == 2.0
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().peek_time()
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            EventQueue().push(float("nan"), EventKind.CONTROL)
+
+
+class TestEventKindPriorities:
+    def test_finish_lowest(self):
+        assert EventKind.JOB_FINISH < EventKind.JOB_ARRIVAL < EventKind.CONTROL

@@ -1,0 +1,40 @@
+"""Unit tests for seeded named RNG streams."""
+
+from repro.sim.rng import RngStreams, substream
+
+
+class TestSubstream:
+    def test_deterministic(self):
+        assert substream(1, "x").random() == substream(1, "x").random()
+
+    def test_name_separates_streams(self):
+        assert substream(1, "a").random() != substream(1, "b").random()
+
+    def test_seed_separates_streams(self):
+        assert substream(1, "a").random() != substream(2, "a").random()
+
+
+class TestRngStreams:
+    def test_same_name_returns_same_object(self):
+        streams = RngStreams(7)
+        assert streams.get("arrival") is streams.get("arrival")
+
+    def test_getitem_alias(self):
+        streams = RngStreams(7)
+        assert streams["size"] is streams.get("size")
+
+    def test_matches_substream(self):
+        assert RngStreams(3)["runtime"].random() == substream(3, "runtime").random()
+
+    def test_seed_property(self):
+        assert RngStreams(11).seed == 11
+
+    def test_stream_independence(self):
+        """Consuming one stream must not perturb another."""
+        reference = RngStreams(5)
+        expected = [reference["b"].random() for _ in range(5)]
+
+        perturbed = RngStreams(5)
+        for _ in range(100):
+            perturbed["a"].random()  # heavy use of a different stream
+        assert [perturbed["b"].random() for _ in range(5)] == expected

@@ -1,0 +1,113 @@
+"""CLI smoke tests (all subcommands, tiny traces)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *args):
+    code = main(list(args))
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+class TestRun:
+    def test_baseline_run(self, capsys):
+        out = run_cli(capsys, "--jobs", "60", "run", "CTC")
+        assert "avg BSLD" in out
+        assert "energy (idle=0)" in out
+        assert "[1.000 of no-DVFS]" in out
+
+    def test_power_aware_run(self, capsys):
+        out = run_cli(
+            capsys, "--jobs", "60", "run", "CTC",
+            "--bsld-threshold", "2", "--wq-threshold", "4",
+        )
+        assert "BSLDthreshold=2" in out
+        assert "gear histogram" in out
+
+    def test_no_limit_wq(self, capsys):
+        out = run_cli(
+            capsys, "--jobs", "60", "run", "LLNLThunder",
+            "--bsld-threshold", "3", "--wq-threshold", "NO",
+        )
+        assert "WQthreshold=NO" in out
+
+    def test_size_factor_and_boost(self, capsys):
+        out = run_cli(
+            capsys, "--jobs", "60", "run", "SDSC",
+            "--bsld-threshold", "2", "--size-factor", "1.5", "--boost", "4",
+        )
+        assert "SDSCx1.5" in out
+
+    def test_fcfs_scheduler(self, capsys):
+        out = run_cli(capsys, "--jobs", "60", "run", "CTC", "--scheduler", "fcfs")
+        assert "avg BSLD" in out
+
+    def test_bad_wq_threshold(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "10", "run", "CTC", "--bsld-threshold", "2", "--wq-threshold", "x"])
+        with pytest.raises(SystemExit):
+            main(["--jobs", "10", "run", "CTC", "--bsld-threshold", "2", "--wq-threshold", "-3"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "NotAWorkload"])
+
+
+class TestTablesAndFigures:
+    def test_table1(self, capsys):
+        out = run_cli(capsys, "--jobs", "50", "table", "1")
+        assert "Table 1" in out
+        assert "LLNLAtlas" in out
+
+    def test_table3(self, capsys):
+        out = run_cli(capsys, "--jobs", "50", "table", "3")
+        assert "Table 3" in out
+
+    def test_figure4(self, capsys):
+        out = run_cli(capsys, "--jobs", "50", "figure", "4")
+        assert "Figure 4" in out
+
+    def test_figure6(self, capsys):
+        out = run_cli(capsys, "--jobs", "50", "figure", "6")
+        assert "Figure 6" in out
+
+    def test_figure9(self, capsys):
+        out = run_cli(capsys, "--jobs", "40", "figure", "9")
+        assert "Figure 9" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "2"])
+
+
+class TestAblations:
+    def test_beta(self, capsys):
+        out = run_cli(capsys, "--jobs", "40", "ablation", "beta")
+        assert "beta sensitivity" in out
+
+    def test_policies_with_workload(self, capsys):
+        out = run_cli(capsys, "--jobs", "40", "ablation", "policies", "--workload", "SDSC")
+        assert "SDSC" in out
+
+
+class TestGenerateAndStats:
+    def test_generate_writes_swf(self, capsys, tmp_path):
+        path = tmp_path / "out.swf"
+        out = run_cli(capsys, "--jobs", "30", "generate", "SDSCBlue", str(path))
+        assert "wrote 30 jobs" in out
+        assert path.exists()
+
+    def test_stats_synthetic(self, capsys):
+        out = run_cli(capsys, "--jobs", "40", "stats", "CTC")
+        assert "synthetic" in out
+        assert "offered load" in out
+
+    def test_stats_from_swf(self, capsys, tmp_path):
+        path = tmp_path / "t.swf"
+        run_cli(capsys, "--jobs", "25", "generate", "LLNLThunder", str(path))
+        out = run_cli(capsys, "stats", str(path))
+        assert "from SWF" in out
+        assert "jobs: 25" in out

@@ -1,0 +1,92 @@
+"""Unit tests for flurry removal."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.workloads.cleaning import FlurryFilter, remove_flurries
+from tests.conftest import make_job
+
+
+def flurry(user, start, count, gap=10.0, runtime=100.0, size=2, first_id=1000):
+    jobs = []
+    for index in range(count):
+        job = make_job(
+            job_id=first_id + index,
+            submit=start + index * gap,
+            runtime=runtime,
+            size=size,
+        )
+        jobs.append(replace(job, user_id=user))
+    return jobs
+
+
+class TestFlurryFilter:
+    def test_similarity(self):
+        config = FlurryFilter(similarity=0.2)
+        a = replace(make_job(1, runtime=100.0, size=2), user_id=1)
+        assert config.similar(a, replace(make_job(2, runtime=110.0, size=2), user_id=1))
+        assert not config.similar(a, replace(make_job(3, runtime=200.0, size=2), user_id=1))
+        assert not config.similar(a, replace(make_job(4, runtime=100.0, size=4), user_id=1))
+
+    @pytest.mark.parametrize(
+        "kw,match",
+        [
+            (dict(window_seconds=0.0), "window_seconds"),
+            (dict(max_burst=0), "max_burst"),
+            (dict(similarity=1.5), "similarity"),
+            (dict(keep_every=0), "keep_every"),
+        ],
+    )
+    def test_validation(self, kw, match):
+        with pytest.raises(ValueError, match=match):
+            FlurryFilter(**kw)
+
+
+class TestRemoveFlurries:
+    def test_big_flurry_thinned(self):
+        jobs = flurry(user=1, start=0.0, count=100)
+        kept = remove_flurries(jobs, FlurryFilter(max_burst=10, keep_every=10))
+        assert len(kept) < len(jobs)
+        # the first max_burst jobs always survive, later ones are sampled
+        assert len(kept) >= 10
+
+    def test_normal_activity_untouched(self):
+        jobs = flurry(user=1, start=0.0, count=5)
+        assert remove_flurries(jobs, FlurryFilter(max_burst=10)) == jobs
+
+    def test_spread_out_jobs_untouched(self):
+        # Same user, many similar jobs, but hours apart: not a flurry.
+        jobs = flurry(user=1, start=0.0, count=30, gap=7200.0)
+        assert remove_flurries(jobs, FlurryFilter(max_burst=10)) == jobs
+
+    def test_dissimilar_jobs_untouched(self):
+        jobs = []
+        for index in range(30):
+            job = make_job(job_id=index + 1, submit=index * 10.0,
+                           runtime=100.0 * (index + 1), size=1 + index % 8)
+            jobs.append(replace(job, user_id=1))
+        assert remove_flurries(jobs, FlurryFilter(max_burst=10)) == jobs
+
+    def test_unknown_users_never_flurries(self):
+        jobs = flurry(user=-1, start=0.0, count=100)
+        assert remove_flurries(jobs, FlurryFilter(max_burst=5)) == jobs
+
+    def test_two_users_independent(self):
+        a = flurry(user=1, start=0.0, count=50, first_id=1000)
+        b = flurry(user=2, start=0.0, count=5, first_id=5000)
+        merged = sorted(a + b, key=lambda job: (job.submit_time, job.job_id))
+        kept = remove_flurries(merged, FlurryFilter(max_burst=10, keep_every=10))
+        assert sum(1 for job in kept if job.user_id == 2) == 5  # untouched
+        assert sum(1 for job in kept if job.user_id == 1) < 50
+
+    def test_order_preserved(self):
+        jobs = flurry(user=1, start=0.0, count=60)
+        kept = remove_flurries(jobs, FlurryFilter(max_burst=10, keep_every=5))
+        ids = [job.job_id for job in kept]
+        assert ids == sorted(ids)
+
+    def test_default_config(self):
+        jobs = flurry(user=1, start=0.0, count=200, gap=1.0)
+        kept = remove_flurries(jobs)
+        assert len(kept) < 200

@@ -1,0 +1,224 @@
+"""Unit and property tests for the synthetic workload generator."""
+
+import math
+from random import Random
+
+import pytest
+
+from repro.scheduling.job import validate_jobs
+from repro.workloads.generator import (
+    generate_workload,
+    load_workload,
+    sample_estimate,
+    sample_size,
+)
+from repro.workloads.models import (
+    EstimateModel,
+    SizeModel,
+    TRACE_MODELS,
+    WORKLOAD_NAMES,
+    trace_model,
+)
+
+N = 400
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = load_workload("CTC", N, seed=5)
+        b = load_workload("CTC", N, seed=5)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        assert load_workload("CTC", N, seed=5) != load_workload("CTC", N, seed=6)
+
+    def test_default_seed_stable(self):
+        assert load_workload("CTC", 50) == load_workload("CTC", 50)
+
+    def test_prefix_insensitive_to_length(self):
+        """Draw streams are per-component, so job i's size/runtime don't
+        depend on how many jobs follow (arrival pacing may differ)."""
+        short = load_workload("SDSC", 50, seed=3)
+        long = load_workload("SDSC", 100, seed=3)
+        for a, b in zip(short, long):
+            assert a.runtime == b.runtime
+            assert a.size == b.size
+            assert a.requested_time == b.requested_time
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestPerWorkloadValidity:
+    def test_trace_is_simulatable(self, name):
+        jobs = load_workload(name, N)
+        validate_jobs(jobs, trace_model(name).cpus)
+
+    def test_ids_sequential(self, name):
+        jobs = load_workload(name, N)
+        assert [job.job_id for job in jobs] == list(range(1, N + 1))
+
+    def test_submits_sorted_nonnegative(self, name):
+        jobs = load_workload(name, N)
+        submits = [job.submit_time for job in jobs]
+        assert submits == sorted(submits)
+        assert submits[0] >= 0.0
+
+    def test_runtimes_within_request(self, name):
+        for job in load_workload(name, N):
+            assert 0.0 < job.runtime <= job.requested_time + 1e-9
+
+    def test_sizes_within_machine(self, name):
+        model = trace_model(name)
+        cap = max(model.sizes.min_size, int(model.cpus * model.sizes.max_fraction))
+        for job in load_workload(name, N):
+            assert model.sizes.min_size <= job.size <= cap
+
+
+class TestWorkloadCharacter:
+    def test_blue_has_no_serials_and_node_granularity(self):
+        for job in load_workload("SDSCBlue", N):
+            assert job.size >= 8
+            assert job.size % 8 == 0
+
+    def test_ctc_serial_fraction(self):
+        jobs = load_workload("CTC", 1000)
+        serial = sum(1 for job in jobs if job.size == 1) / len(jobs)
+        assert 0.23 <= serial <= 0.43  # model: 33%
+
+    def test_thunder_mostly_short_jobs(self):
+        jobs = load_workload("LLNLThunder", 1000)
+        short = sum(1 for job in jobs if job.runtime <= 600.0) / len(jobs)
+        assert short >= 0.55  # model: ~65%
+
+    def test_atlas_jobs_are_large(self):
+        jobs = load_workload("LLNLAtlas", 1000)
+        mean_size = sum(job.size for job in jobs) / len(jobs)
+        assert mean_size > 50
+
+    def test_estimates_rounded_to_grid(self):
+        model = trace_model("CTC")
+        grid = model.estimates.grid_seconds
+        for job in load_workload("CTC", 200):
+            # estimates land on the human grid unless capped at the site max
+            on_grid = math.isclose(job.requested_time % grid, 0.0, abs_tol=1e-6) or math.isclose(
+                job.requested_time % grid, grid, abs_tol=1e-6
+            )
+            capped = job.requested_time == model.estimates.max_request_seconds
+            assert on_grid or capped
+
+    def test_offered_load_matches_target(self):
+        """The rescaling step pins offered load to the calibrated value."""
+        for name in ("CTC", "SDSC", "LLNLThunder"):
+            model = trace_model(name)
+            jobs = load_workload(name, 2000)
+            span = jobs[-1].submit_time - jobs[0].submit_time
+            offered = sum(job.area for job in jobs) / (span * model.cpus)
+            assert offered == pytest.approx(model.arrivals.utilization, rel=0.02)
+
+    def test_utilization_override(self):
+        jobs = generate_workload(trace_model("CTC"), 800, utilization_override=0.3)
+        span = jobs[-1].submit_time - jobs[0].submit_time
+        offered = sum(job.area for job in jobs) / (span * 430)
+        assert offered == pytest.approx(0.3, rel=0.05)
+
+
+class TestSampleSize:
+    MODEL = SizeModel(serial_fraction=0.3, log2_mean=3.0, log2_sigma=1.5, max_fraction=0.5)
+
+    def test_bounds(self):
+        rng = Random(1)
+        for _ in range(500):
+            size = sample_size(self.MODEL, 128, rng)
+            assert 1 <= size <= 64
+
+    def test_pow2_bias_visible(self):
+        rng = Random(2)
+        biased = SizeModel(
+            serial_fraction=0.0, log2_mean=3.0, log2_sigma=1.5, max_fraction=1.0, pow2_bias=1.0
+        )
+        sizes = [sample_size(biased, 1024, rng) for _ in range(300)]
+        assert all(size & (size - 1) == 0 for size in sizes)  # powers of two
+
+    def test_multiple_of(self):
+        rng = Random(3)
+        node_model = SizeModel(
+            serial_fraction=0.0, log2_mean=4.0, log2_sigma=1.0,
+            min_size=8, multiple_of=8, max_fraction=0.5,
+        )
+        for _ in range(300):
+            size = sample_size(node_model, 1152, rng)
+            assert size % 8 == 0
+            assert size >= 8
+
+    def test_wide_jobs(self):
+        rng = Random(4)
+        wide_model = SizeModel(
+            serial_fraction=0.0, log2_mean=2.0, log2_sigma=0.5, max_fraction=0.75,
+            wide_fraction=1.0, wide_lo=0.3, wide_hi=0.75,
+        )
+        for _ in range(200):
+            size = sample_size(wide_model, 1000, rng)
+            assert 300 <= size <= 750
+
+
+class TestSampleEstimate:
+    MODEL = EstimateModel(grid_seconds=900.0, max_request_seconds=18000.0)
+
+    def test_at_least_runtime_and_grid(self):
+        rng = Random(5)
+        for _ in range(300):
+            estimate = sample_estimate(self.MODEL, 1234.0, rng)
+            assert estimate >= 1234.0
+            assert estimate >= 900.0
+
+    def test_cap_respected(self):
+        rng = Random(6)
+        for _ in range(100):
+            estimate = sample_estimate(self.MODEL, 200.0, rng)
+            assert estimate <= 18000.0 or estimate == pytest.approx(200.0)
+
+    def test_accurate_users_request_grid_rounded_runtime(self):
+        rng = Random(7)
+        exact = EstimateModel(accurate_fraction=1.0, grid_seconds=900.0)
+        assert sample_estimate(exact, 1000.0, rng) == 1800.0  # ceil to grid
+
+
+class TestErrors:
+    def test_bad_n_jobs(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            generate_workload(trace_model("CTC"), 0)
+
+    def test_bad_utilization_override(self):
+        with pytest.raises(ValueError, match="utilization"):
+            generate_workload(trace_model("CTC"), 10, utilization_override=0.0)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            load_workload("NotATrace", 10)
+
+
+class TestCalibrationAnchors:
+    """The headline calibration result: baseline avg BSLD per Table 1.
+
+    Uses the full 5000-job traces (a few seconds in total); tolerances
+    are generous since this guards against calibration regressions, not
+    noise."""
+
+    @pytest.mark.parametrize(
+        "name,target,tolerance",
+        [
+            ("CTC", 4.66, 0.8),
+            ("SDSC", 24.91, 4.0),
+            ("SDSCBlue", 5.15, 0.8),
+            ("LLNLThunder", 1.0, 0.05),
+            ("LLNLAtlas", 1.08, 0.1),
+        ],
+    )
+    def test_baseline_bsld_near_paper(self, name, target, tolerance):
+        from repro.cluster.machine import Machine
+        from repro.core.frequency_policy import FixedGearPolicy
+        from repro.scheduling.easy import EasyBackfilling
+
+        jobs = load_workload(name, 5000)
+        machine = Machine(name, trace_model(name).cpus)
+        result = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
+        assert abs(result.average_bsld() - target) <= tolerance

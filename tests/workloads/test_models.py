@@ -1,0 +1,142 @@
+"""Validation tests for the trace-model dataclasses."""
+
+import pytest
+
+from repro.workloads.models import (
+    ArrivalModel,
+    EstimateModel,
+    PAPER_BASELINE_BSLD,
+    RuntimeClass,
+    SizeModel,
+    TRACE_MODELS,
+    TraceModel,
+    WORKLOAD_NAMES,
+    trace_model,
+)
+
+
+class TestRuntimeClass:
+    def test_valid(self):
+        cls = RuntimeClass(weight=1.0, log_mean=7.0, log_sigma=1.0, cap_seconds=3600.0)
+        assert cls.min_seconds == 30.0
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError, match="weight"):
+            RuntimeClass(weight=0.0, log_mean=7.0, log_sigma=1.0, cap_seconds=3600.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError, match="log_sigma"):
+            RuntimeClass(weight=1.0, log_mean=7.0, log_sigma=-1.0, cap_seconds=3600.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError, match="min_seconds"):
+            RuntimeClass(weight=1.0, log_mean=7.0, log_sigma=1.0, cap_seconds=10.0, min_seconds=20.0)
+
+
+class TestSizeModel:
+    def good(self, **kw):
+        base = dict(serial_fraction=0.2, log2_mean=3.0, log2_sigma=1.0)
+        base.update(kw)
+        return SizeModel(**base)
+
+    def test_valid(self):
+        assert self.good().pow2_bias == 0.6
+
+    @pytest.mark.parametrize(
+        "kw,match",
+        [
+            (dict(serial_fraction=1.2), "serial_fraction"),
+            (dict(min_size=0), "min_size"),
+            (dict(multiple_of=0), "multiple_of"),
+            (dict(max_fraction=0.0), "max_fraction"),
+            (dict(pow2_bias=2.0), "pow2_bias"),
+            (dict(wide_fraction=0.9), "wide_fraction"),
+            (dict(wide_lo=0.8, wide_hi=0.5), "wide_lo"),
+        ],
+    )
+    def test_rejections(self, kw, match):
+        with pytest.raises(ValueError, match=match):
+            self.good(**kw)
+
+    def test_serial_with_min_size_conflict(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            SizeModel(serial_fraction=0.1, log2_mean=3.0, log2_sigma=1.0, min_size=8)
+
+
+class TestEstimateModel:
+    def test_defaults(self):
+        model = EstimateModel()
+        assert model.grid_seconds == 900.0
+
+    @pytest.mark.parametrize(
+        "kw,match",
+        [
+            (dict(accurate_fraction=-0.1), "accurate_fraction"),
+            (dict(grid_seconds=0.0), "grid_seconds"),
+            (dict(max_request_seconds=0.0), "max_request_seconds"),
+        ],
+    )
+    def test_rejections(self, kw, match):
+        with pytest.raises(ValueError, match=match):
+            EstimateModel(**kw)
+
+
+class TestArrivalModel:
+    @pytest.mark.parametrize(
+        "kw,match",
+        [
+            (dict(utilization=0.0), "utilization"),
+            (dict(utilization=2.0), "utilization"),
+            (dict(utilization=0.5, burst_shape=0.0), "burst_shape"),
+            (dict(utilization=0.5, daily_amplitude=1.0), "daily_amplitude"),
+            (dict(utilization=0.5, peak_hour=24.0), "peak_hour"),
+        ],
+    )
+    def test_rejections(self, kw, match):
+        with pytest.raises(ValueError, match=match):
+            ArrivalModel(**kw)
+
+
+class TestTraceModel:
+    def test_runtime_weights_normalised(self):
+        model = trace_model("CTC")
+        assert sum(model.runtime_weights) == pytest.approx(1.0)
+
+    def test_rejects_empty_runtime_mixture(self):
+        ctc = trace_model("CTC")
+        with pytest.raises(ValueError, match="runtime class"):
+            TraceModel(name="x", cpus=8, sizes=ctc.sizes, runtimes=())
+
+    def test_rejects_min_size_above_machine(self):
+        blue = trace_model("SDSCBlue")
+        with pytest.raises(ValueError, match="min_size"):
+            TraceModel(name="x", cpus=4, sizes=blue.sizes, runtimes=blue.runtimes)
+
+    def test_rejects_zero_cpus(self):
+        ctc = trace_model("CTC")
+        with pytest.raises(ValueError, match="cpus"):
+            TraceModel(name="x", cpus=0, sizes=ctc.sizes, runtimes=ctc.runtimes)
+
+
+class TestRegistry:
+    def test_five_paper_workloads(self):
+        assert set(WORKLOAD_NAMES) == {"CTC", "SDSC", "SDSCBlue", "LLNLThunder", "LLNLAtlas"}
+
+    def test_paper_cpu_counts(self):
+        expected = {"CTC": 430, "SDSC": 128, "SDSCBlue": 1152, "LLNLThunder": 4008, "LLNLAtlas": 9216}
+        for name, cpus in expected.items():
+            assert TRACE_MODELS[name].cpus == cpus
+
+    def test_paper_baseline_targets(self):
+        assert PAPER_BASELINE_BSLD["SDSC"] == 24.91
+        assert set(PAPER_BASELINE_BSLD) == set(WORKLOAD_NAMES)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            trace_model("BlueGene")
+
+    def test_blue_is_node_granular(self):
+        blue = trace_model("SDSCBlue")
+        assert blue.sizes.min_size == 8
+        assert blue.sizes.multiple_of == 8
+        assert blue.sizes.serial_fraction == 0.0

@@ -1,0 +1,104 @@
+"""Unit tests for trace segment selection."""
+
+import pytest
+
+from repro.workloads.generator import load_workload
+from repro.workloads.segment import (
+    busiest_segment,
+    rebase_times,
+    segment_load,
+    select_segment,
+)
+from tests.conftest import make_job
+
+
+def trace(n=20, gap=100.0):
+    return [make_job(i + 1, submit=i * gap, runtime=500.0, size=2) for i in range(n)]
+
+
+class TestRebase:
+    def test_shifts_to_zero(self):
+        jobs = [make_job(1, submit=500.0), make_job(2, submit=700.0)]
+        rebased = rebase_times(jobs)
+        assert rebased[0].submit_time == 0.0
+        assert rebased[1].submit_time == 200.0
+
+    def test_already_at_zero_is_identity(self):
+        jobs = trace(3)
+        assert rebase_times(jobs) == jobs
+
+    def test_empty(self):
+        assert rebase_times([]) == []
+
+
+class TestSelectSegment:
+    def test_basic_window(self):
+        segment = select_segment(trace(20), 5, 10)
+        assert len(segment) == 10
+        assert segment[0].submit_time == 0.0  # rebased
+        assert segment[0].job_id == 6
+
+    def test_no_rebase(self):
+        segment = select_segment(trace(20), 5, 10, rebase=False)
+        assert segment[0].submit_time == 500.0
+
+    def test_renumber(self):
+        segment = select_segment(trace(20), 5, 10, renumber=True)
+        assert [job.job_id for job in segment] == list(range(1, 11))
+
+    @pytest.mark.parametrize(
+        "start,count,match",
+        [(-1, 5, "start_index"), (0, 0, "count"), (18, 5, "exceeds")],
+    )
+    def test_validation(self, start, count, match):
+        with pytest.raises(ValueError, match=match):
+            select_segment(trace(20), start, count)
+
+
+class TestSegmentLoad:
+    def test_constant_trace(self):
+        jobs = trace(11, gap=100.0)  # span 1000, area 11*1000
+        assert segment_load(jobs, total_cpus=10) == pytest.approx(11000.0 / 10000.0)
+
+    def test_zero_span_is_infinite(self):
+        jobs = [make_job(1, submit=5.0), make_job(2, submit=5.0)]
+        assert segment_load(jobs, 4) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            segment_load([], 4)
+        with pytest.raises(ValueError, match="total_cpus"):
+            segment_load(trace(3), 0)
+
+
+class TestBusiestSegment:
+    def test_finds_the_dense_stretch(self):
+        sparse = [make_job(i + 1, submit=i * 1000.0, runtime=100.0, size=1) for i in range(20)]
+        dense = [
+            make_job(100 + i, submit=20000.0 + i * 10.0, runtime=100.0, size=8)
+            for i in range(20)
+        ]
+        tail = [make_job(200 + i, submit=40000.0 + i * 1000.0, runtime=100.0, size=1)
+                for i in range(20)]
+        jobs = sparse + dense + tail
+        start, segment = busiest_segment(jobs, count=20, total_cpus=8, stride=1)
+        assert 15 <= start <= 25  # the window overlapping the dense burst
+        assert len(segment) == 20
+        assert segment[0].submit_time == 0.0
+
+    def test_whole_trace_window(self):
+        jobs = trace(10)
+        start, segment = busiest_segment(jobs, count=10, total_cpus=4)
+        assert start == 0
+        assert len(segment) == 10
+
+    def test_too_large_window_rejected(self):
+        with pytest.raises(ValueError, match="cannot take"):
+            busiest_segment(trace(5), count=6, total_cpus=4)
+
+    def test_on_synthetic_trace(self):
+        jobs = load_workload("CTC", 400)
+        start, segment = busiest_segment(jobs, count=100, total_cpus=430)
+        assert 0 <= start <= 300
+        # the busiest window is at least as loaded as the whole trace
+        assert segment_load(segment, 430) >= segment_load(jobs, 430) * 0.9

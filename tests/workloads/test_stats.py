@@ -1,0 +1,58 @@
+"""Unit tests for workload statistics."""
+
+import pytest
+
+from repro.workloads.generator import load_workload
+from repro.workloads.stats import workload_stats
+from tests.conftest import make_job
+
+
+class TestWorkloadStats:
+    def test_basic_counts(self):
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, size=1),
+            make_job(2, submit=100.0, runtime=200.0, size=4),
+        ]
+        stats = workload_stats(jobs, total_cpus=8)
+        assert stats.jobs == 2
+        assert stats.serial_fraction == 0.5
+        assert stats.total_area == 100.0 + 800.0
+        assert stats.span == 100.0
+
+    def test_offered_load(self):
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, size=4),
+            make_job(2, submit=100.0, runtime=100.0, size=4),
+        ]
+        stats = workload_stats(jobs, total_cpus=8)
+        assert stats.offered_load_per_cpu == pytest.approx(800.0 / (100.0 * 8))
+
+    def test_load_requires_cpus_and_span(self):
+        jobs = [make_job(1), make_job(2, submit=10.0)]
+        assert workload_stats(jobs).offered_load_per_cpu is None
+        single = [make_job(1)]
+        assert workload_stats(single, total_cpus=8).offered_load_per_cpu is None
+
+    def test_overestimation_ratio(self):
+        jobs = [make_job(1, runtime=100.0, requested=500.0)]
+        stats = workload_stats(jobs)
+        assert stats.overestimation["mean"] == pytest.approx(5.0)
+
+    def test_zero_runtime_jobs_skipped_in_ratio(self):
+        jobs = [
+            make_job(1, runtime=0.0, requested=100.0),
+            make_job(2, submit=1.0, runtime=100.0, requested=200.0),
+        ]
+        assert workload_stats(jobs).overestimation["mean"] == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            workload_stats([])
+
+    def test_render_contains_key_lines(self):
+        stats = workload_stats(load_workload("CTC", 100), total_cpus=430)
+        text = stats.render()
+        assert "jobs: 100" in text
+        assert "serial fraction" in text
+        assert "offered load" in text
+        assert "runtime [s]" in text

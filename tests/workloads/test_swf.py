@@ -1,0 +1,190 @@
+"""Unit tests for the SWF reader/writer."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.scheduling.job import Job
+from repro.workloads.swf import (
+    SwfError,
+    SwfHeader,
+    iter_swf,
+    jobs_from_records,
+    read_swf,
+    write_swf,
+)
+from tests.conftest import make_job
+
+
+def record(
+    job_id=1, submit=0, wait=-1, runtime=100, procs=4, requested_procs=4,
+    requested_time=200, status=1, user=7,
+):
+    return (
+        job_id, submit, wait, runtime, procs, -1, -1,
+        requested_procs, requested_time, -1, status, user, 3, 5, -1, -1, -1, -1,
+    )
+
+
+class TestHeader:
+    def test_key_value_parsing(self):
+        header = SwfHeader()
+        header.add_line("; MaxProcs: 430")
+        header.add_line("; Version: 2.2")
+        assert header.max_procs == 430
+        assert header.fields["Version"] == "2.2"
+
+    def test_freeform_comments(self):
+        header = SwfHeader()
+        header.add_line("; This trace came from: somewhere with spaces")
+        header.add_line(";; just a note")
+        assert header.max_procs is None
+        assert len(header.comments) == 2
+
+    def test_bad_maxprocs(self):
+        header = SwfHeader()
+        header.add_line("; MaxProcs: lots")
+        with pytest.raises(SwfError, match="MaxProcs"):
+            header.max_procs
+
+
+class TestParsing:
+    def test_basic_stream(self):
+        text = "; MaxProcs: 8\n" + " ".join(str(f) for f in record()) + "\n"
+        rows = list(iter_swf(io.StringIO(text)))
+        assert len(rows) == 1
+        header, fields = rows[0]
+        assert header.max_procs == 8
+        assert fields[0] == 1
+
+    def test_blank_lines_skipped(self):
+        text = "\n\n" + " ".join(str(f) for f in record()) + "\n\n"
+        assert len(list(iter_swf(io.StringIO(text)))) == 1
+
+    def test_wrong_field_count(self):
+        with pytest.raises(SwfError, match="expected 18 fields"):
+            list(iter_swf(io.StringIO("1 2 3\n")))
+
+    def test_non_numeric_field(self):
+        bad = " ".join(["x"] + ["1"] * 17)
+        with pytest.raises(SwfError, match="non-numeric"):
+            list(iter_swf(io.StringIO(bad + "\n")))
+
+    def test_float_fields_rounded(self):
+        fields = [str(f) for f in record()]
+        fields[1] = "10.6"  # float submit time, as some archive logs have
+        (_, parsed), = iter_swf(io.StringIO(" ".join(fields) + "\n"))
+        assert parsed[1] == 11
+
+
+class TestJobsFromRecords:
+    def test_field_mapping(self):
+        (job,) = jobs_from_records([record()])
+        assert job.job_id == 1
+        assert job.runtime == 100.0
+        assert job.requested_time == 200.0
+        assert job.size == 4
+        assert job.user_id == 7
+        assert job.group_id == 3
+        assert job.executable == 5
+
+    def test_falls_back_to_requested_procs(self):
+        (job,) = jobs_from_records([record(procs=-1, requested_procs=16)])
+        assert job.size == 16
+
+    def test_missing_requested_time_uses_runtime(self):
+        (job,) = jobs_from_records([record(requested_time=-1)])
+        assert job.requested_time == 100.0
+
+    def test_drops_invalid_by_default(self):
+        records = [record(), record(job_id=2, runtime=-1), record(job_id=3, procs=0, requested_procs=0)]
+        jobs = jobs_from_records(records)
+        assert [job.job_id for job in jobs] == [1]
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(SwfError, match="unusable"):
+            jobs_from_records([record(runtime=-1)], drop_invalid=False)
+
+    def test_clamps_runtime_to_request(self):
+        (job,) = jobs_from_records([record(runtime=500, requested_time=200)])
+        assert job.runtime == 200.0
+
+    def test_clamp_disabled(self):
+        (job,) = jobs_from_records(
+            [record(runtime=500, requested_time=200)], clamp_runtime=False
+        )
+        assert job.runtime == 500.0
+
+    def test_sorts_by_submit_time(self):
+        records = [record(job_id=2, submit=100), record(job_id=1, submit=50)]
+        jobs = jobs_from_records(records)
+        assert [job.job_id for job in jobs] == [1, 2]
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        jobs = [
+            make_job(1, submit=0.0, runtime=100.0, requested=900.0, size=4),
+            make_job(2, submit=60.0, runtime=50.0, requested=450.0, size=2),
+        ]
+        path = tmp_path / "trace.swf"
+        write_swf(path, jobs, max_procs=8, extra_header={"Site": "test"})
+        header, parsed = read_swf(path)
+        assert header.max_procs == 8
+        assert header.fields["Site"] == "test"
+        assert len(parsed) == 2
+        for original, roundtripped in zip(jobs, parsed):
+            assert roundtripped.job_id == original.job_id
+            assert roundtripped.submit_time == pytest.approx(original.submit_time)
+            assert roundtripped.runtime == pytest.approx(original.runtime)
+            assert roundtripped.requested_time == pytest.approx(original.requested_time)
+            assert roundtripped.size == original.size
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**6),  # submit
+                st.integers(min_value=0, max_value=10**5),  # runtime
+                st.integers(min_value=1, max_value=10**5),  # extra request
+                st.integers(min_value=1, max_value=512),  # size
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_roundtrip_property(self, tmp_path_factory, raw):
+        jobs = [
+            Job(
+                job_id=index + 1,
+                submit_time=float(sorted(r[0] for r in raw)[index]),
+                runtime=float(raw[index][1]),
+                requested_time=float(raw[index][1] + raw[index][2]),
+                size=raw[index][3],
+            )
+            for index in range(len(raw))
+        ]
+        path = tmp_path_factory.mktemp("swf") / "roundtrip.swf"
+        write_swf(path, jobs, max_procs=512)
+        _, parsed = read_swf(path)
+        assert len(parsed) == len(jobs)
+        by_id = {job.job_id: job for job in parsed}
+        for job in jobs:
+            match = by_id[job.job_id]
+            assert match.runtime == pytest.approx(job.runtime)
+            assert match.size == job.size
+
+
+class TestEndToEnd:
+    def test_parsed_trace_simulates(self, tmp_path):
+        from repro.cluster.machine import Machine
+        from repro.core.frequency_policy import FixedGearPolicy
+        from repro.scheduling.easy import EasyBackfilling
+        from repro.workloads.generator import load_workload
+
+        jobs = load_workload("SDSC", n_jobs=100)
+        path = tmp_path / "sdsc.swf"
+        write_swf(path, jobs, max_procs=128)
+        _, parsed = read_swf(path)
+        result = EasyBackfilling(Machine("SDSC", 128), FixedGearPolicy()).run(parsed)
+        assert result.job_count == 100
