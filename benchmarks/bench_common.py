@@ -4,8 +4,8 @@ Every benchmark regenerates one table or figure of the paper end to end
 (trace synthesis -> simulation sweep -> artifact) and asserts the
 *shape* facts the paper reports.  ``REPRO_BENCH_JOBS`` controls the
 trace length (default 800; the paper uses 5000 — export
-``REPRO_BENCH_JOBS=5000`` to reproduce at full scale, as EXPERIMENTS.md
-does).
+``REPRO_BENCH_JOBS=5000`` to reproduce at full scale, as
+``repro-sim report`` does).
 """
 
 from __future__ import annotations

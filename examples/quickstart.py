@@ -4,32 +4,27 @@ Run with::
 
     python examples/quickstart.py
 
-Generates a 1500-job synthetic CTC trace, schedules it twice under EASY
-backfilling — once with every job at the top gear (the paper's
-baseline) and once with the BSLD-threshold frequency policy — and
-prints the energy/performance trade-off that is the heart of the paper.
+Describes two runs as :class:`~repro.RunSpec` values — one with every
+job at the top gear (the paper's baseline) and one under the
+BSLD-threshold frequency policy — materialises them through the
+:class:`~repro.Simulation` facade, and prints the energy/performance
+trade-off that is the heart of the paper.
 """
 
-from repro import (
-    BsldThresholdPolicy,
-    EasyBackfilling,
-    FixedGearPolicy,
-    Machine,
-    load_workload,
-)
+from repro import PolicySpec, RunSpec, Simulation
 
 N_JOBS = 1500
 
 
 def main() -> None:
-    jobs = load_workload("CTC", n_jobs=N_JOBS)
-    machine = Machine("CTC", total_cpus=430)
-
-    baseline = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
-    power_aware = EasyBackfilling(
-        machine,
-        BsldThresholdPolicy(bsld_threshold=2.0, wq_threshold=4),
-    ).run(jobs)
+    baseline = Simulation(RunSpec(workload="CTC", n_jobs=N_JOBS)).run()
+    power_aware = Simulation(
+        RunSpec(
+            workload="CTC",
+            n_jobs=N_JOBS,
+            policy=PolicySpec.power_aware(2.0, 4),  # BSLDth=2, WQth=4
+        )
+    ).run()
 
     print("no DVFS   :", baseline.describe())
     print("power-aware:", power_aware.describe())

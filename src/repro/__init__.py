@@ -4,21 +4,32 @@ Workshops 2010).
 
 The package simulates DVFS-enabled clusters running parallel-job
 workloads under EASY backfilling, with the paper's BSLD-threshold
-frequency-assignment policy layered on top.  Typical use:
+frequency-assignment policy layered on top.  The recommended entry
+point is the :mod:`repro.api` facade:
+
+    >>> from repro import PolicySpec, RunSpec, Simulation
+    >>> baseline = Simulation(RunSpec(workload="CTC", n_jobs=500)).run()
+    >>> powered = Simulation(
+    ...     RunSpec(workload="CTC", n_jobs=500,
+    ...             policy=PolicySpec.power_aware(2.0, 4))
+    ... ).run()
+
+The lower-level pieces (schedulers, policies, machines, workload
+generators) remain importable for direct composition:
 
     >>> from repro import (EasyBackfilling, BsldThresholdPolicy,
     ...                    FixedGearPolicy, Machine, load_workload)
     >>> jobs = load_workload("CTC", n_jobs=500)
     >>> machine = Machine("CTC", total_cpus=430)
-    >>> baseline = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
-    >>> powered = EasyBackfilling(
-    ...     machine, BsldThresholdPolicy(bsld_threshold=2.0, wq_threshold=4)
-    ... ).run(jobs)
+    >>> result = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured record of every table and figure.
+New components (schedulers, policy kinds, power models, workload
+sources) plug in by registering on :mod:`repro.registry`; see README.md
+for a quickstart and the extension walkthrough.
 """
 
+from repro.api import DEFAULT_N_JOBS, Simulation, normalize_spec
+from repro.batch import BatchRunner
 from repro.cluster.machine import Machine
 from repro.core.dynamic_boost import DynamicBoostConfig
 from repro.core.frequency_policy import (
@@ -30,9 +41,21 @@ from repro.core.frequency_policy import (
 )
 from repro.core.gears import Gear, GearSet, PAPER_GEAR_SET
 from repro.core.util_policy import UtilizationTriggeredPolicy
+from repro.experiments.config import PolicySpec, RunSpec
+from repro.experiments.runner import ExperimentRunner
 from repro.metrics.bsld import BSLD_THRESHOLD_SECONDS, bounded_slowdown, predicted_bsld
 from repro.power.energy import EnergyReport
 from repro.power.model import PowerModel
+from repro.registry import (
+    ABLATIONS,
+    FIGURES,
+    POLICIES,
+    POWER_MODELS,
+    Registry,
+    RegistryError,
+    SCHEDULERS,
+    WORKLOAD_SOURCES,
+)
 from repro.power.time_model import BetaTimeModel, DEFAULT_BETA, PAPER_BETA
 from repro.scheduling.base import Scheduler, SchedulerConfig
 from repro.scheduling.conservative import ConservativeBackfilling
@@ -47,14 +70,19 @@ from repro.workloads.swf import read_swf, write_swf
 __version__ = "1.0.0"
 
 __all__ = [
+    "ABLATIONS",
     "BSLD_THRESHOLD_SECONDS",
+    "BatchRunner",
     "BetaTimeModel",
     "BsldThresholdPolicy",
     "ConservativeBackfilling",
     "DEFAULT_BETA",
+    "DEFAULT_N_JOBS",
     "DynamicBoostConfig",
     "EasyBackfilling",
     "EnergyReport",
+    "ExperimentRunner",
+    "FIGURES",
     "FcfsScheduler",
     "FixedGearPolicy",
     "FrequencyPolicy",
@@ -67,17 +95,27 @@ __all__ = [
     "PAPER_BASELINE_BSLD",
     "PAPER_BETA",
     "PAPER_GEAR_SET",
+    "POLICIES",
+    "POWER_MODELS",
+    "PolicySpec",
     "PowerModel",
+    "Registry",
+    "RegistryError",
+    "RunSpec",
+    "SCHEDULERS",
     "Scheduler",
     "SchedulerConfig",
     "SchedulingContext",
+    "Simulation",
     "SimulationResult",
     "TRACE_MODELS",
     "UtilizationTriggeredPolicy",
     "WORKLOAD_NAMES",
+    "WORKLOAD_SOURCES",
     "bounded_slowdown",
     "generate_workload",
     "load_workload",
+    "normalize_spec",
     "predicted_bsld",
     "read_swf",
     "write_swf",

@@ -1,0 +1,135 @@
+"""The one way to construct and run a simulation: the ``repro.api`` facade.
+
+A :class:`~repro.experiments.config.RunSpec` fully describes a run —
+workload, trace length, machine scale, scheduler, frequency policy,
+power model.  :class:`Simulation` materialises it end to end through
+the registries in :mod:`repro.registry`::
+
+    >>> from repro.api import Simulation
+    >>> from repro.experiments.config import PolicySpec, RunSpec
+    >>> spec = RunSpec(workload="CTC", n_jobs=500,
+    ...                policy=PolicySpec.power_aware(2.0, 4))
+    >>> result = Simulation(spec).run()
+    >>> result.average_bsld()  # doctest: +SKIP
+
+Everything else — :class:`~repro.experiments.runner.ExperimentRunner`,
+:class:`~repro.batch.BatchRunner`, the CLI, the examples — delegates
+construction to this facade, so registering a new scheduler, policy
+kind, power model or workload source makes it available everywhere at
+once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cluster.machine import Machine
+from repro.registry import POWER_MODELS, SCHEDULERS, WORKLOAD_SOURCES
+from repro.scheduling.base import Scheduler, SchedulerConfig
+from repro.scheduling.job import Job
+
+if TYPE_CHECKING:  # imported for annotations only; avoids package cycles
+    from repro.experiments.config import RunSpec
+    from repro.scheduling.result import SimulationResult
+
+__all__ = ["DEFAULT_N_JOBS", "Simulation", "normalize_spec", "run"]
+
+#: Trace length used when a spec leaves ``n_jobs`` unset (the paper's §5).
+DEFAULT_N_JOBS = 5000
+
+
+def normalize_spec(spec: RunSpec, default_n_jobs: int = DEFAULT_N_JOBS) -> RunSpec:
+    """Pin an unset (``None``) trace length to ``default_n_jobs``.
+
+    Normalising before caching makes the cache keys for "the
+    default-length run" coincide regardless of how callers spell it.
+    """
+    if spec.n_jobs is None:
+        return replace(spec, n_jobs=default_n_jobs)
+    return spec
+
+
+class Simulation:
+    """Materialises one :class:`RunSpec`: workload → machine → scheduler → result.
+
+    Parameters
+    ----------
+    spec:
+        The run description.  An unset ``n_jobs`` defaults to
+        :data:`DEFAULT_N_JOBS`.
+    validate:
+        Run with per-pass invariant checking on (slower).
+    jobs / machine:
+        Optional pre-materialised trace/machine (the experiment runner
+        passes its memoised ones); by default both come from the spec's
+        registered workload source.
+    """
+
+    def __init__(
+        self,
+        spec: RunSpec,
+        *,
+        validate: bool = False,
+        jobs: Sequence[Job] | None = None,
+        machine: Machine | None = None,
+    ) -> None:
+        self.spec = normalize_spec(spec)
+        self._validate = validate
+        self._jobs: list[Job] | None = list(jobs) if jobs is not None else None
+        self._machine = machine
+
+    # -- materialisation --------------------------------------------------------
+    def _materialize(self) -> None:
+        if self._jobs is not None and self._machine is not None:
+            return
+        source = WORKLOAD_SOURCES.get(self.spec.source)
+        bundle = source(self.spec.workload, self.spec.n_jobs, self.spec.seed)
+        if self._jobs is None:
+            self._jobs = list(bundle.jobs)
+        if self._machine is None:
+            self._machine = Machine(bundle.machine_name, bundle.total_cpus).scaled(
+                self.spec.size_factor
+            )
+
+    @property
+    def jobs(self) -> list[Job]:
+        """The resolved trace (generated or loaded on first access)."""
+        self._materialize()
+        assert self._jobs is not None
+        return self._jobs
+
+    @property
+    def machine(self) -> Machine:
+        """The (scaled) machine the spec describes."""
+        self._materialize()
+        assert self._machine is not None
+        return self._machine
+
+    def build_scheduler(self) -> Scheduler:
+        """Construct the fully-wired scheduler for this run."""
+        spec = self.spec
+        machine = self.machine
+        scheduler_cls = SCHEDULERS.get(spec.scheduler)
+        power_model = POWER_MODELS.get(spec.power_model)(machine.gears)
+        return scheduler_cls(
+            machine,
+            spec.policy.build(),
+            beta=spec.beta,
+            power_model=power_model,
+            config=SchedulerConfig(
+                validate=self._validate,
+                boost=spec.policy.boost_config(),
+                record_timeline=spec.record_timeline,
+            ),
+        )
+
+    # -- execution --------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Simulate the spec to completion."""
+        return self.build_scheduler().run(self.jobs)
+
+
+def run(spec: RunSpec, *, validate: bool = False) -> SimulationResult:
+    """One-shot convenience: ``Simulation(spec).run()``."""
+    return Simulation(spec, validate=validate).run()

@@ -1,0 +1,170 @@
+"""Parallel batch execution of :class:`RunSpec` lists.
+
+:class:`BatchRunner` fans a list of specs out over a
+``concurrent.futures.ProcessPoolExecutor`` and returns results in the
+*input* order, deduplicating identical specs.  Because every simulation
+is deterministic in its spec, the parallel results are identical — byte
+for byte, via :mod:`repro.serialize` — to a serial run of the same
+list; a test pins this.
+
+An optional on-disk cache (one JSON file per spec, keyed by the
+canonical spec hash) makes repeated sweeps — the 60-run grids behind
+Figures 3–5 and 7–9 — free after the first run, across processes and
+sessions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.api import Simulation, normalize_spec
+from repro.serialize import (
+    FORMAT_VERSION,
+    result_from_dict,
+    result_to_dict,
+    spec_key,
+    spec_to_dict,
+)
+
+if TYPE_CHECKING:  # imported for annotations only; avoids package cycles
+    from repro.experiments.config import RunSpec
+    from repro.scheduling.result import SimulationResult
+
+__all__ = ["BatchRunner"]
+
+
+def _execute(payload: tuple[RunSpec, bool]) -> SimulationResult:
+    """Worker entry point (module-level so it pickles)."""
+    spec, validate = payload
+    return Simulation(spec, validate=validate).run()
+
+
+class BatchRunner:
+    """Runs many :class:`RunSpec` simulations, optionally in parallel.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes for a batch.  ``None`` uses the CPU count;
+        ``0``/``1`` run serially in-process (still deduplicated and
+        cached).  A batch never spawns more workers than it has
+        distinct uncached specs.
+    cache_dir:
+        Directory for the JSON result cache, created on demand.
+        ``None`` disables on-disk caching.
+    validate:
+        Run every simulation with invariant checking on (slower).
+    default_n_jobs:
+        Trace length pinned onto specs that leave ``n_jobs`` unset.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        cache_dir: str | os.PathLike[str] | None = None,
+        validate: bool = False,
+        default_n_jobs: int | None = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 0:
+            raise ValueError(f"max_workers must be non-negative, got {max_workers}")
+        self.max_workers = max_workers
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.validate = validate
+        self.default_n_jobs = default_n_jobs
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # -- cache plumbing ---------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache_misses
+
+    def _cache_path(self, spec: RunSpec) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{spec_key(spec)}.json"
+
+    def cache_load(self, spec: RunSpec) -> SimulationResult | None:
+        """Fetch one result from the disk cache; counts a hit or miss."""
+        result = self._cache_read(spec)
+        if result is None:
+            self._cache_misses += 1
+        else:
+            self._cache_hits += 1
+        return result
+
+    def _cache_read(self, spec: RunSpec) -> SimulationResult | None:
+        if self.cache_dir is None:
+            return None
+        path = self._cache_path(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                data = json.load(stream)
+            if data.get("version") != FORMAT_VERSION:
+                return None
+            if data.get("spec") != spec_to_dict(spec):
+                return None  # hash collision or stale layout: recompute
+            return result_from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None  # missing or corrupt entries are recomputed
+
+    def cache_store(self, spec: RunSpec, result: SimulationResult) -> None:
+        """Persist one result (no-op without a cache directory)."""
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cache_path(spec)
+        payload = {
+            "version": FORMAT_VERSION,
+            "spec": spec_to_dict(spec),
+            "result": result_to_dict(result),
+        }
+        # Write-then-rename so concurrent sweeps never read a torn file.
+        temp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(temp, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream)
+        os.replace(temp, path)
+
+    # -- execution --------------------------------------------------------------
+    def run(self, specs: Sequence[RunSpec]) -> list[SimulationResult]:
+        """Run ``specs`` and return results in the same order.
+
+        Identical specs are simulated once.  Results are deterministic:
+        serial and parallel execution of the same list are equal.
+        """
+        if self.default_n_jobs is not None:
+            normalized = [normalize_spec(s, self.default_n_jobs) for s in specs]
+        else:
+            normalized = [normalize_spec(s) for s in specs]
+
+        resolved: dict[RunSpec, SimulationResult] = {}
+        pending: list[RunSpec] = []
+        for spec in normalized:
+            if spec in resolved or spec in pending:
+                continue
+            cached = self.cache_load(spec)
+            if cached is not None:
+                resolved[spec] = cached
+            else:
+                pending.append(spec)
+
+        workers = self.max_workers if self.max_workers is not None else os.cpu_count() or 1
+        payloads = [(spec, self.validate) for spec in pending]
+        if workers <= 1 or len(pending) <= 1:
+            fresh = [_execute(payload) for payload in payloads]
+        else:
+            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                fresh = list(pool.map(_execute, payloads))
+        for spec, result in zip(pending, fresh):
+            resolved[spec] = result
+            self.cache_store(spec, result)
+
+        return [resolved[spec] for spec in normalized]

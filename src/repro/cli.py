@@ -3,14 +3,22 @@
 Subcommands:
 
 * ``run``       — simulate one workload under one policy and print metrics
+* ``sweep``     — run a custom policy/size grid (parallel-friendly)
 * ``table``     — regenerate paper Table 1 or 3
 * ``figure``    — regenerate a paper figure (3-9)
 * ``ablation``  — run one of the ablation studies (beta, static, strict,
                   policies, gears, sleep)
 * ``generate``  — write a synthetic workload to an SWF file
 * ``stats``     — describe a workload (synthetic or an SWF file)
-* ``report``    — regenerate the full EXPERIMENTS.md reproduction report
+* ``report``    — regenerate the full reproduction report (markdown)
 * ``advise``    — recommend a system size meeting a BSLD SLA (§5.2 as a tool)
+
+Figure, ablation and scheduler names come from the registries in
+:mod:`repro.registry`, so newly registered components appear in the CLI
+without edits here.  The global ``--parallel N`` flag fans the
+simulation sweeps behind ``sweep``/``table``/``figure``/``ablation``
+out over N worker processes, and ``--cache-dir`` persists results
+across invocations.
 """
 
 from __future__ import annotations
@@ -19,40 +27,13 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.experiments.ablations import (
-    beta_sweep,
-    gear_ladder_ablation,
-    policy_comparison,
-    sleep_vs_dvfs,
-    static_share_sweep,
-    strict_backfill_comparison,
-)
 from repro.experiments.config import PolicySpec, RunSpec
-from repro.experiments.figures import (
-    figure3,
-    figure4,
-    figure5,
-    figure6,
-    figure7,
-    figure8,
-    figure9,
-)
 from repro.experiments.runner import ExperimentRunner
-from repro.experiments.tables import table1, table3
+from repro.registry import ABLATIONS, FIGURES, POWER_MODELS, SCHEDULERS
 from repro.workloads.generator import generate_workload, load_workload
 from repro.workloads.models import WORKLOAD_NAMES, trace_model
 from repro.workloads.stats import workload_stats
 from repro.workloads.swf import read_swf, write_swf
-
-_FIGURES = {3: figure3, 4: figure4, 5: figure5, 6: figure6, 7: figure7, 8: figure8, 9: figure9}
-_ABLATIONS = {
-    "beta": beta_sweep,
-    "static": static_share_sweep,
-    "strict": strict_backfill_comparison,
-    "policies": policy_comparison,
-    "gears": gear_ladder_ablation,
-    "sleep": sleep_vs_dvfs,
-}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -66,6 +47,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--jobs", type=int, default=5000, help="trace length (default: 5000, as in the paper)"
     )
+    parser.add_argument(
+        "--parallel", type=int, default=0, metavar="N",
+        help="run simulation sweeps in up to N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist simulation results as JSON under DIR and reuse them",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="simulate one workload under one policy")
@@ -76,37 +65,62 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="wait-queue threshold (integer or NO; default NO)")
     run.add_argument("--size-factor", type=float, default=1.0,
                      help="machine enlargement factor (paper 5.2)")
-    run.add_argument("--scheduler", choices=("easy", "fcfs", "conservative"), default="easy")
+    run.add_argument("--scheduler", choices=SCHEDULERS.names(), default="easy")
+    run.add_argument("--power-model", choices=POWER_MODELS.names(), default="paper",
+                     help="registered power model (default: paper)")
     run.add_argument("--beta", type=float, default=0.5, help="global beta (default 0.5)")
     run.add_argument("--boost", type=int, default=None,
                      help="dynamic-boost WQ trigger (extension; default off)")
     run.add_argument("--seed", type=int, default=None)
+    run.set_defaults(handler=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a policy/size grid through the batch runner"
+    )
+    sweep.add_argument("--workloads", nargs="+", choices=WORKLOAD_NAMES,
+                       default=list(WORKLOAD_NAMES), metavar="W")
+    sweep.add_argument("--bsld-thresholds", default="1.5,2,3",
+                       help="comma-separated BSLD thresholds (default: 1.5,2,3)")
+    sweep.add_argument("--wq-thresholds", default="0,4,16,NO",
+                       help="comma-separated WQ thresholds, NO = no limit")
+    sweep.add_argument("--size-factors", default="1",
+                       help="comma-separated machine enlargement factors (default: 1)")
+    sweep.add_argument("--scheduler", choices=SCHEDULERS.names(), default="easy")
+    sweep.set_defaults(handler=_cmd_sweep)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=(1, 3))
+    table.set_defaults(handler=_cmd_table)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
-    figure.add_argument("number", type=int, choices=sorted(_FIGURES))
+    figure.add_argument(
+        "number", type=int, choices=sorted(int(name) for name in FIGURES.names())
+    )
+    figure.set_defaults(handler=_cmd_figure)
 
     ablation = sub.add_parser("ablation", help="run an ablation study")
-    ablation.add_argument("name", choices=sorted(_ABLATIONS))
+    ablation.add_argument("name", choices=ABLATIONS.names())
     ablation.add_argument("--workload", default=None, choices=WORKLOAD_NAMES)
+    ablation.set_defaults(handler=_cmd_ablation)
 
     generate = sub.add_parser("generate", help="write a synthetic workload as SWF")
     generate.add_argument("workload", choices=WORKLOAD_NAMES)
     generate.add_argument("output", help="output .swf path")
     generate.add_argument("--seed", type=int, default=None)
+    generate.set_defaults(handler=_cmd_generate)
 
     stats = sub.add_parser("stats", help="describe a workload")
     stats.add_argument("workload", help=f"one of {', '.join(WORKLOAD_NAMES)} or an .swf path")
+    stats.set_defaults(handler=_cmd_stats)
 
     report = sub.add_parser(
-        "report", help="regenerate the full EXPERIMENTS.md reproduction report"
+        "report", help="regenerate the full reproduction report (markdown)"
     )
     report.add_argument("--output", default=None, help="write to a file instead of stdout")
     report.add_argument(
         "--no-ablations", action="store_true", help="skip the (slower) ablation studies"
     )
+    report.set_defaults(handler=_cmd_report)
 
     advise = sub.add_parser(
         "advise", help="recommend a system size meeting a BSLD service-level agreement"
@@ -117,8 +131,18 @@ def _build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--bsld-threshold", type=float, default=2.0)
     advise.add_argument("--wq-threshold", default="NO")
     advise.add_argument("--objective", choices=("idle0", "idlelow"), default="idlelow")
+    advise.set_defaults(handler=_cmd_advise)
 
     return parser
+
+
+def _runner(args: argparse.Namespace) -> ExperimentRunner:
+    """The experiment runner honouring the global flags."""
+    if args.parallel < 0:
+        raise SystemExit(f"--parallel must be >= 0, got {args.parallel}")
+    return ExperimentRunner(
+        n_jobs=args.jobs, max_workers=args.parallel or None, cache_dir=args.cache_dir
+    )
 
 
 def _parse_wq(raw: str) -> int | None:
@@ -133,27 +157,40 @@ def _parse_wq(raw: str) -> int | None:
     return value
 
 
+def _parse_float_list(raw: str, flag: str) -> tuple[float, ...]:
+    try:
+        values = tuple(float(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"{flag} must be a comma-separated list of numbers, got {raw!r}")
+    if not values:
+        raise SystemExit(f"{flag} must name at least one value")
+    return values
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(n_jobs=args.jobs)
+    runner = _runner(args)
     if args.bsld_threshold is None:
         policy = PolicySpec.baseline()
     else:
         policy = PolicySpec.power_aware(
             args.bsld_threshold, _parse_wq(args.wq_threshold), boost_trigger=args.boost
         )
-    spec = RunSpec(
-        workload=args.workload,
-        policy=policy,
-        n_jobs=args.jobs,
-        seed=args.seed,
-        size_factor=args.size_factor,
-        beta=args.beta,
-        scheduler=args.scheduler,
-    )
-    result = runner.run(spec)
-    baseline = runner.run(
-        RunSpec(workload=args.workload, n_jobs=args.jobs, seed=args.seed,
-                scheduler=args.scheduler)
+    result, baseline = runner.run_many(
+        [
+            RunSpec(
+                workload=args.workload,
+                policy=policy,
+                seed=args.seed,
+                size_factor=args.size_factor,
+                beta=args.beta,
+                scheduler=args.scheduler,
+                power_model=args.power_model,
+            ),
+            RunSpec(
+                workload=args.workload, seed=args.seed,
+                scheduler=args.scheduler, power_model=args.power_model,
+            ),
+        ]
     )
     print(result.describe())
     print(f"energy (idle=0):    {result.energy.computational:.4g} "
@@ -168,22 +205,80 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.ascii_charts import format_table
+
+    bsld_thresholds = _parse_float_list(args.bsld_thresholds, "--bsld-thresholds")
+    wq_parts = [part for part in args.wq_thresholds.split(",") if part.strip()]
+    if not wq_parts:
+        raise SystemExit("--wq-thresholds must name at least one value")
+    wq_thresholds = tuple(_parse_wq(part) for part in wq_parts)
+    size_factors = _parse_float_list(args.size_factors, "--size-factors")
+    runner = _runner(args)
+
+    baselines = {
+        workload: RunSpec(workload=workload, scheduler=args.scheduler)
+        for workload in args.workloads
+    }
+    grid: list[RunSpec] = [
+        RunSpec(
+            workload=workload,
+            policy=PolicySpec.power_aware(bsld, wq),
+            size_factor=factor,
+            scheduler=args.scheduler,
+        )
+        for workload in args.workloads
+        for bsld in bsld_thresholds
+        for wq in wq_thresholds
+        for factor in size_factors
+    ]
+    runner.run_many([*baselines.values(), *grid])
+
+    rows = []
+    for spec in grid:
+        run = runner.run(spec)
+        base = runner.run(baselines[spec.workload])
+        rows.append(
+            [
+                spec.label(),
+                f"{run.average_bsld():.2f}",
+                f"{run.average_wait():.0f}",
+                f"{run.energy.computational / base.energy.computational:.3f}",
+                f"{run.energy.total_idle_low / base.energy.total_idle_low:.3f}",
+                str(run.reduced_jobs),
+            ]
+        )
+    print(
+        format_table(
+            ["run", "avg BSLD", "avg wait [s]", "E_idle0/base", "E_idlelow/base", "reduced"],
+            rows,
+            title=(
+                f"Sweep — {len(grid)} runs, {args.scheduler} scheduler "
+                "(energies vs original-size no-DVFS baseline)"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(n_jobs=args.jobs)
+    from repro.experiments.tables import table1, table3
+
+    runner = _runner(args)
     builder = table1 if args.number == 1 else table3
     print(builder(runner).render())
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(n_jobs=args.jobs)
-    print(_FIGURES[args.number](runner).render())
+    runner = _runner(args)
+    print(FIGURES.get(str(args.number))(runner).render())
     return 0
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(n_jobs=args.jobs)
-    builder = _ABLATIONS[args.name]
+    runner = _runner(args)
+    builder = ABLATIONS.get(args.name)
     kwargs = {} if args.workload is None else {"workload": args.workload}
     print(builder(runner, **kwargs).render())
     return 0
@@ -218,7 +313,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import build_report
 
-    runner = ExperimentRunner(n_jobs=args.jobs)
+    runner = _runner(args)
     text = build_report(runner, include_ablations=not args.no_ablations)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as stream:
@@ -232,7 +327,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.experiments.advisor import recommend_system_size
 
-    runner = ExperimentRunner(n_jobs=args.jobs)
+    runner = _runner(args)
     policy = PolicySpec.power_aware(args.bsld_threshold, _parse_wq(args.wq_threshold))
     recommendation = recommend_system_size(
         runner, args.workload, args.sla_bsld, policy=policy, objective=args.objective
@@ -249,21 +344,9 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
-_COMMANDS = {
-    "run": _cmd_run,
-    "table": _cmd_table,
-    "figure": _cmd_figure,
-    "ablation": _cmd_ablation,
-    "generate": _cmd_generate,
-    "stats": _cmd_stats,
-    "report": _cmd_report,
-    "advise": _cmd_advise,
-}
-
-
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    return args.handler(args)
 
 
 if __name__ == "__main__":

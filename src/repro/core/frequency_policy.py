@@ -182,8 +182,9 @@ class BsldThresholdPolicy(FrequencyPolicy):
         Figure 2 read literally demands ``satisfiesBSLD`` even at
         ``Ftop`` before backfilling a job.  The default ``False``
         applies the check only to *reduced* gears, which Table 3 of the
-        paper shows is the behaviour actually evaluated (see DESIGN.md
-        §4); set ``True`` for the literal pseudocode.
+        paper shows is the behaviour actually evaluated (SDSC's WQ0
+        wait matching its no-DVFS wait requires unconditional Ftop
+        backfills); set ``True`` for the literal pseudocode.
     """
 
     def __init__(

@@ -5,25 +5,28 @@ static share 25%, the Figure-2 backfill reading, the gear ladder) and
 evaluate the extension mechanisms (dynamic boost, per-job β,
 alternative schedulers/policies).  Each returns a dataclass with a
 ``render()`` for terminal output; benchmarks regenerate them.
+
+Every study registers itself on :data:`repro.registry.ABLATIONS` (the
+CLI's dispatch), and the spec-expressible ones batch their runs through
+:meth:`~repro.experiments.runner.ExperimentRunner.run_many` so they
+parallelise with the rest of the sweeps.  The gear-ladder and
+static-share studies need custom gear sets / power models that a
+:class:`RunSpec` cannot name, so they construct schedulers directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.cluster.machine import Machine
-from repro.core.dynamic_boost import DynamicBoostConfig
 from repro.core.frequency_policy import BsldThresholdPolicy, FixedGearPolicy
 from repro.core.gears import Gear, GearSet, PAPER_GEAR_SET
-from repro.core.util_policy import UtilizationTriggeredPolicy
 from repro.experiments.ascii_charts import format_table
+from repro.experiments.config import PolicySpec, RunSpec
 from repro.experiments.runner import ExperimentRunner
 from repro.power.model import PowerModel
-from repro.scheduling.base import Scheduler, SchedulerConfig
-from repro.scheduling.conservative import ConservativeBackfilling
+from repro.registry import ABLATIONS
 from repro.scheduling.easy import EasyBackfilling
-from repro.scheduling.fcfs import FcfsScheduler
-from repro.scheduling.result import SimulationResult
 from repro.workloads.models import trace_model
 
 __all__ = [
@@ -40,14 +43,6 @@ __all__ = [
     "gear_ladder_ablation",
     "sleep_vs_dvfs",
 ]
-
-
-def _pair(runner: ExperimentRunner, workload: str, beta: float) -> tuple[SimulationResult, SimulationResult]:
-    jobs = runner.jobs_for(workload)
-    machine = runner.machine_for(workload)
-    base = EasyBackfilling(machine, FixedGearPolicy(), beta=beta).run(jobs)
-    power = EasyBackfilling(machine, BsldThresholdPolicy(2.0, None), beta=beta).run(jobs)
-    return base, power
 
 
 # --------------------------------------------------------------------------- #
@@ -67,14 +62,24 @@ class BetaSweep:
         )
 
 
+@ABLATIONS.register("beta")
 def beta_sweep(
     runner: ExperimentRunner,
     workload: str = "CTC",
     betas: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
 ) -> BetaSweep:
+    base_specs = {beta: RunSpec(workload=workload, beta=beta) for beta in betas}
+    power_specs = {
+        beta: RunSpec(
+            workload=workload, policy=PolicySpec.power_aware(2.0, None), beta=beta
+        )
+        for beta in betas
+    }
+    runner.run_many([*base_specs.values(), *power_specs.values()])
     rows = []
     for beta in betas:
-        base, power = _pair(runner, workload, beta)
+        base = runner.run(base_specs[beta])
+        power = runner.run(power_specs[beta])
         rows.append(
             (
                 beta,
@@ -103,6 +108,7 @@ class StaticShareSweep:
         )
 
 
+@ABLATIONS.register("static")
 def static_share_sweep(
     runner: ExperimentRunner,
     workload: str = "CTC",
@@ -147,19 +153,24 @@ class StrictBackfillComparison:
         )
 
 
+@ABLATIONS.register("strict")
 def strict_backfill_comparison(
     runner: ExperimentRunner, workload: str = "SDSC"
 ) -> StrictBackfillComparison:
-    jobs = runner.jobs_for(workload)
-    machine = runner.machine_for(workload)
-    base = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
+    base, relaxed, strict = runner.run_many(
+        [
+            RunSpec(workload=workload),
+            RunSpec(workload=workload, policy=PolicySpec.power_aware(2.0, None)),
+            RunSpec(
+                workload=workload,
+                policy=PolicySpec.power_aware(2.0, None, strict_top_backfill=True),
+            ),
+        ]
+    )
     rows: list[tuple[str, float, float, float, int]] = [
         ("no-DVFS", base.average_bsld(), base.average_wait(), 1.0, 0)
     ]
-    for label, strict in (("relaxed (default)", False), ("strict (literal)", True)):
-        run = EasyBackfilling(
-            machine, BsldThresholdPolicy(2.0, None, strict_top_backfill=strict)
-        ).run(jobs)
+    for label, run in (("relaxed (default)", relaxed), ("strict (literal)", strict)):
         rows.append(
             (
                 label,
@@ -190,43 +201,37 @@ class PolicyComparison:
         )
 
 
+@ABLATIONS.register("policies")
 def policy_comparison(
     runner: ExperimentRunner, workload: str = "CTC", n_jobs: int | None = None
 ) -> PolicyComparison:
     n = n_jobs or min(runner.n_jobs, 1500)  # conservative BF replans are O(Q^2)
-    jobs = runner.jobs_for(workload, n)
-    machine = runner.machine_for(workload)
-    base = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
-
-    def row(label: str, scheduler: Scheduler) -> tuple[str, float, float, float, int]:
-        run = scheduler.run(jobs)
-        return (
+    spec = RunSpec(workload=workload, n_jobs=n)
+    dvfs = PolicySpec.power_aware(2.0, None)
+    configs: tuple[tuple[str, RunSpec], ...] = (
+        ("EASY no-DVFS", spec),
+        ("FCFS no-DVFS", replace(spec, scheduler="fcfs")),
+        ("EASY DVFS(2,NO)", spec.with_policy(dvfs)),
+        (
+            "EASY DVFS(2,NO)+boost4",
+            spec.with_policy(PolicySpec.power_aware(2.0, None, boost_trigger=4)),
+        ),
+        ("EASY util-trigger", spec.with_policy(PolicySpec(kind="util"))),
+        ("Conservative DVFS(2,NO)", replace(spec.with_policy(dvfs), scheduler="conservative")),
+    )
+    results = runner.run_many([s for _, s in configs])
+    base = results[0]
+    rows = tuple(
+        (
             label,
             run.average_bsld(),
             run.average_wait(),
             run.energy.computational / base.energy.computational,
             run.reduced_jobs,
         )
-
-    rows = [
-        ("EASY no-DVFS", base.average_bsld(), base.average_wait(), 1.0, 0),
-        row("FCFS no-DVFS", FcfsScheduler(machine, FixedGearPolicy())),
-        row("EASY DVFS(2,NO)", EasyBackfilling(machine, BsldThresholdPolicy(2.0, None))),
-        row(
-            "EASY DVFS(2,NO)+boost4",
-            EasyBackfilling(
-                machine,
-                BsldThresholdPolicy(2.0, None),
-                config=SchedulerConfig(boost=DynamicBoostConfig(wq_trigger=4)),
-            ),
-        ),
-        row("EASY util-trigger", EasyBackfilling(machine, UtilizationTriggeredPolicy())),
-        row(
-            "Conservative DVFS(2,NO)",
-            ConservativeBackfilling(machine, BsldThresholdPolicy(2.0, None)),
-        ),
-    ]
-    return PolicyComparison(workload=workload, n_jobs=n, rows=tuple(rows))
+        for (label, _), run in zip(configs, results)
+    )
+    return PolicyComparison(workload=workload, n_jobs=n, rows=rows)
 
 
 # --------------------------------------------------------------------------- #
@@ -246,6 +251,7 @@ class GearLadderAblation:
         )
 
 
+@ABLATIONS.register("gears")
 def gear_ladder_ablation(
     runner: ExperimentRunner, workload: str = "SDSCBlue"
 ) -> GearLadderAblation:
@@ -292,6 +298,7 @@ class SleepVsDvfs:
         )
 
 
+@ABLATIONS.register("sleep")
 def sleep_vs_dvfs(
     runner: ExperimentRunner,
     workload: str = "LLNLThunder",
@@ -305,12 +312,14 @@ def sleep_vs_dvfs(
     """
     from repro.power.sleep import SleepStateConfig, sleep_energy
 
-    jobs = runner.jobs_for(workload)
-    machine = runner.machine_for(workload)
-    base = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
-    powered = EasyBackfilling(machine, BsldThresholdPolicy(2.0, None)).run(jobs)
+    base, powered = runner.run_many(
+        [
+            RunSpec(workload=workload),
+            RunSpec(workload=workload, policy=PolicySpec.power_aware(2.0, None)),
+        ]
+    )
     config = SleepStateConfig(sleep_after_seconds=sleep_after_seconds)
-    model = PowerModel(gears=machine.gears)
+    model = PowerModel(gears=base.machine.gears)
 
     baseline_total = base.energy.total_idle_low
     base_sleep = sleep_energy(base, config, model)

@@ -1,4 +1,10 @@
-"""Hashable experiment descriptors: policies, runs and the paper grid."""
+"""Hashable experiment descriptors: policies, runs and the paper grid.
+
+Policy kinds and scheduler/power-model/source names are validated
+against (and built through) the registries in :mod:`repro.registry`, so
+registering a new component makes it spec-addressable with no edits
+here.
+"""
 
 from __future__ import annotations
 
@@ -12,6 +18,7 @@ from repro.core.frequency_policy import (
 )
 from repro.core.util_policy import UtilizationTriggeredPolicy
 from repro.power.time_model import DEFAULT_BETA
+from repro.registry import POLICIES, POWER_MODELS, SCHEDULERS, WORKLOAD_SOURCES
 
 __all__ = [
     "PolicySpec",
@@ -39,7 +46,9 @@ def wq_label(wq_threshold: int | None) -> str:
 class PolicySpec:
     """Frozen, hashable description of a frequency policy.
 
-    ``kind``:
+    ``kind`` names a builder on :data:`repro.registry.POLICIES`; the
+    bundled kinds are
+
       * ``"nodvfs"`` — every job at Ftop (the baseline),
       * ``"bsld"`` — the paper's two-threshold policy,
       * ``"fixed"`` — pin one gear for all jobs (strawman),
@@ -53,11 +62,11 @@ class PolicySpec:
     fixed_frequency: float | None = None
     boost_trigger: int | None = None
 
-    _KINDS = ("nodvfs", "bsld", "fixed", "util")
-
     def __post_init__(self) -> None:
-        if self.kind not in self._KINDS:
-            raise ValueError(f"unknown policy kind {self.kind!r}; expected one of {self._KINDS}")
+        if self.kind not in POLICIES:
+            raise ValueError(
+                f"unknown policy kind {self.kind!r}; expected one of {POLICIES.names()}"
+            )
         if self.kind == "fixed" and self.fixed_frequency is None:
             raise ValueError("fixed policy needs fixed_frequency")
 
@@ -85,17 +94,8 @@ class PolicySpec:
 
     # -- materialisation ----------------------------------------------------------
     def build(self) -> FrequencyPolicy:
-        if self.kind == "nodvfs":
-            return FixedGearPolicy()
-        if self.kind == "fixed":
-            return FixedGearPolicy(self.fixed_frequency)
-        if self.kind == "util":
-            return UtilizationTriggeredPolicy()
-        return BsldThresholdPolicy(
-            bsld_threshold=self.bsld_threshold,
-            wq_threshold=self.wq_threshold,
-            strict_top_backfill=self.strict_top_backfill,
-        )
+        """Materialise the policy via its registered builder."""
+        return POLICIES.get(self.kind)(self)
 
     def boost_config(self) -> DynamicBoostConfig | None:
         if self.boost_trigger is None:
@@ -117,32 +117,80 @@ class PolicySpec:
         return base
 
 
+# -- the bundled policy builders ----------------------------------------------
+@POLICIES.register("nodvfs")
+def _build_nodvfs(spec: PolicySpec) -> FrequencyPolicy:
+    return FixedGearPolicy()
+
+
+@POLICIES.register("fixed")
+def _build_fixed(spec: PolicySpec) -> FrequencyPolicy:
+    return FixedGearPolicy(spec.fixed_frequency)
+
+
+@POLICIES.register("util")
+def _build_util(spec: PolicySpec) -> FrequencyPolicy:
+    return UtilizationTriggeredPolicy()
+
+
+@POLICIES.register("bsld")
+def _build_bsld(spec: PolicySpec) -> FrequencyPolicy:
+    return BsldThresholdPolicy(
+        bsld_threshold=spec.bsld_threshold,
+        wq_threshold=spec.wq_threshold,
+        strict_top_backfill=spec.strict_top_backfill,
+    )
+
+
 @dataclass(frozen=True)
 class RunSpec:
-    """One simulation to run: workload x machine scale x policy."""
+    """One simulation to run: workload x machine scale x policy.
+
+    ``n_jobs=None`` means "the context's default trace length": an
+    :class:`~repro.experiments.runner.ExperimentRunner` pins it to its
+    own ``n_jobs`` and the standalone :class:`~repro.api.Simulation`
+    facade uses the paper's 5000.  ``scheduler``, ``power_model`` and
+    ``source`` name entries on the corresponding registries.
+    """
 
     workload: str
     policy: PolicySpec = field(default_factory=PolicySpec.baseline)
-    n_jobs: int = 5000
+    n_jobs: int | None = None
     seed: int | None = None
     size_factor: float = 1.0
     beta: float = DEFAULT_BETA
-    scheduler: str = "easy"  # "easy" | "fcfs" | "conservative"
+    scheduler: str = "easy"
+    power_model: str = "paper"
+    source: str = "synthetic"
     record_timeline: bool = False
 
     def __post_init__(self) -> None:
-        if self.n_jobs <= 0:
+        if self.n_jobs is not None and self.n_jobs <= 0:
             raise ValueError(f"n_jobs must be positive, got {self.n_jobs}")
         if self.size_factor <= 0.0:
             raise ValueError(f"size_factor must be positive, got {self.size_factor}")
-        if self.scheduler not in ("easy", "fcfs", "conservative"):
-            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; available: {SCHEDULERS.names()}"
+            )
+        if self.power_model not in POWER_MODELS:
+            raise ValueError(
+                f"unknown power_model {self.power_model!r}; available: {POWER_MODELS.names()}"
+            )
+        if self.source not in WORKLOAD_SOURCES:
+            raise ValueError(
+                f"unknown workload source {self.source!r}; available: {WORKLOAD_SOURCES.names()}"
+            )
 
     def with_policy(self, policy: PolicySpec) -> "RunSpec":
         return replace(self, policy=policy)
 
     def scaled(self, size_factor: float) -> "RunSpec":
         return replace(self, size_factor=size_factor)
+
+    def sized(self, n_jobs: int) -> "RunSpec":
+        """Copy with the trace length pinned to ``n_jobs``."""
+        return replace(self, n_jobs=n_jobs)
 
     def label(self) -> str:
         scale = "" if self.size_factor == 1.0 else f" x{self.size_factor:g}"

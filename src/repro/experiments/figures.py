@@ -37,6 +37,7 @@ from repro.experiments.config import (
     wq_label,
 )
 from repro.experiments.runner import ExperimentRunner
+from repro.registry import FIGURES
 from repro.scheduling.result import SimulationResult
 from repro.workloads.models import WORKLOAD_NAMES
 
@@ -87,13 +88,20 @@ def threshold_grid(
     bsld_thresholds: tuple[float, ...] = BSLD_THRESHOLDS,
     wq_thresholds: tuple[int | None, ...] = WQ_THRESHOLDS,
 ) -> ThresholdGrid:
-    runs: dict[GridKey, SimulationResult] = {}
-    baselines: dict[str, SimulationResult] = {}
-    for workload in workloads:
-        baselines[workload] = runner.baseline(workload)
-        for bsld in bsld_thresholds:
-            for wq in wq_thresholds:
-                runs[(workload, bsld, wq)] = runner.power_aware(workload, bsld, wq)
+    baseline_specs = {w: RunSpec(workload=w) for w in workloads}
+    power_specs: dict[GridKey, RunSpec] = {
+        (workload, bsld, wq): RunSpec(
+            workload=workload, policy=PolicySpec.power_aware(bsld, wq)
+        )
+        for workload in workloads
+        for bsld in bsld_thresholds
+        for wq in wq_thresholds
+    }
+    # One batch for the whole grid: uncached runs execute in parallel
+    # when the runner has workers; the per-spec fetches below all hit.
+    runner.run_many([*baseline_specs.values(), *power_specs.values()])
+    runs = {key: runner.run(spec) for key, spec in power_specs.items()}
+    baselines = {w: runner.run(spec) for w, spec in baseline_specs.items()}
     return ThresholdGrid(
         workloads=tuple(workloads),
         bsld_thresholds=tuple(bsld_thresholds),
@@ -147,6 +155,7 @@ class Figure3:
         return "\n\n".join(parts)
 
 
+@FIGURES.register("3")
 def figure3(runner: ExperimentRunner) -> Figure3:
     return Figure3(grid=threshold_grid(runner))
 
@@ -170,6 +179,7 @@ class Figure4:
         )
 
 
+@FIGURES.register("4")
 def figure4(runner: ExperimentRunner) -> Figure4:
     return Figure4(grid=threshold_grid(runner))
 
@@ -199,6 +209,7 @@ class Figure5:
         return f"{table}\n(no-DVFS baselines: {baseline})"
 
 
+@FIGURES.register("5")
 def figure5(runner: ExperimentRunner) -> Figure5:
     return Figure5(grid=threshold_grid(runner))
 
@@ -231,6 +242,7 @@ class Figure6:
         return f"{plot}\n{summary}"
 
 
+@FIGURES.register("6")
 def figure6(
     runner: ExperimentRunner,
     workload: str = "SDSCBlue",
@@ -276,19 +288,19 @@ def size_sweep(
     size_factors: tuple[float, ...] = SIZE_FACTORS,
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
 ) -> SizeSweep:
-    runs: dict[tuple[str, float], SimulationResult] = {}
-    baselines: dict[str, SimulationResult] = {}
-    for workload in workloads:
-        baselines[workload] = runner.baseline(workload)
-        for factor in size_factors:
-            runs[(workload, factor)] = runner.run(
-                RunSpec(
-                    workload=workload,
-                    policy=PolicySpec.power_aware(bsld_threshold, wq_threshold),
-                    n_jobs=runner.n_jobs,
-                    size_factor=factor,
-                )
-            )
+    baseline_specs = {w: RunSpec(workload=w) for w in workloads}
+    sweep_specs: dict[tuple[str, float], RunSpec] = {
+        (workload, factor): RunSpec(
+            workload=workload,
+            policy=PolicySpec.power_aware(bsld_threshold, wq_threshold),
+            size_factor=factor,
+        )
+        for workload in workloads
+        for factor in size_factors
+    }
+    runner.run_many([*baseline_specs.values(), *sweep_specs.values()])
+    runs = {key: runner.run(spec) for key, spec in sweep_specs.items()}
+    baselines = {w: runner.run(spec) for w, spec in baseline_specs.items()}
     return SizeSweep(
         workloads=tuple(workloads),
         size_factors=tuple(size_factors),
@@ -351,10 +363,12 @@ class Figure8(_EnlargedEnergyFigure):
     pass
 
 
+@FIGURES.register("7")
 def figure7(runner: ExperimentRunner) -> Figure7:
     return Figure7(figure_id=7, sweep=size_sweep(runner, wq_threshold=0))
 
 
+@FIGURES.register("8")
 def figure8(runner: ExperimentRunner) -> Figure8:
     return Figure8(figure_id=8, sweep=size_sweep(runner, wq_threshold=None))
 
@@ -400,6 +414,7 @@ class Figure9:
         return "\n\n".join(parts)
 
 
+@FIGURES.register("9")
 def figure9(runner: ExperimentRunner) -> Figure9:
     return Figure9(
         sweep_wq0=size_sweep(runner, wq_threshold=0),

@@ -1,8 +1,9 @@
 """Full reproduction report: every table and figure, paper vs measured.
 
-``build_report(runner)`` regenerates all artifacts and renders the
-markdown that EXPERIMENTS.md records; the CLI exposes it as
-``repro-sim report``.  Expected cost at the paper's 5000-job scale:
+``build_report(runner)`` regenerates all artifacts and renders them as
+one markdown document; the CLI exposes it as ``repro-sim report``
+(typically redirected to a file).  Expected cost at the paper's
+5000-job scale:
 roughly 150 simulations, a few minutes on a laptop.
 """
 
@@ -55,7 +56,8 @@ Reading guide — what must match the paper (shape, not absolute numbers):
   systems (already at the BSLD floor) cannot but stay close to it.
 * **Table 3**: DVFS at original size lengthens waits; +50% systems
   collapse them; SDSC's WQ0 wait stays at its no-DVFS level (the
-  signature that Ftop backfills are unconditional — see DESIGN.md §4).
+  signature that Ftop backfills are unconditional in the evaluated
+  policy — compare the `strict` ablation).
 """
 
 
@@ -172,7 +174,7 @@ def build_report(runner: ExperimentRunner, include_ablations: bool = True) -> st
 
     sections.append(_h(2, "Reproduction notes"))
     sections.append(
-        "Substitutions (see DESIGN.md §3): Alvio → `repro.sim`; the five "
+        "Substitutions relative to the paper's setup: Alvio → `repro.sim`; the five "
         "cleaned PWA traces → calibrated synthetic generators "
         "(`repro.workloads.models`).  Gear ladder, power model, β time "
         "model and the BSLD formulas are implemented verbatim from the "

@@ -3,29 +3,27 @@
 Figures 3-5 of the paper share one 60-run sweep and Figures 7-9 share
 another; the runner caches by :class:`~repro.experiments.config.RunSpec`
 so every figure/table builder can simply ask for what it needs.
+Construction of each run is delegated to the
+:class:`~repro.api.Simulation` facade, and :meth:`ExperimentRunner.run_many`
+fans uncached specs out over a :class:`~repro.batch.BatchRunner` when
+the runner was created with ``max_workers`` (or a ``cache_dir``).
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+from typing import Sequence
+
+from repro.api import Simulation
 from repro.cluster.machine import Machine
 from repro.experiments.config import PolicySpec, RunSpec
 from repro.power.time_model import DEFAULT_BETA
-from repro.scheduling.base import Scheduler, SchedulerConfig
-from repro.scheduling.conservative import ConservativeBackfilling
-from repro.scheduling.easy import EasyBackfilling
-from repro.scheduling.fcfs import FcfsScheduler
 from repro.scheduling.job import Job
 from repro.scheduling.result import SimulationResult
 from repro.workloads.generator import generate_workload
 from repro.workloads.models import trace_model
 
 __all__ = ["ExperimentRunner"]
-
-_SCHEDULERS: dict[str, type[Scheduler]] = {
-    "easy": EasyBackfilling,
-    "fcfs": FcfsScheduler,
-    "conservative": ConservativeBackfilling,
-}
 
 
 class ExperimentRunner:
@@ -34,19 +32,47 @@ class ExperimentRunner:
     Parameters
     ----------
     n_jobs:
-        Default trace length for specs that do not override it; the
-        paper simulates 5000-job segments, benchmarks use fewer.
+        Default trace length for specs that do not pin one
+        (``n_jobs=None``); the paper simulates 5000-job segments,
+        benchmarks use fewer.
     validate:
         Run every simulation with invariant checking on (slower).
+    max_workers:
+        When > 1, :meth:`run_many` executes uncached specs in that many
+        worker processes; results are identical to serial execution.
+    cache_dir:
+        Optional on-disk result cache shared across processes and
+        sessions (see :class:`~repro.batch.BatchRunner`).
     """
 
-    def __init__(self, n_jobs: int = 5000, validate: bool = False) -> None:
+    def __init__(
+        self,
+        n_jobs: int = 5000,
+        validate: bool = False,
+        *,
+        max_workers: int | None = None,
+        cache_dir: str | None = None,
+    ) -> None:
         if n_jobs <= 0:
             raise ValueError(f"n_jobs must be positive, got {n_jobs}")
         self.n_jobs = n_jobs
         self.validate = validate
         self._traces: dict[tuple[str, int, int | None], list[Job]] = {}
         self._results: dict[RunSpec, SimulationResult] = {}
+        self._batch = None
+        if (max_workers is not None and max_workers > 1) or cache_dir is not None:
+            from repro.batch import BatchRunner  # deferred: avoids an import cycle
+
+            # cache_dir alone must not imply parallelism (BatchRunner
+            # reads max_workers=None as "use every CPU").
+            if max_workers is None or max_workers < 2:
+                max_workers = 1
+            self._batch = BatchRunner(
+                max_workers=max_workers,
+                cache_dir=cache_dir,
+                validate=validate,
+                default_n_jobs=n_jobs,
+            )
 
     # -- workload/machine plumbing ------------------------------------------------
     def jobs_for(self, workload: str, n_jobs: int | None = None, seed: int | None = None) -> list[Job]:
@@ -64,35 +90,65 @@ class ExperimentRunner:
     # -- execution ---------------------------------------------------------------------
     def run(self, spec: RunSpec) -> SimulationResult:
         """Run (or fetch from cache) one simulation."""
-        cached = self._results.get(spec)
-        if cached is not None:
-            return cached
         spec = self._normalized(spec)
         cached = self._results.get(spec)
         if cached is not None:
             return cached
-        jobs = self.jobs_for(spec.workload, spec.n_jobs, spec.seed)
-        machine = self.machine_for(spec.workload, spec.size_factor)
-        scheduler_cls = _SCHEDULERS[spec.scheduler]
-        scheduler = scheduler_cls(
-            machine,
-            spec.policy.build(),
-            beta=spec.beta,
-            config=SchedulerConfig(
-                validate=self.validate,
-                boost=spec.policy.boost_config(),
-                record_timeline=spec.record_timeline,
-            ),
-        )
-        result = scheduler.run(jobs)
+        result = None
+        if self._batch is not None:
+            result = self._batch.cache_load(spec)
+        if result is None:
+            result = self._simulation(spec).run()
+            if self._batch is not None:
+                self._batch.cache_store(spec, result)
         self._results[spec] = result
         return result
 
+    def run_many(self, specs: Sequence[RunSpec]) -> list[SimulationResult]:
+        """Run a batch of specs, parallelising the uncached ones.
+
+        Returns results in input order; duplicate specs map to the same
+        cached result.  Without ``max_workers``/``cache_dir`` this is a
+        serial loop over :meth:`run`.
+        """
+        normalized = [self._normalized(spec) for spec in specs]
+        missing: list[RunSpec] = []
+        for spec in normalized:
+            if spec not in self._results and spec not in missing:
+                missing.append(spec)
+        if self._batch is not None and missing:
+            for spec, result in zip(missing, self._batch.run(missing)):
+                self._results[spec] = result
+        else:
+            for spec in missing:
+                self.run(spec)
+        return [self._results[spec] for spec in normalized]
+
+    def _simulation(self, spec: RunSpec) -> Simulation:
+        """The facade for one (already normalised) spec.
+
+        Synthetic-source specs reuse the runner's memoised traces so
+        figure builders sharing a workload do not regenerate it.
+        """
+        if spec.source == "synthetic":
+            return Simulation(
+                spec,
+                validate=self.validate,
+                jobs=self.jobs_for(spec.workload, spec.n_jobs, spec.seed),
+                machine=self.machine_for(spec.workload, spec.size_factor),
+            )
+        return Simulation(spec, validate=self.validate)
+
     def _normalized(self, spec: RunSpec) -> RunSpec:
-        if spec.n_jobs == self.n_jobs:
-            return spec
-        # RunSpec carries its own n_jobs; align defaults so cache keys for
-        # "the default-length run" coincide regardless of how callers spell it.
+        """Pin unset trace lengths to the runner default.
+
+        Cache keys for "the default-length run" then coincide however
+        callers spell it: ``RunSpec(workload="CTC")`` and
+        ``RunSpec(workload="CTC", n_jobs=runner.n_jobs)`` hit the same
+        entry.
+        """
+        if spec.n_jobs is None:
+            return replace(spec, n_jobs=self.n_jobs)
         return spec
 
     # -- common shortcuts ------------------------------------------------------------------
@@ -102,7 +158,6 @@ class ExperimentRunner:
             RunSpec(
                 workload=workload,
                 policy=PolicySpec.baseline(),
-                n_jobs=self.n_jobs,
                 size_factor=size_factor,
             )
         )
@@ -119,7 +174,6 @@ class ExperimentRunner:
             RunSpec(
                 workload=workload,
                 policy=PolicySpec.power_aware(bsld_threshold, wq_threshold),
-                n_jobs=self.n_jobs,
                 size_factor=size_factor,
                 beta=beta,
             )

@@ -65,6 +65,7 @@ class Table1:
 
 
 def table1(runner: ExperimentRunner) -> Table1:
+    runner.run_many([RunSpec(workload=name) for name in WORKLOAD_NAMES])
     rows = []
     for name in WORKLOAD_NAMES:
         result = runner.baseline(name)
@@ -104,22 +105,23 @@ class Table3:
 
 
 def table3(runner: ExperimentRunner, bsld_threshold: float = 2.0) -> Table3:
-    rows: dict[str, dict[str, float]] = {}
+    specs: dict[str, dict[str, RunSpec]] = {}
     for name in WORKLOAD_NAMES:
-        spec = RunSpec(workload=name, n_jobs=runner.n_jobs)
-        rows[name] = {
-            "OrigNoDVFS": runner.run(spec).average_wait(),
-            "OrigWQ0": runner.run(
-                spec.with_policy(PolicySpec.power_aware(bsld_threshold, 0))
-            ).average_wait(),
-            "OrigWQNo": runner.run(
-                spec.with_policy(PolicySpec.power_aware(bsld_threshold, None))
-            ).average_wait(),
-            "Inc50WQ0": runner.run(
-                spec.with_policy(PolicySpec.power_aware(bsld_threshold, 0)).scaled(1.5)
-            ).average_wait(),
-            "Inc50WQNo": runner.run(
-                spec.with_policy(PolicySpec.power_aware(bsld_threshold, None)).scaled(1.5)
-            ).average_wait(),
+        spec = RunSpec(workload=name)
+        specs[name] = {
+            "OrigNoDVFS": spec,
+            "OrigWQ0": spec.with_policy(PolicySpec.power_aware(bsld_threshold, 0)),
+            "OrigWQNo": spec.with_policy(PolicySpec.power_aware(bsld_threshold, None)),
+            "Inc50WQ0": spec.with_policy(
+                PolicySpec.power_aware(bsld_threshold, 0)
+            ).scaled(1.5),
+            "Inc50WQNo": spec.with_policy(
+                PolicySpec.power_aware(bsld_threshold, None)
+            ).scaled(1.5),
         }
+    runner.run_many([s for columns in specs.values() for s in columns.values()])
+    rows = {
+        name: {column: runner.run(s).average_wait() for column, s in columns.items()}
+        for name, columns in specs.items()
+    }
     return Table3(rows=rows, paper=PAPER_TABLE3)

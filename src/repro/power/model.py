@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.gears import Gear, GearSet, PAPER_GEAR_SET
+from repro.registry import POWER_MODELS
 
 __all__ = ["PowerModel", "PAPER_ACTIVITY_RATIO", "PAPER_STATIC_SHARE"]
 
@@ -137,3 +138,22 @@ class PowerModel:
             sta = self.static_power(gear)
             rows.append((gear, dyn, sta, dyn + sta))
         return rows
+
+
+# -- registered factories (RunSpec.power_model names one of these) ------------
+@POWER_MODELS.register("paper")
+def paper_power_model(gears: GearSet) -> PowerModel:
+    """The paper's calibration: 25% static share, 2.5x activity ratio."""
+    return PowerModel(gears=gears)
+
+
+@POWER_MODELS.register("nostatic")
+def dynamic_only_power_model(gears: GearSet) -> PowerModel:
+    """Pure-CMOS variant without leakage (upper bound on DVFS savings)."""
+    return PowerModel(gears=gears, static_share=0.0)
+
+
+@POWER_MODELS.register("highleak")
+def high_leakage_power_model(gears: GearSet) -> PowerModel:
+    """A leakage-dominated process: static power is half the active total."""
+    return PowerModel(gears=gears, static_share=0.5)

@@ -38,8 +38,9 @@ class SchedulerConfig:
     Attributes
     ----------
     track_processor_ids:
-        Use explicit first-fit CPU identities (slower; identities do
-        not affect metrics on a flat machine, see DESIGN.md).
+        Use explicit first-fit CPU identities (slower; on a flat
+        machine every CPU is interchangeable, so identities do not
+        affect any reported metric).
     validate:
         Enable per-pass invariant assertions (used heavily in tests).
     boost:

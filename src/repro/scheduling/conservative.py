@@ -20,6 +20,7 @@ from collections import deque
 from repro.cluster.profile import AvailabilityProfile
 from repro.core.frequency_policy import SchedulingContext
 from repro.core.gears import Gear
+from repro.registry import SCHEDULERS
 from repro.scheduling.base import Scheduler
 from repro.scheduling.job import Job
 from repro.sim.engine import SimulationError
@@ -27,6 +28,7 @@ from repro.sim.engine import SimulationError
 __all__ = ["ConservativeBackfilling"]
 
 
+@SCHEDULERS.register("conservative")
 class ConservativeBackfilling(Scheduler):
     def _reset_pass_state(self) -> None:
         #: With ``config.validate``, every pass appends

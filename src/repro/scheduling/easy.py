@@ -27,6 +27,7 @@ from itertools import islice
 
 from repro.core.frequency_policy import SchedulingContext
 from repro.core.gears import Gear
+from repro.registry import SCHEDULERS
 from repro.scheduling.base import Scheduler
 from repro.scheduling.job import Job
 from repro.sim.engine import SimulationError
@@ -34,6 +35,7 @@ from repro.sim.engine import SimulationError
 __all__ = ["EasyBackfilling"]
 
 
+@SCHEDULERS.register("easy")
 class EasyBackfilling(Scheduler):
     """EASY backfilling; the paper's baseline and power-aware scheduler."""
 

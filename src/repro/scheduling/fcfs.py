@@ -7,11 +7,13 @@ as a lower bound in policy-comparison ablations.
 
 from __future__ import annotations
 
+from repro.registry import SCHEDULERS
 from repro.scheduling.base import Scheduler
 
 __all__ = ["FcfsScheduler"]
 
 
+@SCHEDULERS.register("fcfs")
 class FcfsScheduler(Scheduler):
     """Start queue heads while they fit; never look past the head."""
 

@@ -1,0 +1,191 @@
+"""JSON round-trips for :class:`RunSpec` and :class:`SimulationResult`.
+
+The codecs are exact: every float survives ``dumps``/``loads`` bit-for-bit
+(Python serialises floats with their shortest round-tripping repr), so
+``spec_from_dict(spec_to_dict(s)) == s`` and
+``result_from_dict(result_to_dict(r)) == r`` hold with plain ``==``.
+:class:`~repro.batch.BatchRunner` builds its on-disk result cache and
+its worker protocol on top of these, and :func:`spec_key` derives the
+cache key from the canonical spec JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.cluster.machine import Machine
+from repro.core.gears import Gear, GearSet
+from repro.experiments.config import PolicySpec, RunSpec
+from repro.power.energy import EnergyReport
+from repro.scheduling.job import Job, JobOutcome
+from repro.scheduling.result import SimulationResult, TimelinePoint
+
+__all__ = [
+    "spec_to_dict",
+    "spec_from_dict",
+    "spec_json",
+    "spec_key",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+#: Bumped whenever the serialised layout changes; cached results with a
+#: different version are ignored rather than misread.
+FORMAT_VERSION = 1
+
+
+# -- RunSpec ------------------------------------------------------------------
+def spec_to_dict(spec: RunSpec) -> dict[str, Any]:
+    """A JSON-ready dict capturing every field of ``spec``."""
+    return {
+        "workload": spec.workload,
+        "policy": {
+            "kind": spec.policy.kind,
+            "bsld_threshold": spec.policy.bsld_threshold,
+            "wq_threshold": spec.policy.wq_threshold,
+            "strict_top_backfill": spec.policy.strict_top_backfill,
+            "fixed_frequency": spec.policy.fixed_frequency,
+            "boost_trigger": spec.policy.boost_trigger,
+        },
+        "n_jobs": spec.n_jobs,
+        "seed": spec.seed,
+        "size_factor": spec.size_factor,
+        "beta": spec.beta,
+        "scheduler": spec.scheduler,
+        "power_model": spec.power_model,
+        "source": spec.source,
+        "record_timeline": spec.record_timeline,
+    }
+
+
+def spec_from_dict(data: dict[str, Any]) -> RunSpec:
+    policy = data["policy"]
+    return RunSpec(
+        workload=data["workload"],
+        policy=PolicySpec(
+            kind=policy["kind"],
+            bsld_threshold=policy["bsld_threshold"],
+            wq_threshold=policy["wq_threshold"],
+            strict_top_backfill=policy["strict_top_backfill"],
+            fixed_frequency=policy["fixed_frequency"],
+            boost_trigger=policy["boost_trigger"],
+        ),
+        n_jobs=data["n_jobs"],
+        seed=data["seed"],
+        size_factor=data["size_factor"],
+        beta=data["beta"],
+        scheduler=data["scheduler"],
+        power_model=data["power_model"],
+        source=data["source"],
+        record_timeline=data["record_timeline"],
+    )
+
+
+def spec_json(spec: RunSpec) -> str:
+    """Canonical (sorted-key, compact) JSON for ``spec``."""
+    return json.dumps(spec_to_dict(spec), sort_keys=True, separators=(",", ":"))
+
+
+def spec_key(spec: RunSpec) -> str:
+    """A stable filesystem-safe cache key for ``spec``."""
+    return hashlib.sha256(spec_json(spec).encode("utf-8")).hexdigest()[:32]
+
+
+# -- SimulationResult ---------------------------------------------------------
+def _gear_to_dict(gear: Gear) -> dict[str, float]:
+    return {"frequency": gear.frequency, "voltage": gear.voltage}
+
+
+def _gear_from_dict(data: dict[str, float]) -> Gear:
+    return Gear(frequency=data["frequency"], voltage=data["voltage"])
+
+
+def _job_to_dict(job: Job) -> dict[str, Any]:
+    return {
+        "job_id": job.job_id,
+        "submit_time": job.submit_time,
+        "runtime": job.runtime,
+        "requested_time": job.requested_time,
+        "size": job.size,
+        "user_id": job.user_id,
+        "group_id": job.group_id,
+        "executable": job.executable,
+        "beta": job.beta,
+    }
+
+
+def _job_from_dict(data: dict[str, Any]) -> Job:
+    return Job(**data)
+
+
+def _outcome_to_dict(outcome: JobOutcome) -> dict[str, Any]:
+    return {
+        "job": _job_to_dict(outcome.job),
+        "start_time": outcome.start_time,
+        "finish_time": outcome.finish_time,
+        "gear": _gear_to_dict(outcome.gear),
+        "penalized_runtime": outcome.penalized_runtime,
+        "energy": outcome.energy,
+        "was_reduced": outcome.was_reduced,
+    }
+
+
+def _outcome_from_dict(data: dict[str, Any]) -> JobOutcome:
+    return JobOutcome(
+        job=_job_from_dict(data["job"]),
+        start_time=data["start_time"],
+        finish_time=data["finish_time"],
+        gear=_gear_from_dict(data["gear"]),
+        penalized_runtime=data["penalized_runtime"],
+        energy=data["energy"],
+        was_reduced=data["was_reduced"],
+    )
+
+
+def result_to_dict(result: SimulationResult) -> dict[str, Any]:
+    """A JSON-ready dict capturing the full result (outcomes included)."""
+    return {
+        "version": FORMAT_VERSION,
+        "machine": {
+            "name": result.machine.name,
+            "total_cpus": result.machine.total_cpus,
+            "gears": [_gear_to_dict(g) for g in result.machine.gears],
+        },
+        "policy": result.policy,
+        "outcomes": [_outcome_to_dict(o) for o in result.outcomes],
+        "energy": {
+            "computational": result.energy.computational,
+            "idle": result.energy.idle,
+            "busy_cpu_seconds": result.energy.busy_cpu_seconds,
+            "idle_cpu_seconds": result.energy.idle_cpu_seconds,
+            "span": result.energy.span,
+        },
+        "events_processed": result.events_processed,
+        "timeline": [
+            {"time": p.time, "queued_jobs": p.queued_jobs, "busy_cpus": p.busy_cpus}
+            for p in result.timeline
+        ],
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> SimulationResult:
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    machine = data["machine"]
+    return SimulationResult(
+        machine=Machine(
+            name=machine["name"],
+            total_cpus=machine["total_cpus"],
+            gears=GearSet([_gear_from_dict(g) for g in machine["gears"]]),
+        ),
+        policy=data["policy"],
+        outcomes=tuple(_outcome_from_dict(o) for o in data["outcomes"]),
+        energy=EnergyReport(**data["energy"]),
+        events_processed=data["events_processed"],
+        timeline=tuple(TimelinePoint(**p) for p in data["timeline"]),
+    )

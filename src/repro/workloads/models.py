@@ -19,8 +19,8 @@ system:
 
 The ``utilization`` knob of each arrival model is *calibrated* so the
 no-DVFS EASY baseline reproduces the paper's Table 1 average BSLD on
-the default 5000-job trace (see EXPERIMENTS.md for measured values);
-everything else is fixed from the qualitative description.
+the default 5000-job trace (``repro-sim table 1`` prints paper vs
+measured); everything else is fixed from the qualitative description.
 """
 
 from __future__ import annotations

@@ -1,0 +1,70 @@
+"""Workload sources: where a :class:`~repro.experiments.config.RunSpec` gets its jobs.
+
+A *source* resolves ``RunSpec.workload`` into a concrete job list plus
+the machine it was logged on.  Two sources ship by default:
+
+* ``"synthetic"`` — the calibrated generators behind the paper's five
+  workloads (``workload`` names a :data:`~repro.workloads.models.TRACE_MODELS`
+  entry);
+* ``"swf"`` — a Standard Workload Format file (``workload`` is the
+  path; CPUs come from the ``MaxProcs`` header or the widest job).
+
+Additional sources register themselves on
+:data:`repro.registry.WORKLOAD_SOURCES` under a new name.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.registry import WORKLOAD_SOURCES
+from repro.scheduling.job import Job
+from repro.workloads.generator import generate_workload
+from repro.workloads.models import trace_model
+from repro.workloads.swf import read_swf
+
+__all__ = ["WorkloadBundle", "synthetic_source", "swf_source"]
+
+
+@dataclass(frozen=True)
+class WorkloadBundle:
+    """A resolved workload: the jobs plus the machine they belong to."""
+
+    jobs: tuple[Job, ...]
+    machine_name: str
+    total_cpus: int
+
+    def __post_init__(self) -> None:
+        if self.total_cpus <= 0:
+            raise ValueError(
+                f"workload {self.machine_name!r}: total_cpus must be positive, "
+                f"got {self.total_cpus}"
+            )
+
+
+@WORKLOAD_SOURCES.register("synthetic")
+def synthetic_source(workload: str, n_jobs: int, seed: int | None) -> WorkloadBundle:
+    """Generate one of the paper's calibrated synthetic traces."""
+    model = trace_model(workload)
+    jobs = generate_workload(model, n_jobs, seed)
+    return WorkloadBundle(
+        jobs=tuple(jobs), machine_name=model.name, total_cpus=model.cpus
+    )
+
+
+@WORKLOAD_SOURCES.register("swf")
+def swf_source(workload: str, n_jobs: int, seed: int | None) -> WorkloadBundle:
+    """Read a Standard Workload Format trace; ``workload`` is the file path.
+
+    ``n_jobs`` truncates the trace (the whole file is used when it is
+    shorter); ``seed`` is ignored — SWF traces are already concrete.
+    """
+    header, jobs = read_swf(workload)
+    if not jobs:
+        raise ValueError(f"SWF trace {workload!r} contains no usable jobs")
+    if n_jobs and n_jobs < len(jobs):
+        jobs = jobs[:n_jobs]
+    cpus = header.max_procs or max(job.size for job in jobs)
+    name = os.path.splitext(os.path.basename(str(workload)))[0] or "swf"
+    return WorkloadBundle(jobs=tuple(jobs), machine_name=name, total_cpus=cpus)

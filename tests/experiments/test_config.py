@@ -77,9 +77,15 @@ class TestPolicySpec:
 class TestRunSpec:
     def test_defaults(self):
         spec = RunSpec(workload="CTC")
-        assert spec.n_jobs == 5000
+        assert spec.n_jobs is None  # "use the context's default trace length"
         assert spec.size_factor == 1.0
         assert spec.scheduler == "easy"
+        assert spec.power_model == "paper"
+        assert spec.source == "synthetic"
+
+    def test_sized_pins_trace_length(self):
+        spec = RunSpec(workload="CTC").sized(250)
+        assert spec.n_jobs == 250
 
     def test_with_policy_and_scaled(self):
         spec = RunSpec(workload="CTC", n_jobs=100)

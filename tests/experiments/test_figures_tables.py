@@ -1,7 +1,8 @@
 """Integration tests for the table/figure builders (small traces).
 
 These verify structure, normalisation identities and rendering — the
-full-scale numbers live in EXPERIMENTS.md and the benchmarks.
+full-scale numbers live in the benchmarks and the ``repro-sim report``
+output.
 """
 
 import pytest

@@ -42,6 +42,26 @@ class TestResultCache:
         assert second is first
         assert runner.cached_runs == 1
 
+    def test_default_length_specs_normalised(self, runner):
+        """Unset n_jobs is pinned to the runner default before caching, so
+        both spellings of "the default-length run" share one entry."""
+        first = runner.run(RunSpec(workload="CTC"))
+        assert first.job_count == 150
+        assert runner.cached_runs == 1
+        second = runner.run(RunSpec(workload="CTC", n_jobs=150))
+        assert second is first
+        assert runner.cached_runs == 1
+
+    def test_run_many_serial_matches_run(self, runner):
+        specs = [
+            RunSpec(workload="CTC"),
+            RunSpec(workload="CTC", policy=PolicySpec.power_aware(2.0, 4)),
+            RunSpec(workload="CTC"),  # duplicate resolves to the same result
+        ]
+        results = runner.run_many(specs)
+        assert results[0] is results[2]
+        assert results[1] is runner.run(specs[1])
+
     def test_different_policy_not_shared(self, runner):
         base = runner.baseline("CTC")
         powered = runner.power_aware("CTC", 2.0, 4)

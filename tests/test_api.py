@@ -1,0 +1,130 @@
+"""Tests for the ``repro.api`` facade and the JSON spec/result codecs."""
+
+import json
+
+import pytest
+
+from repro.api import DEFAULT_N_JOBS, Simulation, normalize_spec, run
+from repro.experiments.config import PolicySpec, RunSpec
+from repro.experiments.runner import ExperimentRunner
+from repro.serialize import (
+    result_from_dict,
+    result_to_dict,
+    spec_from_dict,
+    spec_json,
+    spec_key,
+    spec_to_dict,
+)
+from repro.workloads.generator import load_workload
+from repro.workloads.swf import write_swf
+
+
+class TestNormalizeSpec:
+    def test_unset_n_jobs_pinned_to_default(self):
+        spec = normalize_spec(RunSpec(workload="CTC"))
+        assert spec.n_jobs == DEFAULT_N_JOBS
+
+    def test_custom_default(self):
+        spec = normalize_spec(RunSpec(workload="CTC"), default_n_jobs=77)
+        assert spec.n_jobs == 77
+
+    def test_explicit_n_jobs_untouched(self):
+        spec = RunSpec(workload="CTC", n_jobs=123)
+        assert normalize_spec(spec) is spec
+
+
+class TestSimulation:
+    def test_matches_experiment_runner(self):
+        spec = RunSpec(
+            workload="CTC", n_jobs=60, policy=PolicySpec.power_aware(2.0, 4)
+        )
+        facade = Simulation(spec).run()
+        runner = ExperimentRunner(n_jobs=60).run(spec)
+        assert facade == runner
+
+    def test_materialises_machine_and_jobs(self):
+        sim = Simulation(RunSpec(workload="SDSCBlue", n_jobs=40, size_factor=1.5))
+        assert sim.machine.total_cpus == 1728
+        assert len(sim.jobs) == 40
+
+    def test_scheduler_and_power_model_registries(self):
+        spec = RunSpec(workload="CTC", n_jobs=40, scheduler="fcfs", power_model="nostatic")
+        sim = Simulation(spec)
+        scheduler = sim.build_scheduler()
+        assert type(scheduler).__name__ == "FcfsScheduler"
+        assert scheduler.power_model.static_share == 0.0
+        assert sim.run().job_count == 40
+
+    def test_run_convenience(self):
+        assert run(RunSpec(workload="CTC", n_jobs=30)).job_count == 30
+
+    def test_swf_source(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        write_swf(path, load_workload("CTC", n_jobs=50), max_procs=430)
+        result = Simulation(RunSpec(workload=str(path), source="swf", n_jobs=30)).run()
+        assert result.job_count == 30
+        assert result.machine.total_cpus == 430
+        assert result.machine.name == "trace"
+
+    def test_unknown_names_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            RunSpec(workload="CTC", scheduler="sjf")
+        with pytest.raises(ValueError, match="power_model"):
+            RunSpec(workload="CTC", power_model="quantum")
+        with pytest.raises(ValueError, match="workload source"):
+            RunSpec(workload="CTC", source="carrier-pigeon")
+
+
+SPECS = [
+    RunSpec(workload="CTC"),
+    RunSpec(workload="SDSC", n_jobs=250, seed=7, size_factor=1.5, beta=0.3),
+    RunSpec(
+        workload="SDSCBlue",
+        policy=PolicySpec.power_aware(1.5, 16, strict_top_backfill=True, boost_trigger=4),
+        scheduler="conservative",
+        power_model="highleak",
+        record_timeline=True,
+    ),
+    RunSpec(workload="LLNLAtlas", policy=PolicySpec(kind="fixed", fixed_frequency=0.8)),
+    RunSpec(workload="LLNLThunder", policy=PolicySpec(kind="util")),
+]
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.label())
+    def test_dict_round_trip(self, spec):
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.label())
+    def test_json_round_trip(self, spec):
+        assert spec_from_dict(json.loads(spec_json(spec))) == spec
+
+    def test_key_stable_and_distinct(self):
+        a = RunSpec(workload="CTC", policy=PolicySpec.power_aware(2.0, 4))
+        b = RunSpec(workload="CTC", policy=PolicySpec.power_aware(2.0, 4))
+        c = RunSpec(workload="CTC", policy=PolicySpec.power_aware(2.0, 16))
+        assert spec_key(a) == spec_key(b)
+        assert spec_key(a) != spec_key(c)
+
+
+class TestResultRoundTrip:
+    def test_exact_equality_through_json(self):
+        spec = RunSpec(
+            workload="SDSC",
+            n_jobs=60,
+            policy=PolicySpec.power_aware(2.0, 0),
+            record_timeline=True,
+        )
+        result = Simulation(spec).run()
+        restored = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+        assert restored == result
+        assert restored.average_bsld() == result.average_bsld()
+        assert restored.energy.total_idle_low == result.energy.total_idle_low
+        assert restored.timeline == result.timeline
+
+    def test_version_mismatch_rejected(self):
+        result = Simulation(RunSpec(workload="CTC", n_jobs=20)).run()
+        data = result_to_dict(result)
+        data["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            result_from_dict(data)

@@ -1,0 +1,149 @@
+"""Tests for the parallel batch runner: determinism, ordering, caching."""
+
+import json
+
+import pytest
+
+from repro.batch import BatchRunner
+from repro.experiments.config import PolicySpec, RunSpec
+from repro.experiments.figures import threshold_grid
+from repro.experiments.runner import ExperimentRunner
+from repro.serialize import result_to_dict
+
+N_JOBS = 40
+
+
+def grid_specs() -> list[RunSpec]:
+    """A miniature Figure 3-5 style grid (two workloads x three policies)."""
+    return [
+        RunSpec(workload=workload, n_jobs=N_JOBS, policy=policy)
+        for workload in ("CTC", "SDSC")
+        for policy in (
+            PolicySpec.baseline(),
+            PolicySpec.power_aware(2.0, 0),
+            PolicySpec.power_aware(2.0, None),
+        )
+    ]
+
+
+def as_bytes(results) -> list[str]:
+    return [json.dumps(result_to_dict(r), sort_keys=True) for r in results]
+
+
+class TestDeterminism:
+    def test_parallel_equals_serial_byte_identical(self):
+        specs = grid_specs()
+        serial = BatchRunner(max_workers=1).run(specs)
+        parallel = BatchRunner(max_workers=4).run(specs)
+        assert serial == parallel
+        assert as_bytes(serial) == as_bytes(parallel)
+
+    def test_results_in_input_order(self):
+        specs = grid_specs()
+        results = BatchRunner(max_workers=2).run(specs)
+        assert len(results) == len(specs)
+        for spec, result in zip(specs, results):
+            assert result.machine.name.startswith(spec.workload)
+            if spec.policy.kind == "nodvfs":
+                assert result.reduced_jobs == 0
+
+    def test_duplicates_deduplicated(self):
+        spec = RunSpec(workload="CTC", n_jobs=N_JOBS)
+        first, second = BatchRunner(max_workers=1).run([spec, spec])
+        assert first is second
+
+    def test_default_n_jobs_applied(self):
+        runner = BatchRunner(max_workers=1, default_n_jobs=25)
+        (result,) = runner.run([RunSpec(workload="CTC")])
+        assert result.job_count == 25
+
+    def test_empty_batch(self):
+        assert BatchRunner(max_workers=4).run([]) == []
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            BatchRunner(max_workers=-1)
+
+
+class TestDiskCache:
+    def test_second_run_served_from_disk(self, tmp_path):
+        specs = grid_specs()[:3]
+        runner = BatchRunner(max_workers=2, cache_dir=tmp_path)
+        first = runner.run(specs)
+        assert runner.cache_misses == 3
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+        fresh = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        second = fresh.run(specs)
+        assert fresh.cache_hits == 3
+        assert fresh.cache_misses == 0
+        assert as_bytes(first) == as_bytes(second)
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        spec = RunSpec(workload="CTC", n_jobs=N_JOBS)
+        runner = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        (result,) = runner.run([spec])
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json")
+        again = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        (recomputed,) = again.run([spec])
+        assert again.cache_misses == 1
+        assert recomputed == result
+
+    def test_cache_ignores_mismatched_spec_payload(self, tmp_path):
+        spec = RunSpec(workload="CTC", n_jobs=N_JOBS)
+        runner = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        runner.run([spec])
+        (path,) = tmp_path.glob("*.json")
+        data = json.loads(path.read_text())
+        data["spec"]["beta"] = 0.123  # simulate a stale/foreign entry
+        path.write_text(json.dumps(data))
+        again = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        again.run([spec])
+        assert again.cache_misses == 1
+
+
+class TestRunnerIntegration:
+    """The acceptance path: parallel figure grids match serial ones."""
+
+    def test_parallel_threshold_grid_byte_identical(self):
+        workloads = ("CTC", "SDSC")
+        kwargs = dict(bsld_thresholds=(2.0,), wq_thresholds=(0, None))
+        serial_grid = threshold_grid(
+            ExperimentRunner(n_jobs=N_JOBS), workloads=workloads, **kwargs
+        )
+        parallel_grid = threshold_grid(
+            ExperimentRunner(n_jobs=N_JOBS, max_workers=4), workloads=workloads, **kwargs
+        )
+        assert set(serial_grid.runs) == set(parallel_grid.runs)
+        for key, serial_run in serial_grid.runs.items():
+            a = json.dumps(result_to_dict(serial_run), sort_keys=True)
+            b = json.dumps(result_to_dict(parallel_grid.runs[key]), sort_keys=True)
+            assert a == b
+        for workload in workloads:
+            assert serial_grid.baselines[workload] == parallel_grid.baselines[workload]
+
+    def test_runner_run_uses_disk_cache(self, tmp_path):
+        """Single-spec run() paths (advisor, figure 6) persist and reuse
+        results when the runner has a cache_dir."""
+        spec = RunSpec(workload="CTC")
+        runner = ExperimentRunner(n_jobs=25, cache_dir=tmp_path)
+        result = runner.run(spec)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        fresh = ExperimentRunner(n_jobs=25, cache_dir=tmp_path)
+        assert fresh.run(spec) == result
+
+    def test_cache_dir_alone_stays_serial(self, tmp_path):
+        """A cache-only runner must not spawn one worker per CPU."""
+        runner = ExperimentRunner(n_jobs=25, cache_dir=tmp_path)
+        assert runner._batch is not None
+        assert runner._batch.max_workers == 1
+
+    def test_run_many_populates_runner_cache(self):
+        runner = ExperimentRunner(n_jobs=N_JOBS, max_workers=2)
+        specs = grid_specs()
+        results = runner.run_many(specs)
+        assert runner.cached_runs == len(set(specs))
+        # follow-up lookups are cache hits returning identical objects
+        for spec, result in zip(specs, results):
+            assert runner.run(spec) is result

@@ -56,6 +56,52 @@ class TestRun:
             main(["run", "NotAWorkload"])
 
 
+class TestSweep:
+    def test_sweep_grid(self, capsys):
+        out = run_cli(
+            capsys, "--jobs", "40", "sweep",
+            "--workloads", "CTC", "--bsld-thresholds", "2", "--wq-thresholds", "0,NO",
+        )
+        assert "Sweep — 2 runs" in out
+        assert "CTC DVFS(2,0)" in out
+        assert "CTC DVFS(2,NO)" in out
+
+    def test_sweep_with_size_factors(self, capsys):
+        out = run_cli(
+            capsys, "--jobs", "40", "sweep",
+            "--workloads", "SDSC", "--bsld-thresholds", "2",
+            "--wq-thresholds", "NO", "--size-factors", "1,1.5",
+        )
+        assert "SDSC x1.5 DVFS(2,NO)" in out
+
+    def test_bad_threshold_list_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "10", "sweep", "--bsld-thresholds", "two"])
+        with pytest.raises(SystemExit):
+            main(["--jobs", "10", "sweep", "--wq-thresholds", ","])
+
+    def test_negative_parallel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "10", "--parallel", "-1", "run", "CTC"])
+
+
+class TestParallelAndCache:
+    def test_parallel_figure_matches_serial(self, capsys):
+        serial = run_cli(capsys, "--jobs", "40", "figure", "4")
+        parallel = run_cli(capsys, "--jobs", "40", "--parallel", "2", "figure", "4")
+        assert parallel == serial
+
+    def test_cache_dir_round_trip(self, capsys, tmp_path):
+        first = run_cli(
+            capsys, "--jobs", "40", "--cache-dir", str(tmp_path), "table", "1"
+        )
+        assert list(tmp_path.glob("*.json"))
+        second = run_cli(
+            capsys, "--jobs", "40", "--cache-dir", str(tmp_path), "table", "1"
+        )
+        assert second == first
+
+
 class TestTablesAndFigures:
     def test_table1(self, capsys):
         out = run_cli(capsys, "--jobs", "50", "table", "1")

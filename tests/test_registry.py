@@ -1,0 +1,121 @@
+"""Unit tests for the component registries."""
+
+import pytest
+
+from repro.registry import (
+    ABLATIONS,
+    FIGURES,
+    POLICIES,
+    POWER_MODELS,
+    Registry,
+    RegistryError,
+    SCHEDULERS,
+    WORKLOAD_SOURCES,
+)
+
+
+class TestRegistryBasics:
+    def test_register_and_get(self):
+        registry: Registry[type] = Registry("widget")
+
+        @registry.register("alpha")
+        class Alpha:
+            pass
+
+        assert registry.get("alpha") is Alpha
+        assert "alpha" in registry
+        assert registry.names() == ("alpha",)
+        assert len(registry) == 1
+        assert list(registry) == ["alpha"]
+
+    def test_decorator_returns_object_unchanged(self):
+        registry: Registry[object] = Registry("widget")
+
+        @registry.register("f")
+        def f():
+            return 42
+
+        assert f() == 42
+
+    def test_duplicate_key_rejected(self):
+        registry: Registry[int] = Registry("widget")
+        registry.add("a", 1)
+        with pytest.raises(RegistryError, match="duplicate widget name 'a'"):
+            registry.add("a", 2)
+        assert registry.get("a") == 1
+
+    def test_explicit_overwrite_allowed(self):
+        registry: Registry[int] = Registry("widget")
+        registry.add("a", 1)
+        registry.add("a", 2, overwrite=True)
+        assert registry.get("a") == 2
+
+    def test_unknown_key_lists_available(self):
+        registry: Registry[int] = Registry("widget")
+        registry.add("left", 1)
+        registry.add("right", 2)
+        with pytest.raises(RegistryError, match="left, right"):
+            registry.get("middle")
+
+    def test_registry_error_is_a_key_error(self):
+        registry: Registry[int] = Registry("widget")
+        with pytest.raises(KeyError):
+            registry.get("nope")
+
+    def test_bad_names_rejected(self):
+        registry: Registry[int] = Registry("widget")
+        with pytest.raises(ValueError, match="non-empty strings"):
+            registry.add("", 1)
+        with pytest.raises(ValueError, match="non-empty strings"):
+            registry.add(3, 1)  # type: ignore[arg-type]
+
+    def test_items_sorted(self):
+        registry: Registry[int] = Registry("widget")
+        registry.add("b", 2)
+        registry.add("a", 1)
+        assert registry.items() == (("a", 1), ("b", 2))
+
+    def test_failed_lazy_import_surfaces_and_retries(self):
+        """A broken default module propagates its real error on every
+        lookup instead of leaving a silently half-empty registry."""
+        registry: Registry[int] = Registry(
+            "widget", modules=("repro_no_such_module_xyz",)
+        )
+        with pytest.raises(ModuleNotFoundError):
+            registry.get("anything")
+        with pytest.raises(ModuleNotFoundError):  # retried, not swallowed
+            registry.names()
+
+
+class TestDefaultRegistrations:
+    """The bundled components all arrive through lazy module loading."""
+
+    def test_schedulers(self):
+        from repro.scheduling.conservative import ConservativeBackfilling
+        from repro.scheduling.easy import EasyBackfilling
+        from repro.scheduling.fcfs import FcfsScheduler
+
+        assert SCHEDULERS.get("easy") is EasyBackfilling
+        assert SCHEDULERS.get("fcfs") is FcfsScheduler
+        assert SCHEDULERS.get("conservative") is ConservativeBackfilling
+
+    def test_policy_kinds(self):
+        assert POLICIES.names() == ("bsld", "fixed", "nodvfs", "util")
+
+    def test_power_models(self):
+        from repro.core.gears import PAPER_GEAR_SET
+
+        assert "paper" in POWER_MODELS
+        model = POWER_MODELS.get("paper")(PAPER_GEAR_SET)
+        assert model.static_share == 0.25
+        assert POWER_MODELS.get("nostatic")(PAPER_GEAR_SET).static_share == 0.0
+
+    def test_workload_sources(self):
+        assert "synthetic" in WORKLOAD_SOURCES
+        assert "swf" in WORKLOAD_SOURCES
+
+    def test_figures_and_ablations(self):
+        assert FIGURES.names() == ("3", "4", "5", "6", "7", "8", "9")
+        assert set(ABLATIONS.names()) == {
+            "beta", "gears", "policies", "sleep", "static", "strict",
+        }
