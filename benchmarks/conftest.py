@@ -1,0 +1,19 @@
+"""Mark everything under benchmarks/ with the ``bench`` marker.
+
+The tier-1 suite deselects these via the ``-m "not bench"`` addopts in
+pyproject.toml; select them explicitly with ``-m bench``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)

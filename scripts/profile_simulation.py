@@ -6,28 +6,34 @@ Usage::
 
 Prints the cProfile hot spots of one baseline + one power-aware run.
 Use this before optimising anything in the scheduler hot path.
+
+Runs are constructed through the :class:`repro.api.Simulation` facade —
+the same registry-driven path the CLI, the experiment runner and the
+batch runner use — so the profile reflects exactly the code users run.
+Workload materialisation happens outside the profiled region; only the
+scheduler hot path is measured.
 """
 
 import cProfile
 import pstats
 import sys
 
-from repro import BsldThresholdPolicy, EasyBackfilling, FixedGearPolicy, Machine, load_workload
-from repro.workloads.models import trace_model
+from repro.api import Simulation
+from repro.experiments.config import PolicySpec, RunSpec
 
 
 def main(workload: str = "SDSC", n_jobs: int = 5000) -> None:
-    jobs = load_workload(workload, n_jobs)
-    machine = Machine(workload, trace_model(workload).cpus)
-
     for label, policy in (
-        ("baseline (no DVFS)", FixedGearPolicy()),
-        ("power-aware DVFS(2, NO)", BsldThresholdPolicy(2.0, None)),
+        ("baseline (no DVFS)", PolicySpec.baseline()),
+        ("power-aware DVFS(2, NO)", PolicySpec.power_aware(2.0, None)),
     ):
+        simulation = Simulation(RunSpec(workload=workload, n_jobs=n_jobs, policy=policy))
+        jobs = simulation.jobs  # materialise the trace outside the profile
+        scheduler = simulation.build_scheduler()
         print(f"=== {label}: {workload}, {n_jobs} jobs " + "=" * 30)
         profiler = cProfile.Profile()
         profiler.enable()
-        EasyBackfilling(machine, policy).run(jobs)
+        scheduler.run(jobs)
         profiler.disable()
         stats = pstats.Stats(profiler)
         stats.sort_stats("cumulative").print_stats(12)

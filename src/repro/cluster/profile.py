@@ -22,6 +22,8 @@ __all__ = ["AvailabilityProfile"]
 
 
 class AvailabilityProfile:
+    __slots__ = ("_total", "_times", "_free")
+
     def __init__(self, total_cpus: int, origin: float = 0.0) -> None:
         if total_cpus <= 0:
             raise ValueError(f"profile needs at least 1 CPU, got {total_cpus}")
@@ -57,12 +59,15 @@ class AvailabilityProfile:
             raise ValueError(f"interval end {end} precedes start {start}")
         if end == start:
             return self.free_at(start)
-        first = max(0, bisect_right(self._times, start) - 1)
+        times = self._times
+        free = self._free
+        first = max(0, bisect_right(times, start) - 1)
         lowest = self._total
-        for i in range(first, len(self._times)):
-            if self._times[i] >= end:
+        for i in range(first, len(times)):
+            if times[i] >= end:
                 break
-            lowest = min(lowest, self._free[i])
+            if free[i] < lowest:
+                lowest = free[i]
         return lowest
 
     # -- mutation --------------------------------------------------------------
@@ -140,23 +145,28 @@ class AvailabilityProfile:
             raise ValueError(f"size {size} exceeds machine capacity {self._total}")
         if duration < 0.0:
             raise ValueError(f"duration must be non-negative, got {duration}")
-        earliest = max(earliest, self._times[0])
-        i = max(0, bisect_right(self._times, earliest) - 1)
-        n = len(self._times)
+        times = self._times
+        free = self._free
+        if earliest < times[0]:
+            earliest = times[0]
+        i = max(0, bisect_right(times, earliest) - 1)
+        n = len(times)
         while True:
-            while i < n and self._free[i] < size:
+            while i < n and free[i] < size:
                 i += 1
             if i >= n:
                 raise AssertionError(
                     "unreachable: the final profile segment must satisfy any "
                     "size <= total_cpus"
                 )
-            candidate = max(earliest, self._times[i])
+            candidate = times[i]
+            if candidate < earliest:
+                candidate = earliest
             end = candidate + duration
             j = i
             feasible = True
-            while j < n and self._times[j] < end:
-                if self._free[j] < size:
+            while j < n and times[j] < end:
+                if free[j] < size:
                     feasible = False
                     break
                 j += 1

@@ -18,7 +18,6 @@ algorithm can be applied with any parallel job scheduling policy").
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.gears import Gear, GearSet
@@ -40,9 +39,15 @@ __all__ = [
 NO_WQ_LIMIT: int | None = None
 
 
-@dataclass(frozen=True)
+def _always_feasible(gear: Gear) -> bool:
+    return True
+
+
 class SchedulingContext:
     """Inputs available to a frequency decision.
+
+    A ``__slots__`` value class (not a dataclass): schedulers build one
+    per backfill candidate, so construction cost is on the hot path.
 
     Attributes
     ----------
@@ -68,15 +73,28 @@ class SchedulingContext:
         Per-gear admission test.  For the queue head this is always
         true; for a backfill candidate it encodes "fits now without
         violating the head's reservation" at that gear's stretched
-        duration.
+        duration.  Policies must not return a gear this test rejects in
+        a may-skip (``must_schedule=False``) context — schedulers rely
+        on it to prune candidates no gear can admit.
     """
 
-    now: float
-    wait_time_for: Callable[[Gear], float]
-    wq_size: int
-    utilization: float
-    must_schedule: bool
-    feasible: Callable[[Gear], bool] = field(default=lambda gear: True)
+    __slots__ = ("now", "wait_time_for", "wq_size", "utilization", "must_schedule", "feasible")
+
+    def __init__(
+        self,
+        now: float,
+        wait_time_for: Callable[[Gear], float],
+        wq_size: int,
+        utilization: float,
+        must_schedule: bool,
+        feasible: Callable[[Gear], bool] = _always_feasible,
+    ) -> None:
+        self.now = now
+        self.wait_time_for = wait_time_for
+        self.wq_size = wq_size
+        self.utilization = utilization
+        self.must_schedule = must_schedule
+        self.feasible = feasible
 
     @classmethod
     def with_fixed_wait(
@@ -87,17 +105,17 @@ class SchedulingContext:
         wq_size: int,
         utilization: float,
         must_schedule: bool,
-        feasible: Callable[[Gear], bool] = lambda gear: True,
+        feasible: Callable[[Gear], bool] = _always_feasible,
     ) -> "SchedulingContext":
         """Context whose wait time is the same for every gear (EASY/FCFS)."""
-        return cls(
-            now=now,
-            wait_time_for=lambda gear: wait_time,
-            wq_size=wq_size,
-            utilization=utilization,
-            must_schedule=must_schedule,
-            feasible=feasible,
-        )
+        ctx = cls.__new__(cls)
+        ctx.now = now
+        ctx.wait_time_for = lambda gear: wait_time
+        ctx.wq_size = wq_size
+        ctx.utilization = utilization
+        ctx.must_schedule = must_schedule
+        ctx.feasible = feasible
+        return ctx
 
 
 class FrequencyPolicy(ABC):
@@ -205,20 +223,52 @@ class BsldThresholdPolicy(FrequencyPolicy):
         self.bsld_time_threshold = bsld_time_threshold
         self.strict_top_backfill = strict_top_backfill
 
+    def bind(self, gears: GearSet, time_model: BetaTimeModel) -> None:
+        super().bind(gears, time_model)
+        # Hot-path tables: the ascending ladder with the default-β time
+        # coefficient of every gear, resolved once instead of per decision.
+        self._ladder = gears.ascending()
+        self._top_only = (gears.top,)
+        self._default_coefs = tuple(
+            time_model.coefficient(gear.frequency) for gear in self._ladder
+        )
+        self._top_index = len(self._ladder) - 1
+
     # -- the algorithm of Figures 1 and 2 ------------------------------------
     def select_gear(self, job: Job, ctx: SchedulingContext) -> Gear | None:
-        gears = self.gears
-        top = gears.top
-        if not self._reduction_allowed(ctx):
-            candidates: tuple[Gear, ...] = (top,)
+        top = self._ladder[self._top_index]
+        wq_threshold = self.wq_threshold
+        if wq_threshold is None or ctx.wq_size <= wq_threshold:
+            candidates = self._ladder
+            start = 0
         else:
-            candidates = gears.ascending()
-        for gear in candidates:
-            if not ctx.feasible(gear):
+            candidates = self._top_only
+            start = self._top_index
+        feasible = ctx.feasible
+        check_top = self.strict_top_backfill and not ctx.must_schedule
+        beta = job.beta
+        requested = job.requested_time
+        time_threshold = self.bsld_time_threshold
+        denominator = time_threshold if time_threshold > requested else requested
+        bsld_threshold = self.bsld_threshold
+        wait_time_for = ctx.wait_time_for
+        coefficient = self._time_model.coefficient
+        for offset, gear in enumerate(candidates):
+            if not feasible(gear):
                 continue
-            if gear == top and not self._top_needs_bsld(ctx):
+            if gear is top and not check_top:
                 return gear
-            if self.predict(job, gear, ctx.wait_time_for(gear)) < self.bsld_threshold:
+            if beta is None:
+                coef = self._default_coefs[start + offset]
+            else:
+                coef = coefficient(gear.frequency, beta)
+            # Inline Eq. (2): job validation guarantees requested > 0, so
+            # the denominator is always positive here (predict() keeps
+            # the fully-validated scalar path for external callers).
+            bsld = (wait_time_for(gear) + requested * coef) / denominator
+            if bsld < 1.0:
+                bsld = 1.0
+            if bsld < bsld_threshold:
                 return gear
         if ctx.must_schedule:
             # The queue head must hold a reservation even when no gear

@@ -1,33 +1,72 @@
-"""Aggregate statistics over job outcomes and plain samples."""
+"""Aggregate statistics over job outcomes and plain samples.
+
+Large per-job series (a production-scale trace yields tens of
+thousands of values per metric) are reduced through numpy when it is
+installed; small samples and numpy-less environments use the original
+pure-python scalar paths, which double as the reference semantics.
+"""
 
 from __future__ import annotations
 
 import math
 from typing import Sequence
 
+try:  # numpy is an optional accelerator, never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
 __all__ = ["mean", "median", "percentile", "stddev", "Summary", "summarize"]
+
+#: Below this many values the scalar paths win (and stay bit-identical
+#: with the historical sequential-summation results).
+_VECTOR_MIN = 64
+
+
+def _as_array(values: Sequence[float]):
+    """The values as an ndarray when the vector path applies, else None."""
+    if _np is None:
+        return None
+    if isinstance(values, _np.ndarray):
+        return values
+    if len(values) >= _VECTOR_MIN:
+        return _np.asarray(values, dtype=float)
+    return None
 
 
 def mean(values: Sequence[float]) -> float:
-    if not values:
+    if len(values) == 0:
         raise ValueError("mean of an empty sequence")
+    array = _as_array(values)
+    if array is not None:
+        return float(array.mean())
     return sum(values) / len(values)
 
 
 def stddev(values: Sequence[float]) -> float:
     """Population standard deviation."""
-    if not values:
+    if len(values) == 0:
         raise ValueError("stddev of an empty sequence")
+    array = _as_array(values)
+    if array is not None:
+        return float(array.std())
     mu = mean(values)
     return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
 
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile, ``q`` in [0, 100]."""
-    if not values:
+    if len(values) == 0:
         raise ValueError("percentile of an empty sequence")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"q must be in [0, 100], got {q}")
+    array = _as_array(values)
+    if array is not None:
+        ordered = _np.sort(array)
+        value = float(_np.percentile(ordered, q))
+        # Clamp float round-off so the result stays inside its bracket
+        # (mirrors the scalar path below).
+        return min(max(value, float(ordered[0])), float(ordered[-1]))
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
@@ -52,8 +91,27 @@ class Summary(dict):
 
 def summarize(values: Sequence[float]) -> Summary:
     """n/mean/std/min/p50/p90/p99/max of a sample."""
-    if not values:
+    if len(values) == 0:
         raise ValueError("summarize of an empty sequence")
+    array = _as_array(values)
+    if array is not None:
+        ordered = _np.sort(array)
+        lo = float(ordered[0])
+        hi = float(ordered[-1])
+
+        def pct(q: float) -> float:
+            return min(max(float(_np.percentile(ordered, q)), lo), hi)
+
+        return Summary(
+            n=int(ordered.size),
+            mean=float(ordered.mean()),
+            std=float(ordered.std()),
+            min=lo,
+            p50=pct(50.0),
+            p90=pct(90.0),
+            p99=pct(99.0),
+            max=hi,
+        )
     return Summary(
         n=len(values),
         mean=mean(values),

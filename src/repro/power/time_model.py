@@ -47,6 +47,11 @@ class BetaTimeModel:
             raise ValueError(f"fmax must be positive, got {self.fmax}")
         if not 0.0 <= self.beta <= 1.0:
             raise ValueError(f"beta must be in [0, 1], got {self.beta}")
+        # Per-instance coefficient memo.  Schedulers evaluate the same
+        # handful of (frequency, beta) pairs hundreds of thousands of
+        # times per run; caching turns each into one dict lookup.  Not a
+        # dataclass field, so equality/hash/repr stay value-based.
+        object.__setattr__(self, "_memo", {})
 
     @classmethod
     def for_gear_set(cls, gears: GearSet, beta: float = DEFAULT_BETA) -> "BetaTimeModel":
@@ -62,12 +67,18 @@ class BetaTimeModel:
         coefficients below 1 (overclocking), which the dynamic-boost
         extension never uses but the formula supports.
         """
+        memo: dict[tuple[float, float | None], float] = self._memo  # type: ignore[attr-defined]
+        cached = memo.get((frequency, beta))
+        if cached is not None:
+            return cached
         if frequency <= 0.0:
             raise ValueError(f"frequency must be positive, got {frequency}")
         b = self.beta if beta is None else beta
         if not 0.0 <= b <= 1.0:
             raise ValueError(f"beta must be in [0, 1], got {b}")
-        return b * (self.fmax / frequency - 1.0) + 1.0
+        value = b * (self.fmax / frequency - 1.0) + 1.0
+        memo[(frequency, beta)] = value
+        return value
 
     def coefficient_for(self, gear: Gear, beta: float | None = None) -> float:
         return self.coefficient(gear.frequency, beta)

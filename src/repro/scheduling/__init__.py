@@ -6,7 +6,10 @@ from repro.scheduling.easy import EasyBackfilling
 from repro.scheduling.export import outcomes_to_csv, result_summary_row
 from repro.scheduling.fcfs import FcfsScheduler
 from repro.scheduling.job import Job, JobOutcome, validate_jobs
-from repro.scheduling.reference import ReferenceEasyBackfilling
+from repro.scheduling.reference import (
+    ReferenceConservativeBackfilling,
+    ReferenceEasyBackfilling,
+)
 from repro.scheduling.result import SimulationResult, TimelinePoint
 
 __all__ = [
@@ -15,6 +18,7 @@ __all__ = [
     "FcfsScheduler",
     "Job",
     "JobOutcome",
+    "ReferenceConservativeBackfilling",
     "ReferenceEasyBackfilling",
     "outcomes_to_csv",
     "result_summary_row",

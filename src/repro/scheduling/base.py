@@ -203,6 +203,7 @@ class Scheduler(ABC):
         self._pool.release(running.allocation)
         self._drop_estimate(running)
         del self._running[running.job.job_id]
+        self._note_finished(running, now)
         self._outcomes.append(
             JobOutcome(
                 job=running.job,
@@ -237,6 +238,19 @@ class Scheduler(ABC):
 
     def _reset_pass_state(self) -> None:
         """Hook for subclasses holding per-run scratch state."""
+
+    # -- running-set lifecycle hooks --------------------------------------------
+    # Subclasses that maintain incremental structures over the running
+    # set (e.g. conservative backfilling's availability profile) override
+    # these; the defaults cost one no-op call per job event.
+    def _note_started(self, running: _RunningJob, now: float) -> None:
+        """Called after ``running`` starts and its estimate is registered."""
+
+    def _note_finished(self, running: _RunningJob, now: float) -> None:
+        """Called after ``running`` completes and leaves the running set."""
+
+    def _note_reestimated(self, running: _RunningJob, old_estimated_end: float, now: float) -> None:
+        """Called after a mid-run gear switch moved ``running``'s estimate."""
 
     # -- shared mechanics ----------------------------------------------------------
     def _start_heads(self, now: float) -> None:
@@ -277,6 +291,7 @@ class Scheduler(ABC):
         insort(self._estimates, entry)
         running.estimate_entry = entry
         self._running[job.job_id] = running
+        self._note_started(running, now)
         return running
 
     def _drop_estimate(self, running: _RunningJob) -> None:
@@ -334,10 +349,12 @@ class Scheduler(ABC):
         )
         running.actual_end = new_actual_end
         self._drop_estimate(running)
+        old_estimated_end = running.estimated_end
         running.estimated_end = new_estimated_end
         entry = (new_estimated_end, running.job.job_id, running.job.size)
         insort(self._estimates, entry)
         running.estimate_entry = entry
+        self._note_reestimated(running, old_estimated_end, now)
 
     def _utilization(self) -> float:
         return self._pool.busy_cpus / self._pool.total_cpus

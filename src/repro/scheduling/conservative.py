@@ -1,4 +1,4 @@
-"""Conservative backfilling (extension baseline).
+"""Conservative backfilling (extension baseline), incremental profile.
 
 Unlike EASY, *every* queued job holds a reservation, and a job may only
 backfill if it delays no reservation at all.  The paper's frequency-
@@ -7,10 +7,16 @@ genuinely gear-dependent (a slower, longer job may only fit into a
 later hole), which exercises the ``wait_time_for`` generality of
 :class:`~repro.core.frequency_policy.SchedulingContext`.
 
-The implementation replans from scratch on every event (classic
-"compression on early completion" behaviour): O(Q²) profile work per
-event, intended for analyses on moderate traces, not the 5000-job
-sweeps.
+Queued-job reservations are still replanned from scratch on every event
+(classic "compression on early completion" behaviour), but the
+*running-jobs* availability profile — which the original implementation
+rebuilt with one ``reserve`` per running job per pass — is maintained
+incrementally across events through the scheduler lifecycle hooks: a
+starting job reserves ``[now, estimated_end)`` once, a finishing job
+releases its remaining claim, and each pass merely advances the profile
+origin and copies it.  The rebuild-per-pass implementation lives on as
+:class:`~repro.scheduling.reference.ReferenceConservativeBackfilling`,
+and a differential test pins this scheduler to it schedule-for-schedule.
 """
 
 from __future__ import annotations
@@ -18,14 +24,73 @@ from __future__ import annotations
 from collections import deque
 
 from repro.cluster.profile import AvailabilityProfile
-from repro.core.frequency_policy import SchedulingContext
+from repro.core.frequency_policy import SchedulingContext, _always_feasible
 from repro.core.gears import Gear
 from repro.registry import SCHEDULERS
-from repro.scheduling.base import Scheduler
+from repro.scheduling.base import Scheduler, _RunningJob
 from repro.scheduling.job import Job
 from repro.sim.engine import SimulationError
 
 __all__ = ["ConservativeBackfilling"]
+
+
+class _StartProbe:
+    """Memoizing earliest-start prober for one queued job in one pass.
+
+    The BSLD policy asks for the prospective wait at up to every gear,
+    and the planning loop needs the start of the chosen gear again; each
+    ask used to be an independent profile scan from ``now``.  Two exact
+    properties collapse that: identical durations share one answer (the
+    memo), and for a fixed size a shorter window never starts later —
+    so the top-gear (shortest, ``Coef == 1``) start, computed once,
+    floors the scan for every slower gear without changing its result.
+    """
+
+    __slots__ = (
+        "_profile", "_now", "_size", "_submit", "_requested", "_beta",
+        "_coefficient", "_top_frequency", "_cache", "_floor",
+    )
+
+    def __init__(self, profile: AvailabilityProfile, job: Job, now: float,
+                 coefficient, top_frequency: float) -> None:
+        self._profile = profile
+        self._now = now
+        self._size = job.size
+        self._submit = job.submit_time
+        self._requested = job.requested_time
+        self._beta = job.beta
+        self._coefficient = coefficient
+        self._top_frequency = top_frequency
+        self._cache: dict[float, float] = {}
+        self._floor: float | None = None
+
+    def duration_for(self, gear: Gear) -> float:
+        return self._requested * self._coefficient(gear.frequency, self._beta)
+
+    def start_for(self, duration: float) -> float:
+        cache = self._cache
+        start = cache.get(duration)
+        if start is not None:
+            return start
+        floor = self._floor
+        if floor is None:
+            top_duration = self._requested * self._coefficient(
+                self._top_frequency, self._beta
+            )
+            floor = self._profile.find_start(self._now, top_duration, self._size)
+            self._floor = floor
+            cache[top_duration] = floor
+            if duration == top_duration:
+                return floor
+        start = self._profile.find_start(floor, duration, self._size)
+        cache[duration] = start
+        return start
+
+    def wait_for(self, gear: Gear) -> float:
+        start = self.start_for(self.duration_for(gear))
+        if start < self._now:
+            start = self._now
+        return start - self._submit
 
 
 @SCHEDULERS.register("conservative")
@@ -35,25 +100,56 @@ class ConservativeBackfilling(Scheduler):
         #: ``(trigger, now, {job_id: reserved_start})`` here; tests use it
         #: to assert the conservative no-delay guarantee.
         self.plan_log: list[tuple[str, float, dict[int, float]]] = []
+        #: Free-CPU profile of the *running* jobs only, kept in sync by
+        #: the lifecycle hooks below.  Queued-job reservations never
+        #: enter it — they are replanned on a per-pass copy.
+        self._profile = AvailabilityProfile(self._pool.total_cpus)
 
+    # -- incremental profile maintenance ----------------------------------------
+    def _note_started(self, running: _RunningJob, now: float) -> None:
+        if running.estimated_end > now:
+            self._profile.reserve(now, running.estimated_end, running.job.size)
+
+    def _note_finished(self, running: _RunningJob, now: float) -> None:
+        # Return the unused tail of the estimate (early completion); the
+        # consumed part lies in the past and is dropped by the next
+        # ``advance_origin``.
+        if running.estimated_end > now:
+            self._profile.release(now, running.estimated_end, running.job.size)
+
+    def _note_reestimated(self, running: _RunningJob, old_estimated_end: float, now: float) -> None:
+        size = running.job.size
+        if old_estimated_end > now:
+            self._profile.release(now, old_estimated_end, size)
+        if running.estimated_end > now:
+            self._profile.reserve(now, running.estimated_end, size)
+
+    # -- the pass ----------------------------------------------------------------
     def _schedule_pass(self, now: float) -> None:
         if not self._queue:
+            self._profile.advance_origin(now)
             return
-        profile = self._running_profile(now)
+        self._profile.advance_origin(now)
+        profile = self._profile.copy()
         pending = list(self._queue)
         still_waiting: deque[Job] = deque()
         plan: dict[int, float] = {}
+        coefficient = self._time_model.coefficient
+        top_frequency = self._gears.top.frequency
+        wq_size = len(pending) - 1
         for job in pending:
-            wq_size = len(pending) - 1
+            probe = _StartProbe(profile, job, now, coefficient, top_frequency)
             gear = self._policy.select_gear(
                 job,
                 SchedulingContext(
                     now=now,
-                    wait_time_for=self._wait_probe(profile, job, now),
+                    wait_time_for=probe.wait_for,
                     wq_size=wq_size,
+                    # Recomputed per job: jobs started earlier in this very
+                    # pass raise the utilisation later candidates observe.
                     utilization=self._utilization(),
                     must_schedule=True,  # every job gets a reservation
-                    feasible=lambda gear: True,
+                    feasible=_always_feasible,
                 ),
             )
             if gear is None:
@@ -61,8 +157,8 @@ class ConservativeBackfilling(Scheduler):
                     f"policy {self._policy.describe()} refused job {job.job_id} "
                     f"in a must_schedule context"
                 )
-            duration = self._scaled_request(job, gear)
-            start = profile.find_start(now, duration, job.size)
+            duration = probe.duration_for(gear)
+            start = probe.start_for(duration)
             begin = max(start, now)
             # Whether started or merely reserved, the job consumes profile
             # space so later queue entries cannot plan over it (the
@@ -78,21 +174,3 @@ class ConservativeBackfilling(Scheduler):
         if self._config.validate:
             self.plan_log.append((self._trigger, now, plan))
 
-    # -- helpers ---------------------------------------------------------------
-    def _running_profile(self, now: float) -> AvailabilityProfile:
-        profile = AvailabilityProfile(self._pool.total_cpus, origin=now)
-        for end, _job_id, size in self._estimates:
-            if end > now:
-                profile.reserve(now, end, size)
-        return profile
-
-    def _scaled_request(self, job: Job, gear: Gear) -> float:
-        return job.requested_time * self._time_model.coefficient(gear.frequency, job.beta)
-
-    def _wait_probe(self, profile: AvailabilityProfile, job: Job, now: float):
-        def wait_for(gear: Gear) -> float:
-            duration = self._scaled_request(job, gear)
-            start = profile.find_start(now, duration, job.size)
-            return max(start, now) - job.submit_time
-
-        return wait_for

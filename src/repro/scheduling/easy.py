@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from itertools import islice
 
-from repro.core.frequency_policy import SchedulingContext
+from repro.core.frequency_policy import SchedulingContext, _always_feasible
 from repro.core.gears import Gear
 from repro.registry import SCHEDULERS
 from repro.scheduling.base import Scheduler
@@ -99,39 +99,79 @@ class EasyBackfilling(Scheduler):
 
     # -- backfilling -----------------------------------------------------------------
     def _backfill_scan(self, now: float, head: Job, t_res: float, extra: int) -> None:
-        for job in list(islice(self._queue, 1, len(self._queue))):
-            free_now = self._pool.free_cpus
+        """Try every queued non-head job against the O(1) admission test.
+
+        The candidate set is fixed at pass start; accepted jobs are
+        collected and spliced out of the queue once at the end instead
+        of one O(n) ``deque.remove`` (with a full dataclass ``__eq__``
+        per probed element) per acceptance.  ``queue_len`` mirrors what
+        ``len(self._queue)`` would read under eager removal, so policy
+        decisions (the WQ-threshold gate) are unchanged.
+        """
+        queue = self._queue
+        pool = self._pool
+        policy = self._policy
+        total_cpus = pool.total_cpus
+        coefficient = self._time_model.coefficient
+        candidates = list(islice(queue, 1, len(queue)))
+        queue_len = len(queue)
+        free_now = pool.free_cpus  # mirrored locally; only _start_job moves it
+        started_ids: set[int] | None = None
+        for job in candidates:
             if free_now == 0:
                 break
-            if job.size > free_now:
+            size = job.size
+            if size > free_now:
                 continue
-            gear = self._policy.select_gear(
+            if size <= extra:
+                # Fits beside the head's reservation at any duration.
+                feasible = _always_feasible
+            elif not (now + job.requested_time <= t_res):
+                # Even the top gear (Coef == 1, the shortest stretch) ends
+                # past the shadow time, so no gear is feasible.  Policies
+                # never return an infeasible gear in a may-skip context,
+                # so the decision is a foregone None — skip the call.
+                continue
+            else:
+                feasible = self._backfill_test(job, now, t_res, coefficient)
+            gear = policy.select_gear(
                 job,
                 SchedulingContext.with_fixed_wait(
                     now=now,
                     wait_time=now - job.submit_time,
-                    wq_size=len(self._queue) - 1,
-                    utilization=self._utilization(),
+                    wq_size=queue_len - 1,
+                    utilization=(total_cpus - free_now) / total_cpus,
                     must_schedule=False,
-                    feasible=self._backfill_test(job, now, t_res, extra),
+                    feasible=feasible,
                 ),
             )
             if gear is None:
                 continue
-            self._queue.remove(job)
+            if started_ids is None:
+                started_ids = set()
+            started_ids.add(job.job_id)
+            queue_len -= 1
+            free_now -= size
             self._start_job(now, job, gear)
             # The new running job changes the estimate profile; recompute.
             t_res, extra = self._head_reservation(head)
+        if started_ids:
+            kept = [job for job in queue if job.job_id not in started_ids]
+            queue.clear()
+            queue.extend(kept)
 
-    def _backfill_test(self, job: Job, now: float, t_res: float, extra: int):
-        """The O(1) admission test at a given gear (see module docstring)."""
+    def _backfill_test(self, job: Job, now: float, t_res: float, coefficient):
+        """The O(1) admission test at a given gear (see module docstring).
+
+        The ``size <= extra`` disjunct and the free-CPU gate are decided
+        before this closure is built (neither changes while one
+        candidate is evaluated), leaving only the duration-vs-shadow
+        comparison per gear.
+        """
+        requested = job.requested_time
+        beta = job.beta
 
         def feasible(gear: Gear) -> bool:
-            if job.size > self._pool.free_cpus:
-                return False
-            duration = job.requested_time * self._time_model.coefficient(
-                gear.frequency, job.beta
-            )
-            return now + duration <= t_res or job.size <= extra
+            return now + requested * coefficient(gear.frequency, beta) <= t_res
 
         return feasible

@@ -1,17 +1,20 @@
-"""Profile-based EASY backfilling — the slow, obviously-correct reference.
+"""Profile-based schedulers — the slow, obviously-correct references.
 
-This scheduler reimplements :class:`repro.scheduling.easy.EasyBackfilling`
+These schedulers reimplement :class:`repro.scheduling.easy.EasyBackfilling`
+and :class:`repro.scheduling.conservative.ConservativeBackfilling`
 directly on top of the general
 :class:`~repro.cluster.profile.AvailabilityProfile`, the way the paper's
-``findAllocation`` / ``TryToFindBackfilledAllocation`` pseudocode reads.
-It exists so property tests can assert that the fast O(1)-admission
-implementation produces *identical schedules* (same start times, same
-gears) on arbitrary workloads.  Do not use it for large traces: every
-backfill trial copies the profile.
+``findAllocation`` / ``TryToFindBackfilledAllocation`` pseudocode reads:
+every pass rebuilds the running-jobs profile from scratch.  They exist
+so property tests can assert that the fast implementations — EASY's
+O(1) admission test, conservative's incrementally-maintained profile —
+produce *identical schedules* (same start times, same gears) on
+arbitrary workloads.  Do not use them for large traces.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from itertools import islice
 
 from repro.cluster.profile import AvailabilityProfile
@@ -21,7 +24,7 @@ from repro.scheduling.base import Scheduler
 from repro.scheduling.job import Job
 from repro.sim.engine import SimulationError
 
-__all__ = ["ReferenceEasyBackfilling"]
+__all__ = ["ReferenceEasyBackfilling", "ReferenceConservativeBackfilling"]
 
 
 class ReferenceEasyBackfilling(Scheduler):
@@ -110,3 +113,81 @@ class ReferenceEasyBackfilling(Scheduler):
             return trial.fits_at(now, duration, job.size)
 
         return feasible
+
+
+class ReferenceConservativeBackfilling(Scheduler):
+    """Conservative backfilling that replans on a fresh profile every pass.
+
+    This is the original rebuild-per-pass implementation (O(R·S) profile
+    construction per event on top of the O(Q²) planning work); the fast
+    :class:`~repro.scheduling.conservative.ConservativeBackfilling`
+    maintains the running-jobs profile incrementally and must stay
+    schedule-identical to this one.
+    """
+
+    def _reset_pass_state(self) -> None:
+        #: With ``config.validate``, every pass appends
+        #: ``(trigger, now, {job_id: reserved_start})`` here; tests use it
+        #: to assert the conservative no-delay guarantee.
+        self.plan_log: list[tuple[str, float, dict[int, float]]] = []
+
+    def _schedule_pass(self, now: float) -> None:
+        if not self._queue:
+            return
+        profile = self._running_profile(now)
+        pending = list(self._queue)
+        still_waiting: deque[Job] = deque()
+        plan: dict[int, float] = {}
+        for job in pending:
+            wq_size = len(pending) - 1
+            gear = self._policy.select_gear(
+                job,
+                SchedulingContext(
+                    now=now,
+                    wait_time_for=self._wait_probe(profile, job, now),
+                    wq_size=wq_size,
+                    utilization=self._utilization(),
+                    must_schedule=True,  # every job gets a reservation
+                    feasible=lambda gear: True,
+                ),
+            )
+            if gear is None:
+                raise SimulationError(
+                    f"policy {self._policy.describe()} refused job {job.job_id} "
+                    f"in a must_schedule context"
+                )
+            duration = self._scaled_request(job, gear)
+            start = profile.find_start(now, duration, job.size)
+            begin = max(start, now)
+            # Whether started or merely reserved, the job consumes profile
+            # space so later queue entries cannot plan over it (the
+            # conservative property).
+            profile.reserve(begin, begin + duration, job.size)
+            plan[job.job_id] = begin
+            if start <= now and self._pool.fits(job.size):
+                self._start_job(now, job, gear)
+            else:
+                still_waiting.append(job)
+        self._queue.clear()
+        self._queue.extend(still_waiting)
+        if self._config.validate:
+            self.plan_log.append((self._trigger, now, plan))
+
+    # -- helpers ---------------------------------------------------------------
+    def _running_profile(self, now: float) -> AvailabilityProfile:
+        profile = AvailabilityProfile(self._pool.total_cpus, origin=now)
+        for end, _job_id, size in self._estimates:
+            if end > now:
+                profile.reserve(now, end, size)
+        return profile
+
+    def _scaled_request(self, job: Job, gear: Gear) -> float:
+        return job.requested_time * self._time_model.coefficient(gear.frequency, job.beta)
+
+    def _wait_probe(self, profile: AvailabilityProfile, job: Job, now: float):
+        def wait_for(gear: Gear) -> float:
+            duration = self._scaled_request(job, gear)
+            start = profile.find_start(now, duration, job.size)
+            return max(start, now) - job.submit_time
+
+        return wait_for

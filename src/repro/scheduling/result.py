@@ -4,6 +4,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+try:  # numpy is an optional accelerator, never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
 from repro.cluster.machine import Machine
 from repro.core.gears import Gear
 from repro.metrics.aggregates import mean
@@ -44,6 +49,47 @@ class SimulationResult:
         if ids != sorted(ids):
             raise ValueError("outcomes must be ordered by job id")
 
+    # -- vectorized per-job series ---------------------------------------------
+    def _job_arrays(self):
+        """``(wait, runtime, penalized)`` float arrays, built once per result.
+
+        Memoised on the instance (the frozen dataclass still owns a
+        ``__dict__``): figure and table pipelines re-reduce the same
+        result under several thresholds and metrics.
+        """
+        arrays = self.__dict__.get("_arrays")
+        if arrays is None:
+            outcomes = self.outcomes
+            n = len(outcomes)
+            wait = _np.empty(n)
+            runtime = _np.empty(n)
+            penalized = _np.empty(n)
+            for i, outcome in enumerate(outcomes):
+                job = outcome.job
+                wait[i] = outcome.start_time - job.submit_time
+                runtime[i] = job.runtime
+                penalized[i] = outcome.penalized_runtime
+            arrays = (wait, runtime, penalized)
+            object.__setattr__(self, "_arrays", arrays)
+        return arrays
+
+    def _bsld_array(self, threshold: float):
+        """Eq. (6) over all jobs at once; None when the scalar path must run.
+
+        The scalar :func:`~repro.metrics.bsld.bounded_slowdown` raises on
+        degenerate inputs (negative waits, an all-zero denominator); those
+        cannot come out of a simulation, but fall back rather than
+        silently diverging if a hand-built result carries them.
+        """
+        if _np is None or threshold <= 0.0:
+            return None
+        wait, runtime, penalized = self._job_arrays()
+        if wait.size and wait.min() < 0.0:
+            return None
+        bsld = (wait + penalized) / _np.maximum(runtime, threshold)
+        _np.maximum(bsld, 1.0, out=bsld)
+        return bsld
+
     # -- headline metrics ------------------------------------------------------
     @property
     def job_count(self) -> int:
@@ -51,11 +97,16 @@ class SimulationResult:
 
     def average_bsld(self, threshold: float = BSLD_THRESHOLD_SECONDS) -> float:
         """BSLD averaged over all simulated jobs (the paper's Figure 5 metric)."""
-        return mean([o.bsld(threshold) for o in self.outcomes])
+        bsld = self._bsld_array(threshold)
+        if bsld is None:
+            return mean([o.bsld(threshold) for o in self.outcomes])
+        return mean(bsld)
 
     def average_wait(self) -> float:
         """Mean wait time in seconds (the paper's Table 3 metric)."""
-        return mean([o.wait_time for o in self.outcomes])
+        if _np is None:
+            return mean([o.wait_time for o in self.outcomes])
+        return mean(self._job_arrays()[0])
 
     @property
     def reduced_jobs(self) -> int:
@@ -85,10 +136,15 @@ class SimulationResult:
     # -- per-job series -----------------------------------------------------------
     def wait_times(self) -> list[float]:
         """Per-job wait times ordered by job id (Figure 6's series)."""
-        return [o.wait_time for o in self.outcomes]
+        if _np is None:
+            return [o.wait_time for o in self.outcomes]
+        return self._job_arrays()[0].tolist()
 
     def bslds(self, threshold: float = BSLD_THRESHOLD_SECONDS) -> list[float]:
-        return [o.bsld(threshold) for o in self.outcomes]
+        bsld = self._bsld_array(threshold)
+        if bsld is None:
+            return [o.bsld(threshold) for o in self.outcomes]
+        return bsld.tolist()
 
     def describe(self) -> str:
         return (

@@ -71,21 +71,27 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
+        # Local bindings keep the per-event overhead flat: this loop is
+        # the outermost hot path of every simulation.
+        queue = self._queue
+        handlers = self._handlers
         try:
-            while self._queue:
-                if until is not None and self._queue.peek_time() > until:
+            while queue:
+                if until is not None and queue.peek_time() > until:
                     break
                 if max_events is not None and self._events_processed >= max_events:
                     raise SimulationError(
                         f"exceeded the {max_events}-event budget at t={self._now}"
                     )
-                event = self._queue.pop()
-                if event.time < self._now - 1e-9:
+                event = queue.pop()
+                time = event.time
+                if time < self._now - 1e-9:
                     raise SimulationError(
-                        f"time went backwards: {self._now} -> {event.time}"
+                        f"time went backwards: {self._now} -> {time}"
                     )
-                self._now = max(self._now, event.time)
-                handler = self._handlers.get(event.kind)
+                if time > self._now:
+                    self._now = time
+                handler = handlers.get(event.kind)
                 if handler is None:
                     raise SimulationError(f"no handler registered for {event.kind.name}")
                 handler(self._now, event.payload)

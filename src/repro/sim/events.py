@@ -8,9 +8,8 @@ arriving at time ``t`` sees the processors freed at ``t``.  Ties beyond
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
 from enum import IntEnum
+from heapq import heappop, heappush
 from typing import Any
 
 __all__ = ["EventKind", "EventHandle", "EventQueue"]
@@ -24,15 +23,29 @@ class EventKind(IntEnum):
     CONTROL = 2
 
 
-@dataclass
 class EventHandle:
-    """A scheduled event; keep it to :meth:`EventQueue.cancel` it later."""
+    """A scheduled event; keep it to :meth:`EventQueue.cancel` it later.
 
-    time: float
-    kind: EventKind
-    payload: Any
-    seq: int
-    cancelled: bool = field(default=False, compare=False)
+    A plain ``__slots__`` class rather than a dataclass: handles are
+    created and touched once per event on the simulation hot path, and
+    the ``seq`` tiebreaker in the heap tuples guarantees handles
+    themselves are never compared.
+    """
+
+    __slots__ = ("time", "kind", "payload", "seq", "cancelled")
+
+    def __init__(
+        self, time: float, kind: EventKind, payload: Any = None, seq: int = 0
+    ) -> None:
+        self.time = time
+        self.kind = kind
+        self.payload = payload
+        self.seq = seq
+        self.cancelled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flag = ", cancelled" if self.cancelled else ""
+        return f"EventHandle(time={self.time}, kind={self.kind.name}, seq={self.seq}{flag})"
 
 
 class EventQueue:
@@ -52,9 +65,10 @@ class EventQueue:
     def push(self, time: float, kind: EventKind, payload: Any = None) -> EventHandle:
         if time != time:  # NaN guard
             raise ValueError("event time is NaN")
-        handle = EventHandle(time=time, kind=kind, payload=payload, seq=self._seq)
-        heapq.heappush(self._heap, (time, int(kind), self._seq, handle))
-        self._seq += 1
+        seq = self._seq
+        handle = EventHandle(time, kind, payload, seq)
+        heappush(self._heap, (time, kind._value_, seq, handle))
+        self._seq = seq + 1
         self._live += 1
         return handle
 
@@ -66,8 +80,9 @@ class EventQueue:
 
     def pop(self) -> EventHandle:
         """Remove and return the earliest live event."""
-        while self._heap:
-            _, _, _, handle = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            handle = heappop(heap)[3]
             if handle.cancelled:
                 continue
             self._live -= 1
@@ -76,8 +91,9 @@ class EventQueue:
 
     def peek_time(self) -> float:
         """Timestamp of the earliest live event."""
-        while self._heap and self._heap[0][3].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heappop(heap)
+        if not heap:
             raise IndexError("peek into an empty event queue")
-        return self._heap[0][0]
+        return heap[0][0]

@@ -1,0 +1,148 @@
+"""Property-based invariants for :class:`AvailabilityProfile`.
+
+The profile is the ground truth behind both reference schedulers and
+the incrementally-maintained conservative profile, so its invariants
+are load-bearing for every differential test in the suite:
+
+* the free count of every segment stays within ``[0, total_cpus]``;
+* segment start times are strictly increasing;
+* ``reserve``/``release`` round-trips restore the profile as a step
+  function (segmentation may differ by no-op breakpoints, the function
+  may not).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.profile import AvailabilityProfile
+
+TOTAL_CPUS = 16
+
+
+@st.composite
+def reservation_plan(draw, max_ops: int = 12):
+    """A list of (start, duration, size) requests over a small horizon."""
+    n = draw(st.integers(min_value=1, max_value=max_ops))
+    ops = []
+    for _ in range(n):
+        start = draw(st.floats(min_value=0.0, max_value=500.0, allow_nan=False))
+        duration = draw(st.floats(min_value=0.001, max_value=500.0, allow_nan=False))
+        size = draw(st.integers(min_value=1, max_value=TOTAL_CPUS))
+        ops.append((start, duration, size))
+    return ops
+
+
+def assert_invariants(profile: AvailabilityProfile) -> None:
+    times = [start for start, _end, _free in profile.segments()]
+    frees = [free for _start, _end, free in profile.segments()]
+    assert all(0 <= free <= profile.total_cpus for free in frees), frees
+    assert all(a < b for a, b in zip(times, times[1:])), times
+
+
+def as_step_function(profile: AvailabilityProfile, probes) -> list[int]:
+    return [profile.free_at(t) for t in probes]
+
+
+def apply_feasible(profile: AvailabilityProfile, ops):
+    """Reserve every op that fits; return the applied sub-plan."""
+    applied = []
+    for start, duration, size in ops:
+        if profile.min_free(start, start + duration) >= size:
+            profile.reserve(start, start + duration, size)
+            applied.append((start, duration, size))
+        assert_invariants(profile)
+    return applied
+
+
+@given(reservation_plan())
+@settings(max_examples=60)
+def test_reserve_keeps_invariants(ops):
+    profile = AvailabilityProfile(TOTAL_CPUS)
+    apply_feasible(profile, ops)
+    assert_invariants(profile)
+
+
+@given(reservation_plan())
+@settings(max_examples=60)
+def test_reserve_release_round_trip_restores_profile(ops):
+    profile = AvailabilityProfile(TOTAL_CPUS)
+    applied = apply_feasible(profile, ops)
+    # Probe at every breakpoint seen mid-flight plus the op boundaries.
+    probes = sorted(
+        {start for start, _d, _s in applied}
+        | {start + duration for start, duration, _s in applied}
+        | {t for t, _e, _f in profile.segments()}
+    )
+    for start, duration, size in reversed(applied):
+        profile.release(start, start + duration, size)
+        assert_invariants(profile)
+    assert as_step_function(profile, probes) == [TOTAL_CPUS] * len(probes)
+
+
+@given(reservation_plan())
+@settings(max_examples=40)
+def test_partial_release_matches_fresh_profile(ops):
+    """Releasing one reservation equals never having made it."""
+    profile = AvailabilityProfile(TOTAL_CPUS)
+    applied = apply_feasible(profile, ops)
+    if not applied:
+        return
+    # Rebuild without the first applied op; releasing it from the full
+    # profile must give the same step function.
+    start, duration, size = applied[0]
+    profile.release(start, start + duration, size)
+    rebuilt = AvailabilityProfile(TOTAL_CPUS)
+    for s, d, z in applied[1:]:
+        rebuilt.reserve(s, s + d, z)
+    probes = sorted(
+        {s for s, _d, _z in applied}
+        | {s + d for s, d, _z in applied}
+        | {t for t, _e, _f in profile.segments()}
+        | {t for t, _e, _f in rebuilt.segments()}
+    )
+    assert as_step_function(profile, probes) == as_step_function(rebuilt, probes)
+
+
+@given(reservation_plan())
+@settings(max_examples=40)
+def test_min_free_consistent_with_free_at(ops):
+    profile = AvailabilityProfile(TOTAL_CPUS)
+    apply_feasible(profile, ops)
+    for start, end, free in profile.segments():
+        assert profile.free_at(start) == free
+        if end != float("inf"):
+            assert profile.min_free(start, end) == free
+
+
+@given(reservation_plan(), st.integers(min_value=1, max_value=TOTAL_CPUS),
+       st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+       st.floats(min_value=0.0, max_value=400.0, allow_nan=False))
+@settings(max_examples=60)
+def test_find_start_returns_earliest_feasible_slot(ops, size, earliest, duration):
+    profile = AvailabilityProfile(TOTAL_CPUS)
+    apply_feasible(profile, ops)
+    start = profile.find_start(earliest, duration, size)
+    assert start >= earliest
+    assert profile.fits_at(start, duration, size)
+    # Minimality at every profile breakpoint before the answer.
+    for t, _end, _free in profile.segments():
+        if earliest <= t < start:
+            assert not profile.fits_at(t, duration, size)
+    if earliest < start:
+        assert not profile.fits_at(earliest, duration, size)
+
+
+def test_over_release_rejected():
+    profile = AvailabilityProfile(TOTAL_CPUS)
+    profile.reserve(0.0, 10.0, 4)
+    with pytest.raises(ValueError, match="over-release"):
+        profile.release(0.0, 10.0, 5)
+
+
+def test_over_reserve_rejected():
+    profile = AvailabilityProfile(TOTAL_CPUS)
+    profile.reserve(0.0, 10.0, TOTAL_CPUS)
+    with pytest.raises(ValueError, match="over-reservation"):
+        profile.reserve(5.0, 6.0, 1)

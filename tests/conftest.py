@@ -23,6 +23,24 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help=(
+            "Regenerate the committed golden-trace fixtures under "
+            "tests/goldens/ instead of comparing against them."
+        ),
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """Whether this run should rewrite golden fixtures instead of asserting."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def small_machine() -> Machine:
     """An 8-CPU machine with the paper gear set."""

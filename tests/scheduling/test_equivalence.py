@@ -1,10 +1,12 @@
-"""The fast EASY implementation must match the profile-based reference.
+"""The fast schedulers must match their profile-based references.
 
-The fast scheduler uses the O(1) shadow-time/extra-nodes backfill test;
-the reference builds full availability profiles the way the paper's
-pseudocode reads.  On any workload and any frequency policy they must
-produce *identical* schedules (same start time and same gear for every
-job) — this is the strongest correctness statement in the suite.
+Fast EASY uses the O(1) shadow-time/extra-nodes backfill test and fast
+conservative maintains its availability profile incrementally across
+events; the references rebuild full availability profiles every pass,
+the way the paper's pseudocode reads.  On any workload and any
+frequency policy each fast/reference pair must produce *identical*
+schedules (same start time and same gear for every job) — this is the
+strongest correctness statement in the suite.
 """
 
 import pytest
@@ -13,8 +15,12 @@ from hypothesis import given, settings
 from repro.cluster.machine import Machine
 from repro.core.frequency_policy import BsldThresholdPolicy, FixedGearPolicy
 from repro.scheduling.base import SchedulerConfig
+from repro.scheduling.conservative import ConservativeBackfilling
 from repro.scheduling.easy import EasyBackfilling
-from repro.scheduling.reference import ReferenceEasyBackfilling
+from repro.scheduling.reference import (
+    ReferenceConservativeBackfilling,
+    ReferenceEasyBackfilling,
+)
 from tests.conftest import random_workload, workload_strategy
 
 POLICIES = {
@@ -27,12 +33,12 @@ POLICIES = {
 }
 
 
-def assert_identical_schedules(jobs, cpus, policy_factory):
+def assert_matching_pair(jobs, cpus, policy_factory, fast_cls, reference_cls):
     machine = Machine("m", cpus)
-    fast = EasyBackfilling(
+    fast = fast_cls(
         machine, policy_factory(), config=SchedulerConfig(validate=True)
     ).run(jobs)
-    reference = ReferenceEasyBackfilling(
+    reference = reference_cls(
         machine, policy_factory(), config=SchedulerConfig(validate=True)
     ).run(jobs)
     for a, b in zip(fast.outcomes, reference.outcomes):
@@ -42,6 +48,22 @@ def assert_identical_schedules(jobs, cpus, policy_factory):
         )
         assert a.gear == b.gear, f"job {a.job.job_id}: {a.gear} vs {b.gear}"
     assert fast.energy.computational == pytest.approx(reference.energy.computational)
+
+
+def assert_identical_schedules(jobs, cpus, policy_factory):
+    assert_matching_pair(
+        jobs, cpus, policy_factory, EasyBackfilling, ReferenceEasyBackfilling
+    )
+
+
+def assert_identical_conservative_schedules(jobs, cpus, policy_factory):
+    assert_matching_pair(
+        jobs,
+        cpus,
+        policy_factory,
+        ConservativeBackfilling,
+        ReferenceConservativeBackfilling,
+    )
 
 
 @pytest.mark.parametrize("policy_name", sorted(POLICIES))
@@ -74,3 +96,38 @@ def test_equivalence_property_bsld(jobs):
 @settings(max_examples=20)
 def test_equivalence_property_bsld_no_limit(jobs):
     assert_identical_schedules(jobs, 4, POLICIES["bsld(3,NO)"])
+
+
+# -- conservative backfilling: incremental profile vs rebuild-per-pass ---------
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("seed", range(4))
+def test_conservative_equivalence_random_workloads(policy_name, seed):
+    jobs = random_workload(seed=seed, n_jobs=50, max_cpus=8)
+    assert_identical_conservative_schedules(jobs, 8, POLICIES[policy_name])
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_conservative_equivalence_bursty_arrivals(policy_name):
+    """Many same-instant arrivals stress tie-breaking and replanning."""
+    jobs = random_workload(seed=77, n_jobs=35, max_cpus=6, mean_gap=1.0)
+    assert_identical_conservative_schedules(jobs, 6, POLICIES[policy_name])
+
+
+@given(workload_strategy(max_jobs=18, max_cpus=6))
+@settings(max_examples=25)
+def test_conservative_equivalence_property_nodvfs(jobs):
+    assert_identical_conservative_schedules(jobs, 6, POLICIES["nodvfs"])
+
+
+@given(workload_strategy(max_jobs=18, max_cpus=6))
+@settings(max_examples=25)
+def test_conservative_equivalence_property_bsld(jobs):
+    assert_identical_conservative_schedules(jobs, 6, POLICIES["bsld(2,4)"])
+
+
+@given(workload_strategy(max_jobs=14, max_cpus=4))
+@settings(max_examples=20)
+def test_conservative_equivalence_property_bsld_no_limit(jobs):
+    assert_identical_conservative_schedules(jobs, 4, POLICIES["bsld(3,NO)"])

@@ -1,0 +1,83 @@
+"""Byte-exact golden-trace regression tests.
+
+Each golden fixture is the per-job schedule export
+(:func:`repro.scheduling.export.outcomes_to_csv`) of one small pinned
+workload under one frequency policy, committed under ``tests/goldens/``.
+The simulator is deterministic in its spec, so these files must never
+change by a single byte unless the *intended* scheduling behaviour
+changes — they are the tripwire that lets hot-path optimisation work
+proceed without fidelity risk.
+
+To regenerate after an intentional behaviour change::
+
+    python -m pytest tests/scheduling/test_goldens.py --update-goldens
+
+then inspect the diff and commit the new fixtures together with the
+change that explains it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import Simulation
+from repro.experiments.config import PolicySpec, RunSpec
+from repro.scheduling.export import outcomes_to_csv
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "goldens"
+
+#: Two pinned workloads x {no-DVFS baseline, the paper's DVFS(2, NO)}.
+GOLDEN_SPECS: dict[str, RunSpec] = {
+    "sdsc_300_nodvfs": RunSpec(
+        workload="SDSC", n_jobs=300, seed=1, policy=PolicySpec.baseline()
+    ),
+    "sdsc_300_dvfs2no": RunSpec(
+        workload="SDSC", n_jobs=300, seed=1, policy=PolicySpec.power_aware(2.0, None)
+    ),
+    "ctc_300_nodvfs": RunSpec(
+        workload="CTC", n_jobs=300, seed=1, policy=PolicySpec.baseline()
+    ),
+    "ctc_300_dvfs2no": RunSpec(
+        workload="CTC", n_jobs=300, seed=1, policy=PolicySpec.power_aware(2.0, None)
+    ),
+}
+
+
+def render_golden(spec: RunSpec, tmp_path: Path) -> bytes:
+    """Simulate ``spec`` and return its schedule export, byte for byte."""
+    result = Simulation(spec, validate=True).run()
+    scratch = tmp_path / "export.csv"
+    outcomes_to_csv(result, scratch)
+    return scratch.read_bytes()
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SPECS))
+def test_golden_trace_byte_stable(name, tmp_path, update_goldens):
+    rendered = render_golden(GOLDEN_SPECS[name], tmp_path)
+    golden_path = GOLDEN_DIR / f"{name}.csv"
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        golden_path.write_bytes(rendered)
+        return
+    assert golden_path.exists(), (
+        f"missing golden fixture {golden_path}; generate it with "
+        f"`python -m pytest {__file__} --update-goldens`"
+    )
+    golden = golden_path.read_bytes()
+    assert rendered == golden, (
+        f"{name}: schedule export diverged from the committed golden trace "
+        f"({len(rendered)} vs {len(golden)} bytes). If this change is "
+        f"intentional, rerun with --update-goldens and commit the diff."
+    )
+
+
+def test_goldens_have_expected_shape(update_goldens):
+    """Every fixture exists, has a header and one row per job."""
+    if update_goldens:
+        pytest.skip("fixtures are being rewritten in this run")
+    for name, spec in GOLDEN_SPECS.items():
+        lines = (GOLDEN_DIR / f"{name}.csv").read_bytes().splitlines()
+        assert len(lines) == spec.n_jobs + 1, name
+        assert lines[0].startswith(b"job_id,submit_time"), name

@@ -3,6 +3,7 @@
 import json
 
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.batch import BatchRunner
 from repro.experiments.config import PolicySpec, RunSpec
@@ -89,6 +90,40 @@ class TestDiskCache:
         (recomputed,) = again.run([spec])
         assert again.cache_misses == 1
         assert recomputed == result
+
+    @given(
+        workload=st.sampled_from(["CTC", "SDSC", "LLNLThunder"]),
+        n_jobs=st.integers(min_value=5, max_value=30),
+        seed=st.integers(min_value=0, max_value=3),
+        bsld_threshold=st.sampled_from([1.5, 2.0, 3.0]),
+        wq_threshold=st.sampled_from([0, 4, None]),
+        scheduler=st.sampled_from(["easy", "fcfs"]),
+    )
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_cache_round_trip_property(
+        self, tmp_path, workload, n_jobs, seed, bsld_threshold, wq_threshold, scheduler
+    ):
+        """Cached rerun of an arbitrary spec == its fresh run, byte for byte."""
+        spec = RunSpec(
+            workload=workload,
+            n_jobs=n_jobs,
+            seed=seed,
+            scheduler=scheduler,
+            policy=PolicySpec.power_aware(bsld_threshold, wq_threshold),
+        )
+        cache_dir = tmp_path / f"{workload}-{n_jobs}-{seed}-{bsld_threshold}-{wq_threshold}-{scheduler}"
+        first = BatchRunner(max_workers=1, cache_dir=cache_dir)
+        fresh = first.run([spec])
+        assert first.cache_misses == 1
+        again = BatchRunner(max_workers=1, cache_dir=cache_dir)
+        cached = again.run([spec])
+        assert again.cache_hits == 1 and again.cache_misses == 0
+        assert as_bytes(fresh) == as_bytes(cached)
+        assert fresh == cached
 
     def test_cache_ignores_mismatched_spec_payload(self, tmp_path):
         spec = RunSpec(workload="CTC", n_jobs=N_JOBS)
