@@ -1,0 +1,66 @@
+"""Live telemetry: watch power, utilisation and queue depth mid-run.
+
+Run with::
+
+    python examples/live_telemetry.py
+
+Instead of running a simulation to completion and inspecting the final
+:class:`~repro.SimulationResult`, this example arms a steppable
+:class:`~repro.SimulationSession` with two observing instruments — a
+``power_telemetry`` sampler and a ``bsld_monitor`` — and drives the
+clock forward one simulated day at a time, printing what the machine is
+doing *while the run is in flight*.  The same instruments are
+spec-addressable (``RunSpec.instruments``), so exactly this telemetry
+also rides along through ``Simulation.run()``, the batch runner and the
+``repro-sim watch`` CLI subcommand.
+"""
+
+from repro import InstrumentSpec, PolicySpec, RunSpec, Simulation
+
+N_JOBS = 1500
+DAY = 24 * 3600.0
+
+
+def main() -> None:
+    spec = RunSpec(
+        workload="SDSC",
+        n_jobs=N_JOBS,
+        policy=PolicySpec.power_aware(2.0, 4),
+        instruments=(
+            InstrumentSpec.of("power_telemetry", min_interval=3600.0),
+            InstrumentSpec.of("bsld_monitor", sample_every=100),
+        ),
+    )
+    session = Simulation(spec).session()
+    monitor = session.instrument("bsld_monitor")
+
+    print(f"watching {spec.label()} ({N_JOBS} jobs), one line per simulated day")
+    print(f"{'day':>4} {'events':>7} {'queued':>7} {'finished':>9} {'p90 BSLD':>9}")
+    day = 0
+    while not session.done:
+        day += 1
+        session.run_until(day * DAY)
+        p90 = f"{monitor.percentile(90.0):.2f}" if monitor.count else "-"
+        print(
+            f"{day:>4} {session.events_processed:>7} {session.queue_depth:>7} "
+            f"{monitor.count:>9} {p90:>9}"
+        )
+
+    result = session.result()
+    telemetry = result.instrument("power_telemetry")
+    print()
+    print(result.describe())
+    print(
+        f"power: peak {telemetry['peak_watts']:.1f} model-watts at "
+        f"t={telemetry['peak_time']:.0f}, mean {telemetry['mean_watts']:.1f} "
+        f"over {telemetry['sample_count']} samples"
+    )
+    final = result.instrument("bsld_monitor")
+    print(
+        f"BSLD distribution: mean {final['mean']:.2f}, p50 {final['p50']:.2f}, "
+        f"p90 {final['p90']:.2f}, p99 {final['p99']:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

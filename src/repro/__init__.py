@@ -23,9 +23,19 @@ generators) remain importable for direct composition:
     >>> machine = Machine("CTC", total_cpus=430)
     >>> result = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
 
+For *runtime* visibility and control — live telemetry, power capping,
+mid-run policy hot-swap — arm a steppable session instead of calling
+``run()``:
+
+    >>> from repro import InstrumentSpec, RunSpec, Simulation
+    >>> spec = RunSpec(workload="CTC", n_jobs=500,
+    ...                instruments=(InstrumentSpec.of("power_telemetry"),))
+    >>> session = Simulation(spec).session()
+    >>> session.run_until(3600.0); result = session.result()
+
 New components (schedulers, policy kinds, power models, workload
-sources) plug in by registering on :mod:`repro.registry`; see README.md
-for a quickstart and the extension walkthrough.
+sources, instruments) plug in by registering on :mod:`repro.registry`;
+see README.md for a quickstart and the extension walkthrough.
 """
 
 from repro.api import DEFAULT_N_JOBS, Simulation, normalize_spec
@@ -36,19 +46,29 @@ from repro.core.frequency_policy import (
     BsldThresholdPolicy,
     FixedGearPolicy,
     FrequencyPolicy,
+    GearCappedPolicy,
     NO_WQ_LIMIT,
     SchedulingContext,
 )
 from repro.core.gears import Gear, GearSet, PAPER_GEAR_SET
 from repro.core.util_policy import UtilizationTriggeredPolicy
-from repro.experiments.config import PolicySpec, RunSpec
+from repro.experiments.config import InstrumentSpec, PolicySpec, RunSpec
 from repro.experiments.runner import ExperimentRunner
+from repro.instruments import (
+    BsldMonitor,
+    EventTraceRecorder,
+    Instrument,
+    InstrumentContext,
+    PowerCapController,
+    PowerTelemetrySampler,
+)
 from repro.metrics.bsld import BSLD_THRESHOLD_SECONDS, bounded_slowdown, predicted_bsld
 from repro.power.energy import EnergyReport
 from repro.power.model import PowerModel
 from repro.registry import (
     ABLATIONS,
     FIGURES,
+    INSTRUMENTS,
     POLICIES,
     POWER_MODELS,
     Registry,
@@ -62,7 +82,8 @@ from repro.scheduling.conservative import ConservativeBackfilling
 from repro.scheduling.easy import EasyBackfilling
 from repro.scheduling.fcfs import FcfsScheduler
 from repro.scheduling.job import Job, JobOutcome
-from repro.scheduling.result import SimulationResult
+from repro.scheduling.result import InstrumentReport, SimulationResult
+from repro.session import SimulationSession
 from repro.workloads.generator import generate_workload, load_workload
 from repro.workloads.models import PAPER_BASELINE_BSLD, TRACE_MODELS, WORKLOAD_NAMES
 from repro.workloads.swf import read_swf, write_swf
@@ -84,10 +105,18 @@ __all__ = [
     "ExperimentRunner",
     "FIGURES",
     "FcfsScheduler",
+    "BsldMonitor",
+    "EventTraceRecorder",
     "FixedGearPolicy",
     "FrequencyPolicy",
     "Gear",
+    "GearCappedPolicy",
     "GearSet",
+    "INSTRUMENTS",
+    "Instrument",
+    "InstrumentContext",
+    "InstrumentReport",
+    "InstrumentSpec",
     "Job",
     "JobOutcome",
     "Machine",
@@ -98,7 +127,9 @@ __all__ = [
     "POLICIES",
     "POWER_MODELS",
     "PolicySpec",
+    "PowerCapController",
     "PowerModel",
+    "PowerTelemetrySampler",
     "Registry",
     "RegistryError",
     "RunSpec",
@@ -108,6 +139,7 @@ __all__ = [
     "SchedulingContext",
     "Simulation",
     "SimulationResult",
+    "SimulationSession",
     "TRACE_MODELS",
     "UtilizationTriggeredPolicy",
     "WORKLOAD_NAMES",

@@ -12,11 +12,15 @@ the registries in :mod:`repro.registry`::
     >>> result = Simulation(spec).run()
     >>> result.average_bsld()  # doctest: +SKIP
 
+For runtime visibility and control, :meth:`Simulation.session` arms a
+steppable :class:`~repro.session.SimulationSession` over the same spec
+(``run()`` is the trivial run-to-completion wrapper).
+
 Everything else — :class:`~repro.experiments.runner.ExperimentRunner`,
 :class:`~repro.batch.BatchRunner`, the CLI, the examples — delegates
 construction to this facade, so registering a new scheduler, policy
-kind, power model or workload source makes it available everywhere at
-once.
+kind, power model, workload source or instrument makes it available
+everywhere at once.
 """
 
 from __future__ import annotations
@@ -31,7 +35,9 @@ from repro.scheduling.job import Job
 
 if TYPE_CHECKING:  # imported for annotations only; avoids package cycles
     from repro.experiments.config import RunSpec
+    from repro.instruments import Instrument
     from repro.scheduling.result import SimulationResult
+    from repro.session import SimulationSession
 
 __all__ = ["DEFAULT_N_JOBS", "Simulation", "normalize_spec", "run"]
 
@@ -126,8 +132,27 @@ class Simulation:
 
     # -- execution --------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Simulate the spec to completion."""
+        """Simulate the spec to completion.
+
+        With no instruments on the spec this is the scheduler's tight
+        run-to-completion loop, byte-identical to the committed golden
+        traces; with instruments it is ``session().result()``.
+        """
+        if self.spec.instruments:
+            return self.session().result()
         return self.build_scheduler().run(self.jobs)
+
+    def session(self, *, instruments: Sequence[Instrument] = ()) -> SimulationSession:
+        """Arm a steppable :class:`~repro.session.SimulationSession`.
+
+        Instruments named by ``spec.instruments`` are built and
+        attached, followed by any passed directly (pre-constructed
+        instances, handy for programmatic observation).  No simulation
+        event has been processed when this returns.
+        """
+        from repro.session import SimulationSession  # deferred: avoids a cycle
+
+        return SimulationSession(self, instruments=instruments)
 
 
 def run(spec: RunSpec, *, validate: bool = False) -> SimulationResult:

@@ -3,6 +3,7 @@
 Subcommands:
 
 * ``run``       — simulate one workload under one policy and print metrics
+* ``watch``     — stream live power/queue telemetry while a run simulates
 * ``sweep``     — run a custom policy/size grid (parallel-friendly)
 * ``table``     — regenerate paper Table 1 or 3
 * ``figure``    — regenerate a paper figure (3-9)
@@ -73,6 +74,26 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="dynamic-boost WQ trigger (extension; default off)")
     run.add_argument("--seed", type=int, default=None)
     run.set_defaults(handler=_cmd_run)
+
+    watch = sub.add_parser(
+        "watch", help="stream live telemetry from a steppable simulation session"
+    )
+    watch.add_argument("workload", choices=WORKLOAD_NAMES)
+    watch.add_argument("--bsld-threshold", type=float, default=None,
+                       help="enable the BSLD-threshold policy with this threshold")
+    watch.add_argument("--wq-threshold", default="NO",
+                       help="wait-queue threshold (integer or NO; default NO)")
+    watch.add_argument("--scheduler", choices=SCHEDULERS.names(), default="easy")
+    watch.add_argument("--seed", type=int, default=None)
+    watch.add_argument("--interval", type=float, default=6 * 3600.0, metavar="SECONDS",
+                       help="minimum simulated seconds between telemetry lines "
+                            "(default: 21600, one line per 6 simulated hours)")
+    watch.add_argument("--cap", type=float, default=None, metavar="WATTS",
+                       help="attach a power-cap controller enforcing this cap "
+                            "(model watts; see `run` output for the scale)")
+    watch.add_argument("--step-events", type=int, default=256, metavar="N",
+                       help="events to simulate between output flushes (default: 256)")
+    watch.set_defaults(handler=_cmd_watch)
 
     sweep = sub.add_parser(
         "sweep", help="run a policy/size grid through the batch runner"
@@ -202,6 +223,79 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{gear.frequency:g}GHz: {count}" for gear, count in sorted(result.gear_histogram().items())
     )
     print(f"gear histogram:     {histogram}")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.api import Simulation
+    from repro.experiments.config import InstrumentSpec
+
+    if args.step_events <= 0:
+        raise SystemExit(f"--step-events must be positive, got {args.step_events}")
+    if args.bsld_threshold is None:
+        policy = PolicySpec.baseline()
+    else:
+        policy = PolicySpec.power_aware(args.bsld_threshold, _parse_wq(args.wq_threshold))
+    instruments = [InstrumentSpec.of("power_telemetry", min_interval=args.interval)]
+    if args.cap is not None:
+        if args.cap <= 0:
+            raise SystemExit(f"--cap must be positive, got {args.cap}")
+        instruments.append(InstrumentSpec.of("power_cap", cap=args.cap))
+    spec = RunSpec(
+        workload=args.workload,
+        policy=policy,
+        n_jobs=args.jobs,
+        seed=args.seed,
+        scheduler=args.scheduler,
+        instruments=tuple(instruments),
+    )
+    session = Simulation(spec).session()
+    sampler = session.instrument("power_telemetry")
+    controller = session.instrument("power_cap") if args.cap is not None else None
+
+    print(f"watching {spec.label()} ({args.jobs} jobs)")
+    header = f"{'sim time [s]':>14} {'power [W]':>11} {'busy CPUs':>10} {'queued':>7}"
+    if controller is not None:
+        header += f" {'gear cap':>9}"
+    print(header)
+    printed = 0
+    # The cap column is reconstructed from the controller's transition
+    # log so each line shows the cap in force at the *sample's* time,
+    # not whatever it is when the batch flushes.
+    transition_index = 0
+    cap_at_sample: float | None = None
+    while not session.done:
+        session.run_for(args.step_events)
+        for time, watts, busy, depth in sampler.samples[printed:]:
+            line = f"{time:>14.0f} {watts:>11.1f} {busy:>10.0f} {depth:>7.0f}"
+            if controller is not None:
+                transitions = controller.transitions
+                while (
+                    transition_index < len(transitions)
+                    and transitions[transition_index][0] <= time
+                ):
+                    cap_at_sample = transitions[transition_index][2]
+                    transition_index += 1
+                label = "-" if cap_at_sample is None else f"{cap_at_sample:g}GHz"
+                line += f" {label:>9}"
+            print(line)
+        printed = len(sampler.samples)
+
+    result = session.result()
+    print()
+    print(result.describe())
+    telemetry = result.instrument("power_telemetry")
+    print(
+        f"power: peak {telemetry['peak_watts']:.1f} at t={telemetry['peak_time']:.0f}, "
+        f"mean {telemetry['mean_watts']:.1f} over {telemetry['sample_count']} samples"
+    )
+    if controller is not None:
+        report = result.instrument("power_cap")
+        print(
+            f"cap {report['cap']:g}: {report['reductions']} gear reductions, "
+            f"{len(report['transitions'])} transitions, "
+            f"{report['time_capped']:.0f}s spent capped"
+        )
     return 0
 
 

@@ -32,6 +32,7 @@ __all__ = [
     "FrequencyPolicy",
     "FixedGearPolicy",
     "BsldThresholdPolicy",
+    "GearCappedPolicy",
     "NO_WQ_LIMIT",
 ]
 
@@ -299,3 +300,52 @@ class BsldThresholdPolicy(FrequencyPolicy):
         wq = "NO" if self.wq_threshold is None else str(self.wq_threshold)
         extra = ", strict" if self.strict_top_backfill else ""
         return f"BSLDthreshold={self.bsld_threshold:g}, WQthreshold={wq}{extra}"
+
+
+class GearCappedPolicy(FrequencyPolicy):
+    """Clamp another policy's selections to gears at or below a frequency.
+
+    The runtime-control wrapper behind
+    :meth:`~repro.scheduling.base.Scheduler.set_gear_cap` (and the
+    ``power_cap`` instrument): the inner policy decides as usual, and
+    any selection above ``max_frequency`` is stepped down to the
+    highest capped gear that the scheduling context still admits.  A
+    backfill candidate whose capped (longer-running) variant no longer
+    fits is skipped; the queue head always schedules at the capped
+    gear, mirroring the EASY admission-over-DVFS rule.
+
+    A cap below the machine's lowest frequency clamps to the lowest
+    gear — a simulation can never refuse to run jobs outright.
+    """
+
+    def __init__(self, inner: FrequencyPolicy, max_frequency: float) -> None:
+        if max_frequency <= 0.0:
+            raise ValueError(f"max_frequency must be positive, got {max_frequency}")
+        self._inner = inner
+        self._max_frequency = max_frequency
+
+    @property
+    def inner(self) -> FrequencyPolicy:
+        return self._inner
+
+    @property
+    def max_frequency(self) -> float:
+        return self._max_frequency
+
+    def bind(self, gears: GearSet, time_model: BetaTimeModel) -> None:
+        super().bind(gears, time_model)
+        self._inner.bind(gears, time_model)
+        eligible = [g for g in gears if g.frequency <= self._max_frequency]
+        self._cap_gear = eligible[-1] if eligible else gears.lowest
+
+    def select_gear(self, job: Job, ctx: SchedulingContext) -> Gear | None:
+        gear = self._inner.select_gear(job, ctx)
+        if gear is None or gear.frequency <= self._cap_gear.frequency:
+            return gear
+        capped = self._cap_gear
+        if ctx.must_schedule or ctx.feasible(capped):
+            return capped
+        return None
+
+    def describe(self) -> str:
+        return f"{self._inner.describe()} | cap<={self._max_frequency:g}GHz"

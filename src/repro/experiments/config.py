@@ -18,10 +18,17 @@ from repro.core.frequency_policy import (
 )
 from repro.core.util_policy import UtilizationTriggeredPolicy
 from repro.power.time_model import DEFAULT_BETA
-from repro.registry import POLICIES, POWER_MODELS, SCHEDULERS, WORKLOAD_SOURCES
+from repro.registry import (
+    INSTRUMENTS,
+    POLICIES,
+    POWER_MODELS,
+    SCHEDULERS,
+    WORKLOAD_SOURCES,
+)
 
 __all__ = [
     "PolicySpec",
+    "InstrumentSpec",
     "RunSpec",
     "BSLD_THRESHOLDS",
     "WQ_THRESHOLDS",
@@ -142,6 +149,50 @@ def _build_bsld(spec: PolicySpec) -> FrequencyPolicy:
     )
 
 
+def _tupled(value):
+    """Recursively coerce lists to tuples (hashable spec params)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_tupled(item) for item in value)
+    return value
+
+
+@dataclass(frozen=True)
+class InstrumentSpec:
+    """Frozen, hashable description of one session instrument.
+
+    ``name`` keys :data:`repro.registry.INSTRUMENTS`; ``params`` is a
+    key-sorted tuple of ``(keyword, value)`` constructor arguments.
+    Values must be hashable and JSON-representable (scalars or nested
+    tuples) so specs carrying instruments keep working as cache keys.
+    Build instances with :meth:`of`::
+
+        InstrumentSpec.of("power_cap", cap=3500.0, release=0.9)
+    """
+
+    name: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.name not in INSTRUMENTS:
+            raise ValueError(
+                f"unknown instrument {self.name!r}; expected one of {INSTRUMENTS.names()}"
+            )
+        normalized = tuple(sorted((key, _tupled(value)) for key, value in self.params))
+        object.__setattr__(self, "params", normalized)
+
+    @classmethod
+    def of(cls, name: str, **params) -> "InstrumentSpec":
+        """The ergonomic constructor: keyword params, canonicalised."""
+        return cls(name=name, params=tuple(params.items()))
+
+    def build(self):
+        """Materialise the instrument via its registered class."""
+        return INSTRUMENTS.get(self.name)(**dict(self.params))
+
+    def label(self) -> str:
+        return self.name
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One simulation to run: workload x machine scale x policy.
@@ -150,7 +201,10 @@ class RunSpec:
     :class:`~repro.experiments.runner.ExperimentRunner` pins it to its
     own ``n_jobs`` and the standalone :class:`~repro.api.Simulation`
     facade uses the paper's 5000.  ``scheduler``, ``power_model`` and
-    ``source`` name entries on the corresponding registries.
+    ``source`` name entries on the corresponding registries;
+    ``instruments`` attaches session observers/controllers by
+    :class:`InstrumentSpec` (they ride along through every execution
+    path, cache keys included).
     """
 
     workload: str
@@ -163,10 +217,18 @@ class RunSpec:
     power_model: str = "paper"
     source: str = "synthetic"
     record_timeline: bool = False
+    instruments: tuple[InstrumentSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_jobs is not None and self.n_jobs <= 0:
             raise ValueError(f"n_jobs must be positive, got {self.n_jobs}")
+        if not isinstance(self.instruments, tuple):
+            object.__setattr__(self, "instruments", tuple(self.instruments))
+        for instrument in self.instruments:
+            if not isinstance(instrument, InstrumentSpec):
+                raise ValueError(
+                    f"instruments must be InstrumentSpec instances, got {instrument!r}"
+                )
         if self.size_factor <= 0.0:
             raise ValueError(f"size_factor must be positive, got {self.size_factor}")
         if self.scheduler not in SCHEDULERS:
@@ -192,6 +254,13 @@ class RunSpec:
         """Copy with the trace length pinned to ``n_jobs``."""
         return replace(self, n_jobs=n_jobs)
 
+    def with_instruments(self, *instruments: InstrumentSpec) -> "RunSpec":
+        """Copy with these instruments attached (replacing any existing)."""
+        return replace(self, instruments=tuple(instruments))
+
     def label(self) -> str:
         scale = "" if self.size_factor == 1.0 else f" x{self.size_factor:g}"
-        return f"{self.workload}{scale} {self.policy.label()}"
+        base = f"{self.workload}{scale} {self.policy.label()}"
+        if self.instruments:
+            base += " +" + "+".join(spec.label() for spec in self.instruments)
+        return base

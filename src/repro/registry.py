@@ -30,6 +30,7 @@ __all__ = [
     "POLICIES",
     "POWER_MODELS",
     "WORKLOAD_SOURCES",
+    "INSTRUMENTS",
     "FIGURES",
     "ABLATIONS",
 ]
@@ -174,6 +175,11 @@ POWER_MODELS: Registry[Callable] = Registry(
 #: Workload sources ``(workload, n_jobs, seed) -> WorkloadBundle``.
 WORKLOAD_SOURCES: Registry[Callable] = Registry(
     "workload source", modules=("repro.workloads.sources",)
+)
+
+#: Session instruments (``Instrument`` subclasses), keyed by spec name.
+INSTRUMENTS: Registry[type] = Registry(
+    "instrument", modules=("repro.instruments",)
 )
 
 #: Paper-figure builders ``(ExperimentRunner) -> figure``, keyed by number.

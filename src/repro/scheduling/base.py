@@ -13,12 +13,13 @@ from abc import ABC, abstractmethod
 from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.cluster.allocation import Allocation
 from repro.cluster.machine import Machine
 from repro.cluster.processors import ProcessorPool
 from repro.core.dynamic_boost import DynamicBoostConfig, boost_plan
-from repro.core.frequency_policy import FrequencyPolicy, SchedulingContext
+from repro.core.frequency_policy import FrequencyPolicy, GearCappedPolicy, SchedulingContext
 from repro.core.gears import Gear
 from repro.power.energy import EnergyAccounting
 from repro.power.model import PowerModel
@@ -26,7 +27,16 @@ from repro.power.time_model import BetaTimeModel, DEFAULT_BETA
 from repro.scheduling.job import Job, JobOutcome, validate_jobs
 from repro.scheduling.result import SimulationResult, TimelinePoint
 from repro.sim.engine import Engine, SimulationError
-from repro.sim.events import EventKind
+from repro.sim.events import (
+    ClockTick,
+    EventKind,
+    GearSelected,
+    JobFinished,
+    JobStarted,
+    JobSubmitted,
+    LifecycleEvent,
+    QueueDepthChanged,
+)
 
 __all__ = ["Scheduler", "SchedulerConfig"]
 
@@ -115,7 +125,18 @@ class Scheduler(ABC):
         self._power_model = power_model or PowerModel(gears=machine.gears)
         self._config = config or SchedulerConfig()
 
-        # Per-run state, initialised in run().
+        # Runtime-control state: the policy the run was configured with
+        # (hot-swappable via set_policy) and an optional frequency cap
+        # layered on top of it (set_gear_cap / the power_cap instrument).
+        self._base_policy = policy
+        self._gear_cap: float | None = None
+
+        # Observers receive the typed lifecycle stream; with none
+        # attached (every paper-reproduction path) emission costs one
+        # truthiness check per hook site.
+        self._observers: list[Callable[[LifecycleEvent], None]] = []
+
+        # Per-run state, initialised in prepare().
         self._engine: Engine
         self._pool: ProcessorPool
         self._accounting: EnergyAccounting
@@ -124,6 +145,9 @@ class Scheduler(ABC):
         self._estimates: list[tuple[float, int, int]]  # (estimated_end, job_id, size)
         self._outcomes: list[JobOutcome]
         self._timeline: list[TimelinePoint]
+        self._jobs_loaded = 0
+        self._span_start = 0.0
+        self._event_budget = 0
 
     # -- read-only views used by policies and tests -----------------------------
     @property
@@ -146,9 +170,94 @@ class Scheduler(ABC):
     def config(self) -> SchedulerConfig:
         return self._config
 
-    # -- the public entry point ----------------------------------------------------
+    # -- session probes (valid between prepare() and finalize()) ----------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._engine.now
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently waiting on execution."""
+        return len(self._queue)
+
+    @property
+    def busy_cpus(self) -> int:
+        return self._pool.busy_cpus
+
+    @property
+    def event_budget(self) -> int:
+        """The runaway guard sized for the loaded trace."""
+        return self._event_budget
+
+    def instantaneous_power(self) -> float:
+        """Machine power right now, in the power model's (arbitrary) watts.
+
+        Running jobs draw active power at their current gear; every idle
+        processor draws the model's idle power — the same accounting the
+        energy report integrates, sampled instantaneously.
+        """
+        model = self._power_model
+        active = sum(
+            model.active_power(r.gear) * r.job.size for r in self._running.values()
+        )
+        return active + model.idle_power() * self._pool.free_cpus
+
+    # -- observers and runtime control -------------------------------------------
+    def attach_observer(self, observer: Callable[[LifecycleEvent], None]) -> None:
+        """Subscribe ``observer`` to the typed lifecycle stream.
+
+        Observers are called synchronously, in attachment order, with
+        frozen :class:`~repro.sim.events.LifecycleEvent` instances.
+        """
+        self._observers.append(observer)
+
+    def _emit(self, event: LifecycleEvent) -> None:
+        for observer in self._observers:
+            observer(event)
+
+    def set_policy(self, policy: FrequencyPolicy) -> None:
+        """Hot-swap the frequency policy mid-run.
+
+        Takes effect from the next scheduling decision; jobs already
+        running keep their gears.  An active gear cap stays layered on
+        top of the new policy.
+        """
+        policy.bind(self._gears, self._time_model)
+        self._base_policy = policy
+        self._refresh_policy()
+
+    def set_gear_cap(self, frequency: float | None) -> None:
+        """Cap future gear selections at ``frequency`` GHz (``None`` lifts it)."""
+        self._gear_cap = frequency
+        self._refresh_policy()
+
+    @property
+    def gear_cap(self) -> float | None:
+        return self._gear_cap
+
+    def _refresh_policy(self) -> None:
+        if self._gear_cap is None:
+            self._policy = self._base_policy
+        else:
+            capped = GearCappedPolicy(self._base_policy, self._gear_cap)
+            capped.bind(self._gears, self._time_model)
+            self._policy = capped
+
+    # -- the public entry points ---------------------------------------------------
     def run(self, jobs: list[Job]) -> SimulationResult:
         """Simulate ``jobs`` (sorted by submit time) to completion."""
+        engine = self.prepare(jobs)
+        engine.run(max_events=self._event_budget)
+        return self.finalize()
+
+    def prepare(self, jobs: list[Job]) -> Engine:
+        """Load ``jobs`` and arm the engine without processing any event.
+
+        The first half of :meth:`run`, exposed so a
+        :class:`~repro.session.SimulationSession` can drive the
+        simulation incrementally; returns the armed engine.
+        """
         if self._config.clamp_runtimes:
             jobs = [job.clamped() for job in jobs]
         validate_jobs(jobs, self._machine.total_cpus)
@@ -164,25 +273,43 @@ class Scheduler(ABC):
         self._outcomes = []
         self._timeline = []
         self._trigger = "init"  # "arrival" | "finish": what fired the current pass
+        self._jobs_loaded = len(jobs)
+        self._span_start = jobs[0].submit_time if jobs else 0.0
+        self._event_budget = 4 * len(jobs) + 64
+        self._last_tick = float("-inf")
+        self._last_depth = 0
         self._reset_pass_state()
 
         self._engine.on(EventKind.JOB_ARRIVAL, self._on_arrival)
         self._engine.on(EventKind.JOB_FINISH, self._on_finish)
         for job in jobs:
             self._engine.schedule(job.submit_time, EventKind.JOB_ARRIVAL, job)
-        self._engine.run(max_events=4 * len(jobs) + 64)
+        return self._engine
 
-        if len(self._outcomes) != len(jobs):
+    def finalize(self) -> SimulationResult:
+        """Close the books after the event queue drained.
+
+        The second half of :meth:`run`; raises if any loaded job never
+        completed (a drained queue with missing outcomes is a
+        simulation bug, an undrained one a session stopped early).
+        """
+        if len(self._outcomes) != self._jobs_loaded:
             raise SimulationError(
-                f"{len(jobs) - len(self._outcomes)} of {len(jobs)} jobs never completed"
+                f"{self._jobs_loaded - len(self._outcomes)} of {self._jobs_loaded} "
+                f"jobs never completed"
             )
         outcomes = tuple(sorted(self._outcomes, key=lambda o: o.job.job_id))
-        span_start = jobs[0].submit_time if jobs else 0.0
-        span_end = max((o.finish_time for o in outcomes), default=span_start)
-        report = self._accounting.report(self._machine.total_cpus, span_start, span_end)
+        span_end = max((o.finish_time for o in outcomes), default=self._span_start)
+        report = self._accounting.report(
+            self._machine.total_cpus, self._span_start, span_end
+        )
         return SimulationResult(
             machine=self._machine,
-            policy=self._policy.describe(),
+            # The *configured* policy (after any hot-swap), not the
+            # transient gear-cap wrapper: whether a power-cap controller
+            # happens to be engaged at the final event must not change
+            # how the run is labelled.
+            policy=self._base_policy.describe(),
             outcomes=outcomes,
             energy=report,
             events_processed=self._engine.events_processed,
@@ -192,6 +319,8 @@ class Scheduler(ABC):
     # -- event handlers ----------------------------------------------------------
     def _on_arrival(self, now: float, job: Job) -> None:
         self._queue.append(job)
+        if self._observers:
+            self._emit(JobSubmitted(now, job.job_id, job.size, job.requested_time))
         self._trigger = "arrival"
         self._run_pass(now)
 
@@ -215,6 +344,21 @@ class Scheduler(ABC):
                 was_reduced=running.ever_reduced,
             )
         )
+        if self._observers:
+            job = running.job
+            self._emit(
+                JobFinished(
+                    time=now,
+                    job_id=job.job_id,
+                    size=job.size,
+                    frequency=running.first_gear.frequency,
+                    wait_time=running.start - job.submit_time,
+                    runtime=job.runtime,
+                    penalized_runtime=now - running.start,
+                    energy=running.energy,
+                    was_reduced=running.ever_reduced,
+                )
+            )
         self._trigger = "finish"
         self._run_pass(now)
 
@@ -230,6 +374,18 @@ class Scheduler(ABC):
             self._timeline.append(
                 TimelinePoint(time=now, queued_jobs=len(self._queue), busy_cpus=self._pool.busy_cpus)
             )
+        if self._observers:
+            self._post_pass_emit(now)
+
+    def _post_pass_emit(self, now: float) -> None:
+        """ClockTick on a new timestamp, QueueDepthChanged on a new depth."""
+        if now > self._last_tick:
+            self._last_tick = now
+            self._emit(ClockTick(now))
+        depth = len(self._queue)
+        if depth != self._last_depth:
+            self._last_depth = depth
+            self._emit(QueueDepthChanged(now, depth))
 
     # -- the policy hook -------------------------------------------------------------
     @abstractmethod
@@ -292,6 +448,11 @@ class Scheduler(ABC):
         running.estimate_entry = entry
         self._running[job.job_id] = running
         self._note_started(running, now)
+        if self._observers:
+            self._emit(GearSelected(now, job.job_id, gear.frequency, "start"))
+            self._emit(
+                JobStarted(now, job.job_id, job.size, gear.frequency, now - job.submit_time)
+            )
         return running
 
     def _drop_estimate(self, running: _RunningJob) -> None:
@@ -337,6 +498,7 @@ class Scheduler(ABC):
         now: float,
         new_actual_end: float,
         new_estimated_end: float,
+        reason: str = "boost",
     ) -> None:
         running.energy += self._accounting.add_segment(
             running.gear, running.job.size, now - running.segment_start
@@ -355,6 +517,8 @@ class Scheduler(ABC):
         insort(self._estimates, entry)
         running.estimate_entry = entry
         self._note_reestimated(running, old_estimated_end, now)
+        if self._observers:
+            self._emit(GearSelected(now, running.job.job_id, gear.frequency, reason))
 
     def _utilization(self) -> float:
         return self._pool.busy_cpus / self._pool.total_cpus

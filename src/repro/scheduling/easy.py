@@ -110,7 +110,6 @@ class EasyBackfilling(Scheduler):
         """
         queue = self._queue
         pool = self._pool
-        policy = self._policy
         total_cpus = pool.total_cpus
         coefficient = self._time_model.coefficient
         candidates = list(islice(queue, 1, len(queue)))
@@ -134,7 +133,11 @@ class EasyBackfilling(Scheduler):
                 continue
             else:
                 feasible = self._backfill_test(job, now, t_res, coefficient)
-            gear = policy.select_gear(
+            # self._policy is read per candidate, not cached at pass
+            # start: a controller instrument reacting to the JobStarted
+            # just emitted by _start_job may have swapped or capped the
+            # policy, and the rest of the scan must honour that.
+            gear = self._policy.select_gear(
                 job,
                 SchedulingContext.with_fixed_wait(
                     now=now,

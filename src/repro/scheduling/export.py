@@ -1,7 +1,13 @@
-"""Export simulation outcomes for external analysis.
+"""Export simulation outcomes and event traces for external analysis.
 
 ``outcomes_to_csv`` writes one row per job with everything a downstream
-notebook needs (waits, gears, BSLD, energy); ``result_summary_row``
+notebook needs (waits, gears, BSLD, energy) — it is also the byte-pinned
+golden-trace format.  ``event_trace_to_csv`` streams the typed lifecycle
+record captured by an ``event_trace`` instrument
+(:class:`~repro.instruments.EventTraceRecorder`), the structured
+successor to ad-hoc per-run export code: attach the instrument via
+``RunSpec.instruments`` and every execution path (facade, session,
+batch, CLI) carries the trace in its result.  ``result_summary_row``
 flattens a whole run into one record for sweep dataframes.
 """
 
@@ -9,12 +15,12 @@ from __future__ import annotations
 
 import csv
 import os
-from typing import Mapping
+from typing import Iterable, Mapping
 
 from repro.metrics.bsld import BSLD_THRESHOLD_SECONDS
 from repro.scheduling.result import SimulationResult
 
-__all__ = ["outcomes_to_csv", "result_summary_row"]
+__all__ = ["outcomes_to_csv", "event_trace_to_csv", "result_summary_row"]
 
 _FIELDS = (
     "job_id",
@@ -67,6 +73,53 @@ def outcomes_to_csv(
                 ]
             )
     return len(result.outcomes)
+
+
+#: Union of all lifecycle-event fields, in a stable column order.
+_TRACE_FIELDS = (
+    "event",
+    "time",
+    "job_id",
+    "size",
+    "frequency",
+    "reason",
+    "wait_time",
+    "runtime",
+    "penalized_runtime",
+    "energy",
+    "was_reduced",
+    "requested_time",
+    "depth",
+)
+
+
+def event_trace_to_csv(
+    events: Iterable[Mapping[str, object]] | SimulationResult,
+    path: str | os.PathLike[str],
+) -> int:
+    """Write a lifecycle event trace to ``path``; returns the row count.
+
+    Accepts either the ``events`` rows of an
+    :class:`~repro.instruments.EventTraceRecorder` report (each a
+    mapping with an ``"event"`` type tag) or a whole
+    :class:`SimulationResult` carrying an ``event_trace`` instrument
+    report.  Columns not applicable to an event kind are left empty.
+    """
+    if isinstance(events, SimulationResult):
+        events = events.instrument("event_trace")["events"]
+    rows = 0
+    with open(path, "w", encoding="utf-8", newline="") as stream:
+        writer = csv.DictWriter(stream, fieldnames=_TRACE_FIELDS, restval="")
+        writer.writeheader()
+        for event in events:
+            unknown = set(event) - set(_TRACE_FIELDS)
+            if unknown:
+                raise ValueError(
+                    f"event row carries fields outside the trace schema: {sorted(unknown)}"
+                )
+            writer.writerow(event)
+            rows += 1
+    return rows
 
 
 def result_summary_row(result: SimulationResult) -> Mapping[str, float | int | str]:

@@ -16,7 +16,7 @@ from repro.metrics.bsld import BSLD_THRESHOLD_SECONDS
 from repro.power.energy import EnergyReport
 from repro.scheduling.job import JobOutcome
 
-__all__ = ["SimulationResult", "TimelinePoint"]
+__all__ = ["SimulationResult", "TimelinePoint", "InstrumentReport"]
 
 
 @dataclass(frozen=True)
@@ -26,6 +26,22 @@ class TimelinePoint:
     time: float
     queued_jobs: int
     busy_cpus: int
+
+
+@dataclass(frozen=True)
+class InstrumentReport:
+    """One instrument's JSON-native summary of what it measured.
+
+    ``summary`` holds only JSON-native values (dicts/lists/scalars) so
+    results carrying reports keep the exact serialisation round-trip
+    guarantee of :mod:`repro.serialize`.
+    """
+
+    name: str
+    summary: dict
+
+    def __getitem__(self, key: str):
+        return self.summary[key]
 
 
 @dataclass(frozen=True)
@@ -43,6 +59,7 @@ class SimulationResult:
     energy: EnergyReport
     events_processed: int
     timeline: tuple[TimelinePoint, ...] = field(default=())
+    instruments: tuple[InstrumentReport, ...] = field(default=())
 
     def __post_init__(self) -> None:
         ids = [o.job.job_id for o in self.outcomes]
@@ -145,6 +162,16 @@ class SimulationResult:
         if bsld is None:
             return [o.bsld(threshold) for o in self.outcomes]
         return bsld.tolist()
+
+    def instrument(self, name: str) -> InstrumentReport:
+        """The report of the instrument registered under ``name``."""
+        for report in self.instruments:
+            if report.name == name:
+                return report
+        raise KeyError(
+            f"no instrument report named {name!r}; have "
+            f"{[report.name for report in self.instruments]}"
+        )
 
     def describe(self) -> str:
         return (

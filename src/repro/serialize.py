@@ -17,12 +17,13 @@ from typing import Any
 
 from repro.cluster.machine import Machine
 from repro.core.gears import Gear, GearSet
-from repro.experiments.config import PolicySpec, RunSpec
+from repro.experiments.config import InstrumentSpec, PolicySpec, RunSpec, _tupled
 from repro.power.energy import EnergyReport
 from repro.scheduling.job import Job, JobOutcome
-from repro.scheduling.result import SimulationResult, TimelinePoint
+from repro.scheduling.result import InstrumentReport, SimulationResult, TimelinePoint
 
 __all__ = [
+    "jsonable",
     "spec_to_dict",
     "spec_from_dict",
     "spec_json",
@@ -33,7 +34,32 @@ __all__ = [
 
 #: Bumped whenever the serialised layout changes; cached results with a
 #: different version are ignored rather than misread.
-FORMAT_VERSION = 1
+#: v2: specs gained ``instruments``, results gained instrument reports.
+FORMAT_VERSION = 2
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively coerce tuples to lists so a value JSON-round-trips.
+
+    The encode-side inverse of
+    :func:`repro.experiments.config._tupled` (which re-tuples on load
+    for hashability); instrument reports and spec params both flow
+    through this pair.
+    """
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {key: jsonable(item) for key, item in value.items()}
+    return value
+
+
+def _params_to_json(params: tuple) -> list:
+    """Instrument params as JSON ([[key, value], ...]; tuples become lists)."""
+    return [[key, jsonable(value)] for key, value in params]
+
+
+def _params_from_json(data: list) -> tuple:
+    return tuple((key, _tupled(value)) for key, value in data)
 
 
 # -- RunSpec ------------------------------------------------------------------
@@ -57,6 +83,10 @@ def spec_to_dict(spec: RunSpec) -> dict[str, Any]:
         "power_model": spec.power_model,
         "source": spec.source,
         "record_timeline": spec.record_timeline,
+        "instruments": [
+            {"name": inst.name, "params": _params_to_json(inst.params)}
+            for inst in spec.instruments
+        ],
     }
 
 
@@ -80,6 +110,10 @@ def spec_from_dict(data: dict[str, Any]) -> RunSpec:
         power_model=data["power_model"],
         source=data["source"],
         record_timeline=data["record_timeline"],
+        instruments=tuple(
+            InstrumentSpec(name=inst["name"], params=_params_from_json(inst["params"]))
+            for inst in data.get("instruments", [])
+        ),
     )
 
 
@@ -167,6 +201,10 @@ def result_to_dict(result: SimulationResult) -> dict[str, Any]:
             {"time": p.time, "queued_jobs": p.queued_jobs, "busy_cpus": p.busy_cpus}
             for p in result.timeline
         ],
+        "instruments": [
+            {"name": report.name, "summary": report.summary}
+            for report in result.instruments
+        ],
     }
 
 
@@ -188,4 +226,8 @@ def result_from_dict(data: dict[str, Any]) -> SimulationResult:
         energy=EnergyReport(**data["energy"]),
         events_processed=data["events_processed"],
         timeline=tuple(TimelinePoint(**p) for p in data["timeline"]),
+        instruments=tuple(
+            InstrumentReport(name=report["name"], summary=report["summary"])
+            for report in data.get("instruments", [])
+        ),
     )

@@ -59,9 +59,49 @@ class Engine:
         return self._queue.push(max(time, self._now), kind, payload)
 
     def cancel(self, handle: EventHandle) -> None:
-        self._queue.cancel(handle)
+        """Cancel a pending event.
+
+        Raises :class:`SimulationError` when ``handle`` has already
+        fired or was scheduled on a different engine — both indicate a
+        scheduler bookkeeping bug that silent acceptance would turn
+        into live-count corruption.
+        """
+        try:
+            self._queue.cancel(handle)
+        except ValueError as exc:
+            raise SimulationError(str(exc)) from None
 
     # -- main loop -------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process exactly one event; returns ``False`` on an empty queue.
+
+        The single-step primitive behind
+        :class:`~repro.session.SimulationSession`.  :meth:`run` keeps
+        its own tight loop — run-to-completion throughput must not pay
+        a per-event method call.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        queue = self._queue
+        if not queue:
+            return False
+        self._running = True
+        try:
+            event = queue.pop()
+            time = event.time
+            if time < self._now - 1e-9:
+                raise SimulationError(f"time went backwards: {self._now} -> {time}")
+            if time > self._now:
+                self._now = time
+            handler = self._handlers.get(event.kind)
+            if handler is None:
+                raise SimulationError(f"no handler registered for {event.kind.name}")
+            handler(self._now, event.payload)
+            self._events_processed += 1
+        finally:
+            self._running = False
+        return True
+
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Process events until the queue drains (or a bound is hit).
 

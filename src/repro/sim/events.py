@@ -1,18 +1,38 @@
-"""Event types and the cancellable priority event queue.
+"""Event types, the cancellable priority event queue, and the typed
+lifecycle stream.
 
-Ordering at equal timestamps follows classic job-scheduler-simulator
-convention: job completions are processed before arrivals so that a job
-arriving at time ``t`` sees the processors freed at ``t``.  Ties beyond
-``(time, kind)`` break by insertion order, keeping runs deterministic.
+Two event vocabularies live here:
+
+* :class:`EventKind`/:class:`EventQueue` — the *engine-internal* queue
+  driving the simulation forward (completions before arrivals at equal
+  timestamps; ties beyond ``(time, kind)`` break by insertion order,
+  keeping runs deterministic).
+* The :class:`LifecycleEvent` hierarchy — the *observer-facing* typed
+  stream a :class:`~repro.scheduling.base.Scheduler` emits to attached
+  instruments (:mod:`repro.instruments`).  Lifecycle events are frozen
+  dataclasses carrying plain scalars only, so an observer can hold,
+  hash or serialise them but can never reach back into engine state.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from enum import IntEnum
 from heapq import heappop, heappush
 from typing import Any
 
-__all__ = ["EventKind", "EventHandle", "EventQueue"]
+__all__ = [
+    "EventKind",
+    "EventHandle",
+    "EventQueue",
+    "LifecycleEvent",
+    "JobSubmitted",
+    "JobStarted",
+    "JobFinished",
+    "GearSelected",
+    "QueueDepthChanged",
+    "ClockTick",
+]
 
 
 class EventKind(IntEnum):
@@ -29,10 +49,14 @@ class EventHandle:
     A plain ``__slots__`` class rather than a dataclass: handles are
     created and touched once per event on the simulation hot path, and
     the ``seq`` tiebreaker in the heap tuples guarantees handles
-    themselves are never compared.
+    themselves are never compared.  ``queue`` tracks ownership: it is
+    the queue the event is currently pending on, and ``None`` once the
+    event has fired or been cancelled — :meth:`EventQueue.cancel` uses
+    it to reject stale and foreign handles instead of silently
+    corrupting the live-event count.
     """
 
-    __slots__ = ("time", "kind", "payload", "seq", "cancelled")
+    __slots__ = ("time", "kind", "payload", "seq", "cancelled", "queue")
 
     def __init__(
         self, time: float, kind: EventKind, payload: Any = None, seq: int = 0
@@ -42,6 +66,7 @@ class EventHandle:
         self.payload = payload
         self.seq = seq
         self.cancelled = False
+        self.queue: "EventQueue | None" = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         flag = ", cancelled" if self.cancelled else ""
@@ -67,16 +92,32 @@ class EventQueue:
             raise ValueError("event time is NaN")
         seq = self._seq
         handle = EventHandle(time, kind, payload, seq)
+        handle.queue = self
         heappush(self._heap, (time, kind._value_, seq, handle))
         self._seq = seq + 1
         self._live += 1
         return handle
 
     def cancel(self, handle: EventHandle) -> None:
-        """Mark an event dead; it will be skipped when popped."""
-        if not handle.cancelled:
-            handle.cancelled = True
-            self._live -= 1
+        """Mark a pending event dead; it will be skipped when popped.
+
+        Cancelling twice is a harmless no-op, but a handle that has
+        already *fired* — or that belongs to a different queue — raises
+        ``ValueError``: decrementing the live count for such a handle
+        silently corrupts queue bookkeeping.
+        """
+        if handle.cancelled:
+            return
+        if handle.queue is not self:
+            reason = (
+                "it is pending on a different queue"
+                if handle.queue is not None
+                else "it already fired"
+            )
+            raise ValueError(f"cannot cancel {handle!r}: {reason}")
+        handle.cancelled = True
+        handle.queue = None
+        self._live -= 1
 
     def pop(self) -> EventHandle:
         """Remove and return the earliest live event."""
@@ -85,6 +126,7 @@ class EventQueue:
             handle = heappop(heap)[3]
             if handle.cancelled:
                 continue
+            handle.queue = None
             self._live -= 1
             return handle
         raise IndexError("pop from an empty event queue")
@@ -97,3 +139,86 @@ class EventQueue:
         if not heap:
             raise IndexError("peek into an empty event queue")
         return heap[0][0]
+
+
+# -- the observer-facing lifecycle stream --------------------------------------
+@dataclass(frozen=True, slots=True)
+class LifecycleEvent:
+    """Base of the typed event stream delivered to instruments.
+
+    Every lifecycle event is frozen and carries plain scalars only —
+    never a live :class:`~repro.scheduling.job.Job` or scheduler
+    object — so observers cannot mutate simulation state through the
+    events they receive (a property test pins this).
+    """
+
+    time: float
+
+
+@dataclass(frozen=True, slots=True)
+class JobSubmitted(LifecycleEvent):
+    """A job arrived and joined the wait queue."""
+
+    job_id: int
+    size: int
+    requested_time: float
+
+
+@dataclass(frozen=True, slots=True)
+class GearSelected(LifecycleEvent):
+    """A gear decision was made for a job.
+
+    ``reason`` is ``"start"`` for the selection made when the job is
+    launched and ``"boost"`` when a running job is re-geared by the
+    dynamic-boost extension.
+    """
+
+    job_id: int
+    frequency: float
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class JobStarted(LifecycleEvent):
+    """A job began executing on the machine."""
+
+    job_id: int
+    size: int
+    frequency: float
+    wait_time: float
+
+
+@dataclass(frozen=True, slots=True)
+class JobFinished(LifecycleEvent):
+    """A job completed and released its processors.
+
+    ``runtime`` is the *nominal* (top-frequency) runtime and
+    ``penalized_runtime`` the wall-clock execution actually observed, so
+    a BSLD can be recomputed from the event alone.
+    """
+
+    job_id: int
+    size: int
+    frequency: float
+    wait_time: float
+    runtime: float
+    penalized_runtime: float
+    energy: float
+    was_reduced: bool
+
+
+@dataclass(frozen=True, slots=True)
+class QueueDepthChanged(LifecycleEvent):
+    """The wait-queue length after a scheduling pass differs from the last."""
+
+    depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class ClockTick(LifecycleEvent):
+    """Simulation time advanced to a new timestamp.
+
+    Emitted once per distinct event timestamp, after the first
+    scheduling pass at that time has settled — the natural sampling
+    point for telemetry instruments.
+    """

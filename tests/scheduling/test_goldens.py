@@ -23,18 +23,33 @@ from pathlib import Path
 import pytest
 
 from repro.api import Simulation
-from repro.experiments.config import PolicySpec, RunSpec
+from repro.experiments.config import InstrumentSpec, PolicySpec, RunSpec
 from repro.scheduling.export import outcomes_to_csv
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "goldens"
 
-#: Two pinned workloads x {no-DVFS baseline, the paper's DVFS(2, NO)}.
+#: 80% of the SDSC-300 no-DVFS peak instantaneous power (model watts) —
+#: the runtime-control golden scenario.  The value is pinned so the
+#: golden spec (and its cache key) never drifts;
+#: ``test_powercap_cap_tracks_nodvfs_peak`` re-measures the peak and
+#: asserts the 80% relation still holds.
+POWERCAP_SDSC_CAP = 706.5600000000002
+
+#: Two pinned workloads x {no-DVFS baseline, the paper's DVFS(2, NO)},
+#: plus the reactive power-capping scenario on SDSC.
 GOLDEN_SPECS: dict[str, RunSpec] = {
     "sdsc_300_nodvfs": RunSpec(
         workload="SDSC", n_jobs=300, seed=1, policy=PolicySpec.baseline()
     ),
     "sdsc_300_dvfs2no": RunSpec(
         workload="SDSC", n_jobs=300, seed=1, policy=PolicySpec.power_aware(2.0, None)
+    ),
+    "sdsc_300_powercap80": RunSpec(
+        workload="SDSC",
+        n_jobs=300,
+        seed=1,
+        policy=PolicySpec.baseline(),
+        instruments=(InstrumentSpec.of("power_cap", cap=POWERCAP_SDSC_CAP),),
     ),
     "ctc_300_nodvfs": RunSpec(
         workload="CTC", n_jobs=300, seed=1, policy=PolicySpec.baseline()
@@ -43,6 +58,25 @@ GOLDEN_SPECS: dict[str, RunSpec] = {
         workload="CTC", n_jobs=300, seed=1, policy=PolicySpec.power_aware(2.0, None)
     ),
 }
+
+
+def test_powercap_cap_tracks_nodvfs_peak():
+    """The pinned cap is exactly 80% of the re-measured no-DVFS peak."""
+    spec = GOLDEN_SPECS["sdsc_300_nodvfs"].with_instruments(
+        InstrumentSpec.of("power_telemetry")
+    )
+    result = Simulation(spec).run()
+    peak = result.instrument("power_telemetry")["peak_watts"]
+    assert POWERCAP_SDSC_CAP == pytest.approx(0.8 * peak, rel=1e-12)
+
+
+def test_powercap_golden_actually_caps():
+    """The capped run visibly forces reduced gears on a no-DVFS policy."""
+    result = Simulation(GOLDEN_SPECS["sdsc_300_powercap80"]).run()
+    report = result.instrument("power_cap")
+    assert report["reductions"] > 0
+    assert result.reduced_jobs > 0
+    assert report["time_capped"] > 0.0
 
 
 def render_golden(spec: RunSpec, tmp_path: Path) -> bytes:

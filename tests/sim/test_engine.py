@@ -82,6 +82,33 @@ class TestScheduling:
         engine.run()
         assert [entry[2] for entry in log] == ["alive"]
 
+    def test_cancel_fired_event_raises(self):
+        engine, _ = collecting_engine()
+        handle = engine.schedule(1.0, EventKind.JOB_ARRIVAL)
+        engine.run()
+        with pytest.raises(SimulationError, match="already fired"):
+            engine.cancel(handle)
+        assert engine.pending_events == 0  # the live count stays intact
+
+    def test_cancel_foreign_handle_raises(self):
+        engine, _ = collecting_engine()
+        other, _ = collecting_engine()
+        foreign = other.schedule(1.0, EventKind.JOB_ARRIVAL)
+        engine.schedule(2.0, EventKind.JOB_ARRIVAL)
+        with pytest.raises(SimulationError, match="different queue"):
+            engine.cancel(foreign)
+        assert engine.pending_events == 1
+        assert other.pending_events == 1
+
+    def test_double_cancel_is_harmless(self):
+        engine, log = collecting_engine()
+        handle = engine.schedule(1.0, EventKind.JOB_ARRIVAL, "dead")
+        engine.cancel(handle)
+        engine.cancel(handle)  # idempotent, not an error
+        assert engine.pending_events == 0
+        engine.run()
+        assert log == []
+
     def test_pending_events_counter(self):
         engine, _ = collecting_engine()
         engine.schedule(1.0, EventKind.JOB_ARRIVAL)
@@ -127,3 +154,54 @@ class TestRunBounds:
         engine.run()
         assert log == []
         assert engine.now == 0.0
+
+
+class TestStep:
+    def test_step_processes_one_event(self):
+        engine, log = collecting_engine()
+        engine.schedule(1.0, EventKind.JOB_ARRIVAL, "a")
+        engine.schedule(2.0, EventKind.JOB_ARRIVAL, "b")
+        assert engine.step() is True
+        assert [entry[2] for entry in log] == ["a"]
+        assert engine.now == 1.0
+        assert engine.events_processed == 1
+
+    def test_step_on_empty_queue_returns_false(self):
+        engine, log = collecting_engine()
+        assert engine.step() is False
+        assert log == []
+
+    def test_step_drains_like_run(self):
+        stepped, step_log = collecting_engine()
+        looped, loop_log = collecting_engine()
+        for engine in (stepped, looped):
+            engine.schedule(3.0, EventKind.JOB_ARRIVAL, "c")
+            engine.schedule(1.0, EventKind.JOB_FINISH, "a")
+            engine.schedule(1.0, EventKind.JOB_ARRIVAL, "b")
+        while stepped.step():
+            pass
+        looped.run()
+        assert step_log == loop_log
+        assert stepped.now == looped.now
+        assert stepped.events_processed == looped.events_processed
+
+    def test_step_missing_handler_raises(self):
+        engine = Engine()
+        engine.schedule(1.0, EventKind.CONTROL)
+        with pytest.raises(SimulationError, match="no handler"):
+            engine.step()
+
+    def test_step_not_reentrant(self):
+        engine = Engine()
+        error = {}
+
+        def handler(now, payload):
+            try:
+                engine.step()
+            except SimulationError as exc:
+                error["message"] = str(exc)
+
+        engine.on(EventKind.CONTROL, handler)
+        engine.schedule(0.0, EventKind.CONTROL)
+        engine.run()
+        assert "reentrant" in error["message"]

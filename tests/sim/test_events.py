@@ -58,6 +58,35 @@ class TestCancellation:
         with pytest.raises(IndexError):
             queue.pop()
 
+    def test_cancel_popped_handle_raises(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, EventKind.JOB_FINISH)
+        queue.push(2.0, EventKind.JOB_FINISH)
+        assert queue.pop() is handle
+        with pytest.raises(ValueError, match="already fired"):
+            queue.cancel(handle)
+        assert len(queue) == 1  # the live count did not drift
+
+    def test_cancel_foreign_handle_raises(self):
+        ours = EventQueue()
+        theirs = EventQueue()
+        foreign = theirs.push(1.0, EventKind.JOB_FINISH)
+        ours.push(2.0, EventKind.JOB_FINISH)
+        with pytest.raises(ValueError, match="different queue"):
+            ours.cancel(foreign)
+        assert len(ours) == 1
+        assert len(theirs) == 1
+
+    def test_handle_ownership_lifecycle(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, EventKind.JOB_FINISH)
+        assert handle.queue is queue
+        queue.pop()
+        assert handle.queue is None
+        cancelled = queue.push(2.0, EventKind.JOB_FINISH)
+        queue.cancel(cancelled)
+        assert cancelled.queue is None
+
 
 class TestBookkeeping:
     def test_len_and_bool(self):

@@ -56,6 +56,35 @@ class TestRun:
             main(["run", "NotAWorkload"])
 
 
+class TestWatch:
+    def test_streams_telemetry_lines(self, capsys):
+        out = run_cli(capsys, "--jobs", "60", "watch", "SDSC", "--interval", "3600")
+        assert "watching SDSC NoDVFS +power_telemetry" in out
+        assert "power [W]" in out
+        assert "peak" in out and "samples" in out
+
+    def test_power_cap_flag(self, capsys):
+        out = run_cli(
+            capsys, "--jobs", "60", "watch", "SDSC",
+            "--interval", "3600", "--cap", "500", "--seed", "1",
+        )
+        assert "gear cap" in out
+        assert "cap 500:" in out
+
+    def test_power_aware_watch(self, capsys):
+        out = run_cli(
+            capsys, "--jobs", "60", "watch", "CTC",
+            "--bsld-threshold", "2", "--wq-threshold", "4",
+        )
+        assert "DVFS(2,4)" in out
+
+    def test_bad_flags_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "10", "watch", "SDSC", "--cap", "-1"])
+        with pytest.raises(SystemExit):
+            main(["--jobs", "10", "watch", "SDSC", "--step-events", "0"])
+
+
 class TestSweep:
     def test_sweep_grid(self, capsys):
         out = run_cli(

@@ -122,6 +122,86 @@ class TestJobsFromRecords:
         assert [job.job_id for job in jobs] == [1, 2]
 
 
+class TestEdgeCases:
+    """Archive-trace warts: ``-1`` sentinels, zero runtimes, disorder."""
+
+    def test_all_metadata_sentinels(self):
+        """A record with every optional field at the -1 sentinel still loads."""
+        raw = (9, 0, -1, 100, 4, -1, -1, -1, 200, -1, -1, -1, -1, -1, -1, -1, -1, -1)
+        (job,) = jobs_from_records([raw])
+        assert job.job_id == 9
+        assert job.user_id == -1
+        assert job.group_id == -1
+        assert job.executable == -1
+
+    def test_both_proc_fields_sentinel_drops_record(self):
+        """allocated=-1 and requested_procs=-1 leave no usable size."""
+        assert jobs_from_records([record(procs=-1, requested_procs=-1)]) == []
+        with pytest.raises(SwfError, match="unusable"):
+            jobs_from_records([record(procs=-1, requested_procs=-1)], drop_invalid=False)
+
+    def test_zero_runtime_job_is_kept(self):
+        """Zero runtime (crashed-at-start entries) is valid, not invalid."""
+        (job,) = jobs_from_records([record(runtime=0)])
+        assert job.runtime == 0.0
+        assert job.requested_time == 200.0
+
+    def test_zero_runtime_and_no_request_gets_unit_request(self):
+        """requested_time must stay positive even when runtime is zero."""
+        (job,) = jobs_from_records([record(runtime=0, requested_time=-1)])
+        assert job.runtime == 0.0
+        assert job.requested_time == 1.0
+
+    def test_zero_runtime_job_simulates(self):
+        from repro.cluster.machine import Machine
+        from repro.core.frequency_policy import FixedGearPolicy
+        from repro.scheduling.easy import EasyBackfilling
+
+        jobs = jobs_from_records(
+            [record(job_id=1, runtime=0, requested_time=-1), record(job_id=2, submit=5)]
+        )
+        result = EasyBackfilling(Machine("test", 8), FixedGearPolicy()).run(jobs)
+        assert result.job_count == 2
+        zero = result.outcomes[0]
+        assert zero.finish_time == zero.start_time
+
+    def test_out_of_order_submits_are_restored(self):
+        """Records in archive order, not submit order, come out sorted."""
+        records = [
+            record(job_id=3, submit=300),
+            record(job_id=1, submit=100),
+            record(job_id=2, submit=200),
+        ]
+        jobs = jobs_from_records(records)
+        assert [job.job_id for job in jobs] == [1, 2, 3]
+        submits = [job.submit_time for job in jobs]
+        assert submits == sorted(submits)
+
+    def test_equal_submits_tie_break_by_job_id(self):
+        records = [record(job_id=5, submit=100), record(job_id=4, submit=100)]
+        jobs = jobs_from_records(records)
+        assert [job.job_id for job in jobs] == [4, 5]
+
+    def test_out_of_order_stream_simulates(self, tmp_path):
+        """An unsorted SWF file runs through validate_jobs without tripping."""
+        from repro.cluster.machine import Machine
+        from repro.core.frequency_policy import FixedGearPolicy
+        from repro.scheduling.fcfs import FcfsScheduler
+
+        lines = [
+            " ".join(str(f) for f in record(job_id=2, submit=500)),
+            " ".join(str(f) for f in record(job_id=1, submit=0)),
+        ]
+        path = tmp_path / "unsorted.swf"
+        path.write_text("; MaxProcs: 8\n" + "\n".join(lines) + "\n")
+        _, jobs = read_swf(path)
+        result = FcfsScheduler(Machine("test", 8), FixedGearPolicy()).run(jobs)
+        assert result.job_count == 2
+
+    def test_negative_submit_dropped(self):
+        assert jobs_from_records([record(submit=-7)]) == []
+
+
 class TestRoundTrip:
     def test_write_read(self, tmp_path):
         jobs = [
