@@ -4,18 +4,28 @@ Usage::
 
     python scripts/capture_benchmark.py                      # full capture
     python scripts/capture_benchmark.py --scales 1000,5000   # quicker CI run
-    python scripts/capture_benchmark.py --output BENCH_2.json
+    python scripts/capture_benchmark.py --output BENCH_4.json
 
 Measures jobs/second of the scheduler hot path through the
 :class:`repro.api.Simulation` facade for every (workload, scale,
-policy) combination, plus end-to-end :class:`repro.batch.BatchRunner`
-throughput (serial and process-parallel) over the same grid, and writes
-the result as JSON.  Trace generation happens outside the timed region;
-each serial cell reports the best of ``--repeat`` runs.
+policy) combination — the calibrated paper traces at ``--scales`` plus
+the ``synthetic-xl`` scale-out traces at ``--xl-scales`` (the
+million-job regime) — and end-to-end :class:`repro.batch.BatchRunner`
+throughput over the standard grid.  Each cell also records its peak
+simulation memory: ``tracemalloc`` distorts timing, so the peak is
+taken from one *extra* untimed run, and the process-wide ``ru_maxrss``
+high-water mark is snapshotted per cell (monotonic across the
+capture).  Trace generation happens outside the timed region and is
+memoised on disk when ``REPRO_WORKLOAD_CACHE_DIR`` is set; each serial
+cell reports the best of ``--repeat`` runs, timed in interleaved
+rounds across cells so one host-load phase cannot bias a single cell
+(see :class:`SerialCell`).
 
-The committed ``BENCH_2.json`` at the repository root is the perf
+The committed ``BENCH_4.json`` at the repository root is the perf
 trajectory record for this PR; regenerate it on comparable hardware
-before claiming a speedup or a regression.
+before claiming a speedup or a regression.  ``--floor`` exits non-zero
+if any serial cell falls below the given jobs/s (the CI large-scale
+job prints the floor check into its summary).
 """
 
 from __future__ import annotations
@@ -24,8 +34,10 @@ import argparse
 import json
 import os
 import platform
+import resource
 import sys
 import time
+import tracemalloc
 from datetime import datetime, timezone
 
 from repro.api import Simulation
@@ -38,25 +50,76 @@ POLICIES: tuple[tuple[str, PolicySpec], ...] = (
 )
 
 
-def measure_serial(workload: str, n_jobs: int, label: str, policy: PolicySpec,
-                   repeat: int) -> dict:
-    """Best-of-``repeat`` wall time of one simulation's scheduler run."""
-    simulation = Simulation(RunSpec(workload=workload, n_jobs=n_jobs, policy=policy))
-    jobs = simulation.jobs  # materialise outside the timed region
-    best = float("inf")
-    for _ in range(repeat):
-        scheduler = simulation.build_scheduler()
+def max_rss_mb() -> float:
+    """Process high-water RSS in MiB (Linux reports KiB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+class SerialCell:
+    """One (workload, scale, policy) measurement, repeated best-of.
+
+    Cells are timed in *interleaved rounds* — round 1 of every cell,
+    then round 2, and so on — so each cell's best-of window spans the
+    whole capture instead of one contiguous slice of wall time.  On
+    shared/virtualised hardware that makes the per-cell best far less
+    hostage to which host-load phase its slot happened to land in.
+    One extra untimed run under ``tracemalloc`` records the peak
+    Python-heap footprint of the simulation structures.
+    """
+
+    def __init__(self, workload: str, n_jobs: int, label: str, policy: PolicySpec,
+                 repeat: int, source: str = "synthetic") -> None:
+        self.workload = workload
+        self.n_jobs = n_jobs
+        self.label = label
+        self.repeat = repeat
+        self.source = source
+        self.best = float("inf")
+        spec = RunSpec(workload=workload, n_jobs=n_jobs, policy=policy, source=source)
+        self.simulation = Simulation(spec)
+        load_start = time.perf_counter()
+        self.jobs = self.simulation.jobs  # materialise outside the timed region
+        self.load_seconds = time.perf_counter() - load_start
+
+    def run_once(self) -> None:
+        scheduler = self.simulation.build_scheduler()
         start = time.perf_counter()
-        scheduler.run(jobs)
-        best = min(best, time.perf_counter() - start)
-    return {
-        "workload": workload,
-        "n_jobs": n_jobs,
-        "policy": label,
-        "mode": "serial",
-        "seconds": round(best, 4),
-        "jobs_per_sec": round(n_jobs / best, 1),
-    }
+        scheduler.run(self.jobs)
+        self.best = min(self.best, time.perf_counter() - start)
+
+    def finish(self) -> dict:
+        scheduler = self.simulation.build_scheduler()
+        tracemalloc.start()
+        scheduler.run(self.jobs)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return {
+            "workload": self.workload,
+            "source": self.source,
+            "n_jobs": self.n_jobs,
+            "policy": self.label,
+            "mode": "serial",
+            "seconds": round(self.best, 4),
+            "jobs_per_sec": round(self.n_jobs / self.best, 1),
+            "load_seconds": round(self.load_seconds, 4),
+            "peak_mem_mb": round(peak / (1024 * 1024), 1),
+            "max_rss_mb": round(max_rss_mb(), 1),
+        }
+
+
+def measure_serial_cells(cells: list[SerialCell]) -> list[dict]:
+    """Time every cell in interleaved rounds, then take the memory pass."""
+    rounds = max((cell.repeat for cell in cells), default=0)
+    for round_index in range(rounds):
+        for cell in cells:
+            if round_index < cell.repeat:
+                cell.run_once()
+    results = []
+    for cell in cells:
+        result = cell.finish()
+        results.append(result)
+        print_cell(result)
+    return results
 
 
 def measure_batch(workloads: list[str], scales: list[int], workers: int) -> dict:
@@ -79,41 +142,67 @@ def measure_batch(workloads: list[str], scales: list[int], workers: int) -> dict
         "total_jobs": total_jobs,
         "seconds": round(elapsed, 4),
         "jobs_per_sec": round(total_jobs / elapsed, 1),
+        "max_rss_mb": round(max_rss_mb(), 1),
     }
+
+
+def print_cell(cell: dict) -> None:
+    print(f"{cell['workload']:>12} x {cell['n_jobs']:>7} {cell['policy']:<12} "
+          f"[{cell['source']}] {cell['seconds']:>8.3f}s  "
+          f"{cell['jobs_per_sec']:>10.0f} jobs/s  "
+          f"peak {cell['peak_mem_mb']:>7.1f} MiB")
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workloads", default="SDSC,CTC",
                         help="comma-separated workload names (default: SDSC,CTC)")
-    parser.add_argument("--scales", default="5000,50000",
-                        help="comma-separated trace lengths (default: 5000,50000)")
+    parser.add_argument("--scales", default="5000,50000,200000",
+                        help="calibrated-trace lengths (default: 5000,50000,200000)")
+    parser.add_argument("--xl-workloads", default="SDSC",
+                        help="scale-out workload names (default: SDSC)")
+    parser.add_argument("--xl-scales", default="5000,1000000",
+                        help="synthetic-xl trace lengths (default: 5000,1000000; "
+                             "empty string skips the scale-out rows)")
+    parser.add_argument("--xl-repeat", type=int, default=1,
+                        help="timing repeats for scale-out cells (default: 1)")
     parser.add_argument("--repeat", type=int, default=3,
                         help="serial timing repeats, best-of (default: 3)")
     parser.add_argument("--parallel", type=int, default=min(4, os.cpu_count() or 1),
                         help="worker processes for the parallel batch cell")
+    parser.add_argument("--batch-scales", default="5000,50000",
+                        help="trace lengths for the batch cells (default: 5000,50000)")
     parser.add_argument("--skip-batch", action="store_true",
                         help="measure only the serial cells")
-    parser.add_argument("--output", default="BENCH_2.json",
-                        help="output path (default: BENCH_2.json)")
+    parser.add_argument("--floor", type=float, default=None,
+                        help="fail (exit 1) if any serial cell is below this jobs/s")
+    parser.add_argument("--output", default="BENCH_4.json",
+                        help="output path (default: BENCH_4.json)")
     args = parser.parse_args(argv)
 
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
     scales = [int(s) for s in args.scales.split(",") if s.strip()]
+    xl_workloads = [w.strip() for w in args.xl_workloads.split(",") if w.strip()]
+    xl_scales = [int(s) for s in args.xl_scales.split(",") if s.strip()]
 
-    serial = []
-    for workload in workloads:
-        for n_jobs in scales:
-            for label, policy in POLICIES:
-                cell = measure_serial(workload, n_jobs, label, policy, args.repeat)
-                serial.append(cell)
-                print(f"{workload:>12} x {n_jobs:>6} {label:<12} "
-                      f"{cell['seconds']:>8.3f}s  {cell['jobs_per_sec']:>10.0f} jobs/s")
+    cells = [
+        SerialCell(workload, n_jobs, label, policy, args.repeat)
+        for workload in workloads
+        for n_jobs in scales
+        for label, policy in POLICIES
+    ] + [
+        SerialCell(workload, n_jobs, label, policy, args.xl_repeat, source="synthetic-xl")
+        for workload in xl_workloads
+        for n_jobs in xl_scales
+        for label, policy in POLICIES
+    ]
+    serial = measure_serial_cells(cells)
 
     batch = []
     if not args.skip_batch:
+        batch_scales = [int(s) for s in args.batch_scales.split(",") if s.strip()]
         for workers in (1, args.parallel):
-            cell = measure_batch(workloads, scales, workers)
+            cell = measure_batch(workloads, batch_scales, workers)
             batch.append(cell)
             print(f"{cell['mode']:>25} ({cell['workers']} workers) "
                   f"{cell['seconds']:>8.3f}s  {cell['jobs_per_sec']:>10.0f} jobs/s")
@@ -121,7 +210,7 @@ def main(argv: list[str] | None = None) -> int:
                 break
 
     record = {
-        "schema": "repro-bench/2",
+        "schema": "repro-bench/4",
         "captured_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "environment": {
             "python": sys.version.split()[0],
@@ -131,7 +220,10 @@ def main(argv: list[str] | None = None) -> int:
         "settings": {
             "workloads": workloads,
             "scales": scales,
+            "xl_workloads": xl_workloads,
+            "xl_scales": xl_scales,
             "repeat": args.repeat,
+            "xl_repeat": args.xl_repeat,
             "policies": [label for label, _ in POLICIES],
         },
         "serial": serial,
@@ -141,6 +233,15 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(record, stream, indent=2, sort_keys=False)
         stream.write("\n")
     print(f"wrote {args.output}")
+
+    if args.floor is not None:
+        slowest = min(serial, key=lambda cell: cell["jobs_per_sec"])
+        verdict = "PASS" if slowest["jobs_per_sec"] >= args.floor else "FAIL"
+        print(f"floor check [{verdict}]: slowest serial cell "
+              f"{slowest['workload']}x{slowest['n_jobs']} {slowest['policy']} at "
+              f"{slowest['jobs_per_sec']:.0f} jobs/s (floor {args.floor:.0f})")
+        if verdict == "FAIL":
+            return 1
     return 0
 
 

@@ -7,21 +7,34 @@ is deterministic in its spec, the parallel results are identical — byte
 for byte, via :mod:`repro.serialize` — to a serial run of the same
 list; a test pins this.
 
-An optional on-disk cache (one JSON file per spec, keyed by the
-canonical spec hash) makes repeated sweeps — the 60-run grids behind
-Figures 3–5 and 7–9 — free after the first run, across processes and
-sessions.
+Workloads are resolved **once, in the parent**: every distinct
+``(source, workload, n_jobs, seed)`` bundle is materialised before the
+pool spawns and shared with the workers through fork-inherited memory
+(:data:`_WORKLOAD_STORE`), so an 8-run sweep over one 50k-job trace
+parses/generates that trace once instead of eight times.  On platforms
+whose default start method is not ``fork``, workers simply re-resolve
+from the spec — the results are identical either way.
+
+Results stream back incrementally: each completed run is written to the
+on-disk cache (and handed to the optional ``progress`` callback) as it
+lands, so a crashed sweep resumes from everything already finished.
+
+The on-disk cache (one JSON file per spec, keyed by the canonical spec
+hash) makes repeated sweeps — the 60-run grids behind Figures 3–5 and
+7–9 — free after the first run, across processes and sessions.
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.api import Simulation, normalize_spec
+from repro.registry import WORKLOAD_SOURCES
 from repro.serialize import (
     FORMAT_VERSION,
     result_from_dict,
@@ -33,14 +46,35 @@ from repro.serialize import (
 if TYPE_CHECKING:  # imported for annotations only; avoids package cycles
     from repro.experiments.config import RunSpec
     from repro.scheduling.result import SimulationResult
+    from repro.workloads.sources import WorkloadBundle
 
 __all__ = ["BatchRunner"]
+
+#: Fork-shared workload bundles, keyed by (source, workload, n_jobs, seed).
+#: Populated in the parent immediately before the pool forks; workers
+#: inherit it copy-on-write and never mutate it.
+_WORKLOAD_STORE: dict[tuple, "WorkloadBundle"] = {}
+
+
+def _workload_key(spec: RunSpec) -> tuple:
+    return (spec.source, spec.workload, spec.n_jobs, spec.seed)
+
+
+def _build_simulation(spec: RunSpec, validate: bool) -> Simulation:
+    """A Simulation over the shared bundle when one is available."""
+    bundle = _WORKLOAD_STORE.get(_workload_key(spec))
+    if bundle is None:
+        return Simulation(spec, validate=validate)
+    from repro.cluster.machine import Machine  # deferred: avoids import cycles
+
+    machine = Machine(bundle.machine_name, bundle.total_cpus).scaled(spec.size_factor)
+    return Simulation(spec, validate=validate, jobs=bundle.jobs, machine=machine)
 
 
 def _execute(payload: tuple[RunSpec, bool]) -> SimulationResult:
     """Worker entry point (module-level so it pickles)."""
     spec, validate = payload
-    return Simulation(spec, validate=validate).run()
+    return _build_simulation(spec, validate).run()
 
 
 class BatchRunner:
@@ -134,11 +168,18 @@ class BatchRunner:
         os.replace(temp, path)
 
     # -- execution --------------------------------------------------------------
-    def run(self, specs: Sequence[RunSpec]) -> list[SimulationResult]:
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        *,
+        progress: Callable[[RunSpec, SimulationResult], None] | None = None,
+    ) -> list[SimulationResult]:
         """Run ``specs`` and return results in the same order.
 
         Identical specs are simulated once.  Results are deterministic:
         serial and parallel execution of the same list are equal.
+        ``progress`` (if given) is invoked once per freshly-simulated
+        spec as its result lands — completion order, not input order.
         """
         if self.default_n_jobs is not None:
             normalized = [normalize_spec(s, self.default_n_jobs) for s in specs]
@@ -156,15 +197,56 @@ class BatchRunner:
             else:
                 pending.append(spec)
 
-        workers = self.max_workers if self.max_workers is not None else os.cpu_count() or 1
-        payloads = [(spec, self.validate) for spec in pending]
-        if workers <= 1 or len(pending) <= 1:
-            fresh = [_execute(payload) for payload in payloads]
-        else:
-            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-                fresh = list(pool.map(_execute, payloads))
-        for spec, result in zip(pending, fresh):
-            resolved[spec] = result
-            self.cache_store(spec, result)
+        self._share_workloads(pending)
+        try:
+            workers = self.max_workers if self.max_workers is not None else os.cpu_count() or 1
+            if workers <= 1 or len(pending) <= 1:
+                for spec in pending:
+                    result = _execute((spec, self.validate))
+                    self._land(spec, result, resolved, progress)
+            else:
+                context = None
+                if "fork" in multiprocessing.get_all_start_methods():
+                    # Fork shares _WORKLOAD_STORE copy-on-write; other
+                    # start methods fall back to per-worker resolution.
+                    context = multiprocessing.get_context("fork")
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(pending)), mp_context=context
+                ) as pool:
+                    futures = {
+                        pool.submit(_execute, (spec, self.validate)): spec
+                        for spec in pending
+                    }
+                    outstanding = set(futures)
+                    while outstanding:
+                        done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            self._land(futures[future], future.result(), resolved, progress)
+        finally:
+            _WORKLOAD_STORE.clear()
 
         return [resolved[spec] for spec in normalized]
+
+    def _land(
+        self,
+        spec: RunSpec,
+        result: SimulationResult,
+        resolved: dict[RunSpec, SimulationResult],
+        progress: Callable[[RunSpec, SimulationResult], None] | None,
+    ) -> None:
+        """Record one fresh result as it completes (streaming persistence)."""
+        resolved[spec] = result
+        self.cache_store(spec, result)
+        if progress is not None:
+            progress(spec, result)
+
+    @staticmethod
+    def _share_workloads(pending: Sequence[RunSpec]) -> None:
+        """Materialise each distinct workload once, before the pool forks."""
+        _WORKLOAD_STORE.clear()
+        for spec in pending:
+            key = _workload_key(spec)
+            if key in _WORKLOAD_STORE:
+                continue
+            source = WORKLOAD_SOURCES.get(spec.source)
+            _WORKLOAD_STORE[key] = source(spec.workload, spec.n_jobs, spec.seed)

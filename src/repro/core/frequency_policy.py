@@ -79,7 +79,10 @@ class SchedulingContext:
         on it to prune candidates no gear can admit.
     """
 
-    __slots__ = ("now", "wait_time_for", "wq_size", "utilization", "must_schedule", "feasible")
+    __slots__ = (
+        "now", "wait_time_for", "wq_size", "utilization", "must_schedule",
+        "feasible", "fixed_wait",
+    )
 
     def __init__(
         self,
@@ -96,6 +99,7 @@ class SchedulingContext:
         self.utilization = utilization
         self.must_schedule = must_schedule
         self.feasible = feasible
+        self.fixed_wait = None
 
     @classmethod
     def with_fixed_wait(
@@ -108,7 +112,11 @@ class SchedulingContext:
         must_schedule: bool,
         feasible: Callable[[Gear], bool] = _always_feasible,
     ) -> "SchedulingContext":
-        """Context whose wait time is the same for every gear (EASY/FCFS)."""
+        """Context whose wait time is the same for every gear (EASY/FCFS).
+
+        ``fixed_wait`` carries the constant, letting policies skip the
+        per-gear ``wait_time_for`` indirection on the hot path.
+        """
         ctx = cls.__new__(cls)
         ctx.now = now
         ctx.wait_time_for = lambda gear: wait_time
@@ -116,6 +124,7 @@ class SchedulingContext:
         ctx.utilization = utilization
         ctx.must_schedule = must_schedule
         ctx.feasible = feasible
+        ctx.fixed_wait = wait_time
         return ctx
 
 
@@ -166,7 +175,8 @@ class FixedGearPolicy(FrequencyPolicy):
         )
 
     def select_gear(self, job: Job, ctx: SchedulingContext) -> Gear | None:
-        if ctx.feasible(self._gear):
+        feasible = ctx.feasible
+        if feasible is _always_feasible or feasible(self._gear):
             return self._gear
         return None
 
@@ -246,16 +256,30 @@ class BsldThresholdPolicy(FrequencyPolicy):
             candidates = self._top_only
             start = self._top_index
         feasible = ctx.feasible
+        check_feasible = feasible is not _always_feasible
         check_top = self.strict_top_backfill and not ctx.must_schedule
         beta = job.beta
         requested = job.requested_time
         time_threshold = self.bsld_time_threshold
         denominator = time_threshold if time_threshold > requested else requested
         bsld_threshold = self.bsld_threshold
+        fixed_wait = ctx.fixed_wait
         wait_time_for = ctx.wait_time_for
         coefficient = self._time_model.coefficient
+        if start == 0:
+            # Predicted BSLD is monotone non-increasing in frequency (the
+            # coefficient shrinks to exactly 1 at Ftop, and a shorter job
+            # never starts later), so if even Ftop misses the threshold no
+            # reduced gear can pass — the whole ladder walk collapses to
+            # the loop's top-gear outcome.
+            wait_top = fixed_wait if fixed_wait is not None else wait_time_for(top)
+            bsld_top = (wait_top + requested) / denominator
+            if bsld_top >= bsld_threshold and bsld_top >= 1.0:
+                if not check_top and (not check_feasible or feasible(top)):
+                    return top
+                return top if ctx.must_schedule else None
         for offset, gear in enumerate(candidates):
-            if not feasible(gear):
+            if check_feasible and not feasible(gear):
                 continue
             if gear is top and not check_top:
                 return gear
@@ -263,10 +287,11 @@ class BsldThresholdPolicy(FrequencyPolicy):
                 coef = self._default_coefs[start + offset]
             else:
                 coef = coefficient(gear.frequency, beta)
+            wait = fixed_wait if fixed_wait is not None else wait_time_for(gear)
             # Inline Eq. (2): job validation guarantees requested > 0, so
             # the denominator is always positive here (predict() keeps
             # the fully-validated scalar path for external callers).
-            bsld = (wait_time_for(gear) + requested * coef) / denominator
+            bsld = (wait + requested * coef) / denominator
             if bsld < 1.0:
                 bsld = 1.0
             if bsld < bsld_threshold:

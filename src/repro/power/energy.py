@@ -77,6 +77,9 @@ class EnergyAccounting:
         self._computational = 0.0
         self._busy_cpu_seconds = 0.0
         self._jobs = 0
+        # Per-gear active power resolved once: add_segment runs on every
+        # job completion, and the power of a gear never changes mid-run.
+        self._active_power = {gear: model.active_power(gear) for gear in model.gears}
 
     @property
     def model(self) -> PowerModel:
@@ -92,7 +95,7 @@ class EnergyAccounting:
         Jobs re-geared mid-run (dynamic boost) are accounted as several
         segments; call :meth:`count_job` once when the job completes.
         """
-        energy = self._model.active_energy(gear, cpus, seconds)
+        energy = self._active_power[gear] * cpus * seconds
         self._computational += energy
         self._busy_cpu_seconds += cpus * seconds
         return energy

@@ -9,9 +9,9 @@ expected" falls out of re-running the pass on each completion event.
 
 from __future__ import annotations
 
+import gc
 from abc import ABC, abstractmethod
 from bisect import bisect_left, insort
-from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
@@ -25,6 +25,7 @@ from repro.power.energy import EnergyAccounting
 from repro.power.model import PowerModel
 from repro.power.time_model import BetaTimeModel, DEFAULT_BETA
 from repro.scheduling.job import Job, JobOutcome, validate_jobs
+from repro.scheduling.queue import JobQueue
 from repro.scheduling.result import SimulationResult, TimelinePoint
 from repro.sim.engine import Engine, SimulationError
 from repro.sim.events import (
@@ -136,11 +137,25 @@ class Scheduler(ABC):
         # truthiness check per hook site.
         self._observers: list[Callable[[LifecycleEvent], None]] = []
 
+        # With no boost, validation, timeline or observers configured, a
+        # pass is just the scheduling hook — _run_pass takes a one-branch
+        # fast path instead of re-testing all four per event.
+        self._plain_pass = False
+
+        # Schedulers that don't maintain incremental running-set state
+        # (EASY, FCFS) skip the virtual no-op hook call per job event.
+        cls = type(self)
+        self._wants_lifecycle_hooks = (
+            cls._note_started is not Scheduler._note_started
+            or cls._note_finished is not Scheduler._note_finished
+            or cls._note_reestimated is not Scheduler._note_reestimated
+        )
+
         # Per-run state, initialised in prepare().
         self._engine: Engine
         self._pool: ProcessorPool
         self._accounting: EnergyAccounting
-        self._queue: deque[Job]
+        self._queue: JobQueue
         self._running: dict[int, _RunningJob]
         self._estimates: list[tuple[float, int, int]]  # (estimated_end, job_id, size)
         self._outcomes: list[JobOutcome]
@@ -211,6 +226,7 @@ class Scheduler(ABC):
         frozen :class:`~repro.sim.events.LifecycleEvent` instances.
         """
         self._observers.append(observer)
+        self._plain_pass = False
 
     def _emit(self, event: LifecycleEvent) -> None:
         for observer in self._observers:
@@ -246,9 +262,25 @@ class Scheduler(ABC):
 
     # -- the public entry points ---------------------------------------------------
     def run(self, jobs: list[Job]) -> SimulationResult:
-        """Simulate ``jobs`` (sorted by submit time) to completion."""
+        """Simulate ``jobs`` (sorted by submit time) to completion.
+
+        The cyclic garbage collector is paused for the duration of the
+        event loop: a run allocates millions of short-lived, acyclic
+        objects (outcomes, handles, contexts), and periodic gen-0 scans
+        over that churn cost ~8% of wall time while reference counting
+        already reclaims everything.  The collector is restored — and
+        the few long-lived cycles (engine ↔ handlers) collected — the
+        moment the loop exits.
+        """
         engine = self.prepare(jobs)
-        engine.run(max_events=self._event_budget)
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            engine.run(max_events=self._event_budget)
+        finally:
+            if was_enabled:
+                gc.enable()
         return self.finalize()
 
     def prepare(self, jobs: list[Job]) -> Engine:
@@ -267,9 +299,13 @@ class Scheduler(ABC):
             self._machine.total_cpus, track_ids=self._config.track_processor_ids
         )
         self._accounting = EnergyAccounting(self._power_model)
-        self._queue = deque()
+        self._queue = JobQueue()
         self._running = {}
         self._estimates = []
+        # Bumped on every estimate insert/remove; lets schedulers memoise
+        # pure functions of the estimate profile (e.g. EASY's head
+        # reservation) across passes that did not move it.
+        self._est_version = 0
         self._outcomes = []
         self._timeline = []
         self._trigger = "init"  # "arrival" | "finish": what fired the current pass
@@ -278,12 +314,20 @@ class Scheduler(ABC):
         self._event_budget = 4 * len(jobs) + 64
         self._last_tick = float("-inf")
         self._last_depth = 0
+        config = self._config
+        self._plain_pass = (
+            config.boost is None
+            and not config.validate
+            and not config.record_timeline
+            and not self._observers
+        )
         self._reset_pass_state()
 
         self._engine.on(EventKind.JOB_ARRIVAL, self._on_arrival)
         self._engine.on(EventKind.JOB_FINISH, self._on_finish)
-        for job in jobs:
-            self._engine.schedule(job.submit_time, EventKind.JOB_ARRIVAL, job)
+        self._engine.schedule_sorted(
+            EventKind.JOB_ARRIVAL, [(job.submit_time, job) for job in jobs]
+        )
         return self._engine
 
     def finalize(self) -> SimulationResult:
@@ -332,7 +376,8 @@ class Scheduler(ABC):
         self._pool.release(running.allocation)
         self._drop_estimate(running)
         del self._running[running.job.job_id]
-        self._note_finished(running, now)
+        if self._wants_lifecycle_hooks:
+            self._note_finished(running, now)
         self._outcomes.append(
             JobOutcome(
                 job=running.job,
@@ -363,6 +408,9 @@ class Scheduler(ABC):
         self._run_pass(now)
 
     def _run_pass(self, now: float) -> None:
+        if self._plain_pass:
+            self._schedule_pass(now)
+            return
         self._schedule_pass(now)
         if self._maybe_boost(now):
             # Boosting shortens running-job estimates, which can open new
@@ -411,9 +459,14 @@ class Scheduler(ABC):
     # -- shared mechanics ----------------------------------------------------------
     def _start_heads(self, now: float) -> None:
         """Launch queue heads while they fit (shared FCFS prefix of every pass)."""
-        while self._queue:
-            head = self._queue[0]
-            if not self._pool.fits(head.size):
+        queue = self._queue
+        pool = self._pool
+        # Reads the queue's head slot directly: this runs on every pass
+        # and usually starts nothing, so the three method calls of the
+        # naive `while queue: queue[0]` loop are worth skipping.
+        while queue._live:
+            head = queue._jobs[queue._head]
+            if not pool.fits(head.size):
                 break
             ctx = SchedulingContext.with_fixed_wait(
                 now=now,
@@ -445,9 +498,11 @@ class Scheduler(ABC):
         )
         entry = (running.estimated_end, job.job_id, job.size)
         insort(self._estimates, entry)
+        self._est_version += 1
         running.estimate_entry = entry
         self._running[job.job_id] = running
-        self._note_started(running, now)
+        if self._wants_lifecycle_hooks:
+            self._note_started(running, now)
         if self._observers:
             self._emit(GearSelected(now, job.job_id, gear.frequency, "start"))
             self._emit(
@@ -463,6 +518,7 @@ class Scheduler(ABC):
         if index >= len(self._estimates) or self._estimates[index] != entry:
             raise SimulationError(f"estimate entry for job {running.job.job_id} lost")
         self._estimates.pop(index)
+        self._est_version += 1
         running.estimate_entry = None
 
     def _maybe_boost(self, now: float) -> bool:
@@ -515,8 +571,10 @@ class Scheduler(ABC):
         running.estimated_end = new_estimated_end
         entry = (new_estimated_end, running.job.job_id, running.job.size)
         insort(self._estimates, entry)
+        self._est_version += 1
         running.estimate_entry = entry
-        self._note_reestimated(running, old_estimated_end, now)
+        if self._wants_lifecycle_hooks:
+            self._note_reestimated(running, old_estimated_end, now)
         if self._observers:
             self._emit(GearSelected(now, running.job.job_id, gear.frequency, reason))
 

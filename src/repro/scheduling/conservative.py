@@ -126,10 +126,18 @@ class ConservativeBackfilling(Scheduler):
 
     # -- the pass ----------------------------------------------------------------
     def _schedule_pass(self, now: float) -> None:
-        if not self._queue:
-            self._profile.advance_origin(now)
-            return
         self._profile.advance_origin(now)
+        if not self._queue:
+            return
+        if self._pool.free_cpus == 0 and not self._config.validate:
+            # Replanning is pure computation until something can start:
+            # reservations are rebuilt from scratch on every pass, so a
+            # pass that provably starts nothing (no free processor, and
+            # frequency policies are pure functions of their inputs)
+            # leaves no trace — the next pass with free capacity replans
+            # identically.  Validate mode keeps the full path so the
+            # plan log covers every event.
+            return
         profile = self._profile.copy()
         pending = list(self._queue)
         still_waiting: deque[Job] = deque()

@@ -2,8 +2,8 @@
 
 These schedulers reimplement :class:`repro.scheduling.easy.EasyBackfilling`
 and :class:`repro.scheduling.conservative.ConservativeBackfilling`
-directly on top of the general
-:class:`~repro.cluster.profile.AvailabilityProfile`, the way the paper's
+directly on top of the flat
+:class:`~repro.cluster.profile.ReferenceAvailabilityProfile`, the way the paper's
 ``findAllocation`` / ``TryToFindBackfilledAllocation`` pseudocode reads:
 every pass rebuilds the running-jobs profile from scratch.  They exist
 so property tests can assert that the fast implementations — EASY's
@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import deque
 from itertools import islice
 
-from repro.cluster.profile import AvailabilityProfile
+from repro.cluster.profile import ReferenceAvailabilityProfile
 from repro.core.frequency_policy import SchedulingContext
 from repro.core.gears import Gear
 from repro.scheduling.base import Scheduler
@@ -63,7 +63,7 @@ class ReferenceEasyBackfilling(Scheduler):
             trial = self._with_head_reserved(profile, now, head, t_res)
 
     # -- profile plumbing -----------------------------------------------------
-    def _running_profile(self, now: float) -> AvailabilityProfile:
+    def _running_profile(self, now: float) -> ReferenceAvailabilityProfile:
         """Free-CPU profile from running jobs' estimated completions.
 
         Jobs whose estimate has already elapsed (a completion pending at
@@ -71,13 +71,13 @@ class ReferenceEasyBackfilling(Scheduler):
         mirroring the fast implementation's reservation walk; actual
         availability *right now* is separately gated on the pool.
         """
-        profile = AvailabilityProfile(self._pool.total_cpus, origin=now)
+        profile = ReferenceAvailabilityProfile(self._pool.total_cpus, origin=now)
         for end, _job_id, size in self._estimates:
             if end > now:
                 profile.reserve(now, end, size)
         return profile
 
-    def _head_start(self, profile: AvailabilityProfile, now: float, head: Job) -> float:
+    def _head_start(self, profile: ReferenceAvailabilityProfile, now: float, head: Job) -> float:
         duration = head.requested_time * self._time_model.coefficient(
             self._gears.top.frequency, head.beta
         )
@@ -93,8 +93,8 @@ class ReferenceEasyBackfilling(Scheduler):
         return t_res
 
     def _with_head_reserved(
-        self, profile: AvailabilityProfile, now: float, head: Job, t_res: float
-    ) -> AvailabilityProfile:
+        self, profile: ReferenceAvailabilityProfile, now: float, head: Job, t_res: float
+    ) -> ReferenceAvailabilityProfile:
         trial = profile.copy()
         duration = head.requested_time * self._time_model.coefficient(
             self._gears.top.frequency, head.beta
@@ -103,7 +103,7 @@ class ReferenceEasyBackfilling(Scheduler):
         trial.reserve(start, start + duration, head.size)
         return trial
 
-    def _backfill_test(self, trial: AvailabilityProfile, job: Job, now: float):
+    def _backfill_test(self, trial: ReferenceAvailabilityProfile, job: Job, now: float):
         def feasible(gear: Gear) -> bool:
             if job.size > self._pool.free_cpus:
                 return False
@@ -174,8 +174,8 @@ class ReferenceConservativeBackfilling(Scheduler):
             self.plan_log.append((self._trigger, now, plan))
 
     # -- helpers ---------------------------------------------------------------
-    def _running_profile(self, now: float) -> AvailabilityProfile:
-        profile = AvailabilityProfile(self._pool.total_cpus, origin=now)
+    def _running_profile(self, now: float) -> ReferenceAvailabilityProfile:
+        profile = ReferenceAvailabilityProfile(self._pool.total_cpus, origin=now)
         for end, _job_id, size in self._estimates:
             if end > now:
                 profile.reserve(now, end, size)
@@ -184,7 +184,7 @@ class ReferenceConservativeBackfilling(Scheduler):
     def _scaled_request(self, job: Job, gear: Gear) -> float:
         return job.requested_time * self._time_model.coefficient(gear.frequency, job.beta)
 
-    def _wait_probe(self, profile: AvailabilityProfile, job: Job, now: float):
+    def _wait_probe(self, profile: ReferenceAvailabilityProfile, job: Job, now: float):
         def wait_for(gear: Gear) -> float:
             duration = self._scaled_request(job, gear)
             start = profile.find_start(now, duration, job.size)

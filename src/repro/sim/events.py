@@ -74,10 +74,22 @@ class EventHandle:
 
 
 class EventQueue:
-    """Min-heap of events with O(1) lazy cancellation."""
+    """Min-heap of events with O(1) lazy cancellation.
+
+    A time-sorted bulk load (:meth:`push_sorted` — the scheduler's whole
+    trace of arrivals) is kept as a separate sorted *run* consumed by
+    index, so those events never pay the heap's push/pop sifts; ``pop``
+    merges the run head with the heap head.  Entries are ``(time, kind,
+    seq, handle)`` tuples in both structures, so the merge comparison is
+    the exact tie-break order the heap alone would produce.
+    """
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, int, EventHandle]] = []
+        # Consumed run entries are overwritten with None so their
+        # handles/payloads free as the simulation advances.
+        self._run: list[tuple[float, int, int, EventHandle] | None] = []
+        self._run_index = 0
         self._seq = 0
         self._live = 0
 
@@ -97,6 +109,34 @@ class EventQueue:
         self._seq = seq + 1
         self._live += 1
         return handle
+
+    def push_sorted(self, kind: EventKind, items: list[tuple[float, Any]]) -> None:
+        """Bulk-load ``(time, payload)`` pairs sorted by time into an empty queue.
+
+        The entries form the queue's sorted run: consumed by index and
+        merged against the heap on ``pop``, so these events never pay a
+        heap sift — this is how a scheduler loads a whole trace of
+        arrivals in one go.
+        """
+        if self._heap or self._run_index < len(self._run):
+            raise ValueError("push_sorted requires an empty event queue")
+        run = self._run = []
+        self._run_index = 0
+        seq = self._seq
+        kind_value = kind._value_
+        previous = float("-inf")
+        for time, payload in items:
+            if not time >= previous:  # also catches NaN
+                raise ValueError(
+                    f"push_sorted items not sorted by time ({time} after {previous})"
+                )
+            previous = time
+            handle = EventHandle(time, kind, payload, seq)
+            handle.queue = self
+            run.append((time, kind_value, seq, handle))
+            seq += 1
+        self._live += seq - self._seq
+        self._seq = seq
 
     def cancel(self, handle: EventHandle) -> None:
         """Mark a pending event dead; it will be skipped when popped.
@@ -122,20 +162,40 @@ class EventQueue:
     def pop(self) -> EventHandle:
         """Remove and return the earliest live event."""
         heap = self._heap
-        while heap:
-            handle = heappop(heap)[3]
+        run = self._run
+        while True:
+            index = self._run_index
+            if index < len(run):
+                entry = run[index]
+                if heap and heap[0] < entry:
+                    handle = heappop(heap)[3]
+                else:
+                    handle = entry[3]
+                    run[index] = None  # free the entry as it is consumed
+                    self._run_index = index + 1
+            elif heap:
+                handle = heappop(heap)[3]
+            else:
+                raise IndexError("pop from an empty event queue")
             if handle.cancelled:
                 continue
             handle.queue = None
             self._live -= 1
             return handle
-        raise IndexError("pop from an empty event queue")
 
     def peek_time(self) -> float:
         """Timestamp of the earliest live event."""
         heap = self._heap
+        run = self._run
         while heap and heap[0][3].cancelled:
             heappop(heap)
+        while self._run_index < len(run) and run[self._run_index][3].cancelled:
+            self._run_index += 1
+        index = self._run_index
+        if index < len(run):
+            if heap and heap[0] < run[index]:
+                return heap[0][0]
+            return run[index][0]
         if not heap:
             raise IndexError("peek into an empty event queue")
         return heap[0][0]

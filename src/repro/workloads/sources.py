@@ -6,8 +6,14 @@ the machine it was logged on.  Two sources ship by default:
 * ``"synthetic"`` — the calibrated generators behind the paper's five
   workloads (``workload`` names a :data:`~repro.workloads.models.TRACE_MODELS`
   entry);
+* ``"synthetic-xl"`` — the vectorised scale-out generator for the same
+  models: million-job traces at a sustainable (clamped) offered load,
+  optionally cached on disk via ``REPRO_WORKLOAD_CACHE_DIR``;
 * ``"swf"`` — a Standard Workload Format file (``workload`` is the
   path; CPUs come from the ``MaxProcs`` header or the widest job).
+  Parses go through the binary ``.npz`` sidecar cache
+  (:mod:`repro.workloads.cache`; disable with
+  ``REPRO_WORKLOAD_CACHE=0``).
 
 Additional sources register themselves on
 :data:`repro.registry.WORKLOAD_SOURCES` under a new name.
@@ -20,11 +26,15 @@ from dataclasses import dataclass
 
 from repro.registry import WORKLOAD_SOURCES
 from repro.scheduling.job import Job
-from repro.workloads.generator import generate_workload
+from repro.workloads.cache import cached_jobs, read_swf_cached
+from repro.workloads.generator import (
+    XL_GENERATOR_VERSION,
+    generate_workload,
+    generate_workload_xl,
+)
 from repro.workloads.models import trace_model
-from repro.workloads.swf import read_swf
 
-__all__ = ["WorkloadBundle", "synthetic_source", "swf_source"]
+__all__ = ["WorkloadBundle", "synthetic_source", "synthetic_xl_source", "swf_source"]
 
 
 @dataclass(frozen=True)
@@ -53,14 +63,42 @@ def synthetic_source(workload: str, n_jobs: int, seed: int | None) -> WorkloadBu
     )
 
 
+@WORKLOAD_SOURCES.register("synthetic-xl")
+def synthetic_xl_source(workload: str, n_jobs: int, seed: int | None) -> WorkloadBundle:
+    """Scale-out synthesis of a paper workload (vectorised, load-clamped).
+
+    Set ``REPRO_WORKLOAD_CACHE_DIR`` to memoise generated traces on
+    disk — the benchmark and CI do, so million-job traces are drawn
+    once per machine.
+    """
+    model = trace_model(workload)
+    cache_dir = os.environ.get("REPRO_WORKLOAD_CACHE_DIR") or None
+    jobs = cached_jobs(
+        cache_dir,
+        {
+            "kind": "synthetic-xl",
+            "generator": XL_GENERATOR_VERSION,
+            "workload": model.name,
+            "n_jobs": n_jobs,
+            "seed": seed,
+        },
+        lambda: generate_workload_xl(model, n_jobs, seed),
+    )
+    return WorkloadBundle(
+        jobs=tuple(jobs), machine_name=model.name, total_cpus=model.cpus
+    )
+
+
 @WORKLOAD_SOURCES.register("swf")
 def swf_source(workload: str, n_jobs: int, seed: int | None) -> WorkloadBundle:
     """Read a Standard Workload Format trace; ``workload`` is the file path.
 
     ``n_jobs`` truncates the trace (the whole file is used when it is
     shorter); ``seed`` is ignored — SWF traces are already concrete.
+    Parsed columns are cached in a binary sidecar (see
+    :mod:`repro.workloads.cache`).
     """
-    header, jobs = read_swf(workload)
+    header, jobs = read_swf_cached(workload)
     if not jobs:
         raise ValueError(f"SWF trace {workload!r} contains no usable jobs")
     if n_jobs and n_jobs < len(jobs):

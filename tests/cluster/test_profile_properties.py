@@ -8,7 +8,13 @@ are load-bearing for every differential test in the suite:
 * segment start times are strictly increasing;
 * ``reserve``/``release`` round-trips restore the profile as a step
   function (segmentation may differ by no-op breakpoints, the function
-  may not).
+  may not);
+* the indexed production profile matches the flat
+  :class:`ReferenceAvailabilityProfile` as a step function on arbitrary
+  ``reserve`` / ``release`` / ``advance_origin`` / ``find_start``
+  sequences, across block sizes that force multi-block indexing;
+* compaction keeps the breakpoint count bounded by the number of
+  *live* reservations — not by how many the profile has ever seen.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cluster.profile import AvailabilityProfile
+from repro.cluster.profile import AvailabilityProfile, ReferenceAvailabilityProfile
 
 TOTAL_CPUS = 16
 
@@ -146,3 +152,156 @@ def test_over_reserve_rejected():
     profile.reserve(0.0, 10.0, TOTAL_CPUS)
     with pytest.raises(ValueError, match="over-reservation"):
         profile.reserve(5.0, 6.0, 1)
+
+
+# -- indexed profile vs flat reference ------------------------------------------
+
+
+@st.composite
+def op_sequence(draw, max_ops: int = 30):
+    """Interleaved reserve/release/advance/find_start requests.
+
+    Releases always target a live reservation (trimmed to the current
+    origin), matching how schedulers drive the profile.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_ops))
+    ops = []
+    live = []
+    origin = 0.0
+    # A throwaway reference tracks feasibility so generated sequences
+    # never violate the profile contract.
+    tracker = ReferenceAvailabilityProfile(TOTAL_CPUS)
+    for _ in range(n):
+        choice = draw(st.integers(min_value=0, max_value=9))
+        if choice <= 4 or not live:
+            start = origin + draw(st.floats(min_value=0.0, max_value=300.0, allow_nan=False))
+            duration = draw(st.floats(min_value=0.001, max_value=150.0, allow_nan=False))
+            size = draw(st.integers(min_value=1, max_value=TOTAL_CPUS))
+            if tracker.min_free(start, start + duration) >= size:
+                tracker.reserve(start, start + duration, size)
+                ops.append(("reserve", start, start + duration, size))
+                live.append([start, start + duration, size])
+        elif choice <= 6:
+            index = draw(st.integers(min_value=0, max_value=len(live) - 1))
+            start, end, size = live.pop(index)
+            start = max(start, origin)
+            if start < end:
+                tracker.release(start, end, size)
+                ops.append(("release", start, end, size))
+        elif choice == 7:
+            time = origin + draw(st.floats(min_value=0.0, max_value=200.0, allow_nan=False))
+            if all(end > time for _s, end, _z in live):
+                tracker.advance_origin(time)
+                ops.append(("advance_origin", time))
+                origin = tracker.origin
+                for entry in live:
+                    entry[0] = max(entry[0], origin)
+        else:
+            earliest = origin + draw(st.floats(min_value=0.0, max_value=400.0, allow_nan=False))
+            duration = draw(st.floats(min_value=0.0, max_value=120.0, allow_nan=False))
+            size = draw(st.integers(min_value=1, max_value=TOTAL_CPUS))
+            ops.append(("find_start", earliest, duration, size))
+    return ops
+
+
+@given(op_sequence(), st.sampled_from([2, 3, 5, 64]))
+@settings(max_examples=80)
+def test_indexed_profile_matches_reference(ops, block_size):
+    """The indexed profile and the flat reference agree operation-for-operation."""
+    indexed = AvailabilityProfile(TOTAL_CPUS, block_size=block_size)
+    reference = ReferenceAvailabilityProfile(TOTAL_CPUS)
+    for op in ops:
+        name, *args = op
+        if name == "find_start":
+            assert indexed.find_start(*args) == reference.find_start(*args), op
+            continue
+        getattr(indexed, name)(*args)
+        getattr(reference, name)(*args)
+        probes = sorted(
+            {t for t, _e, _f in indexed.segments()}
+            | {t for t, _e, _f in reference.segments()}
+        )
+        probes += [p + 0.037 for p in probes]
+        for probe in probes:
+            assert indexed.free_at(probe) == reference.free_at(probe), (op, probe)
+        lo = reference.origin
+        assert indexed.min_free(lo, lo + 500.0) == reference.min_free(lo, lo + 500.0)
+
+
+# -- compaction bounds: memory follows live reservations, not history ----------
+
+
+def test_breakpoint_count_bounded_by_live_reservations():
+    """A long reserve/release/advance stream must not accumulate breakpoints.
+
+    Every live reservation contributes at most two boundaries; the
+    profile keeps itself merged and drops the past, so the count must
+    track the live set even after thousands of completed reservations.
+    """
+    import random
+
+    rng = random.Random(4)
+    profile = AvailabilityProfile(TOTAL_CPUS, block_size=8)
+    live = []
+    clock = 0.0
+    for step in range(4000):
+        origin = profile.origin
+        if rng.random() < 0.6 or not live:
+            start = clock + rng.uniform(0.0, 50.0)
+            end = start + rng.uniform(0.5, 80.0)
+            size = rng.randint(1, TOTAL_CPUS)
+            if profile.min_free(start, end) >= size:
+                profile.reserve(start, end, size)
+                live.append((start, end, size))
+        else:
+            start, end, size = live.pop(rng.randrange(len(live)))
+            start = max(start, origin)
+            if start < end:
+                profile.release(start, end, size)
+        if rng.random() < 0.3:
+            clock += rng.uniform(0.0, 10.0)
+            horizon = min((end for _s, end, _z in live), default=clock)
+            advance = min(clock, horizon - 1e-6) if live else clock
+            if advance > profile.origin:
+                profile.advance_origin(advance)
+                live = [(max(s, advance), e, z) for (s, e, z) in live]
+        bound = 2 * len(live) + 2
+        assert profile.breakpoint_count() <= bound, (
+            f"step {step}: {profile.breakpoint_count()} breakpoints for "
+            f"{len(live)} live reservations (bound {bound})"
+        )
+
+
+def test_conservative_run_keeps_profile_bounded():
+    """End-to-end: the scheduler's incremental profile tracks running jobs.
+
+    On a long trace the conservative profile must hold breakpoints
+    proportional to jobs *currently running*, never to jobs seen — the
+    regression this pins is ``advance_origin``/merging failing to drop
+    dead segments, which turns long simulations quadratic.
+    """
+    from repro.cluster.machine import Machine
+    from repro.core.frequency_policy import BsldThresholdPolicy
+    from repro.scheduling.base import SchedulerConfig
+    from repro.scheduling.conservative import ConservativeBackfilling
+    from tests.conftest import random_workload
+
+    machine = Machine("m", 8)
+
+    class Probed(ConservativeBackfilling):
+        max_ratio = 0.0
+
+        def _schedule_pass(self, now):
+            super()._schedule_pass(now)
+            running = max(1, len(self._running))
+            ratio = self._profile.breakpoint_count() / (2 * running + 2)
+            Probed.max_ratio = max(Probed.max_ratio, ratio)
+
+    jobs = random_workload(seed=11, n_jobs=400, max_cpus=8)
+    scheduler = Probed(machine, BsldThresholdPolicy(2.0, None), config=SchedulerConfig())
+    result = scheduler.run(jobs)
+    assert len(result.outcomes) == len(jobs)
+    assert Probed.max_ratio <= 1.0, (
+        f"profile breakpoints exceeded the running-set bound "
+        f"({Probed.max_ratio:.2f}x) — dead segments are accumulating"
+    )

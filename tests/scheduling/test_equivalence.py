@@ -98,6 +98,48 @@ def test_equivalence_property_bsld_no_limit(jobs):
     assert_identical_schedules(jobs, 4, POLICIES["bsld(3,NO)"])
 
 
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_equivalence_deep_queue_production_config(policy_name):
+    """Deep queues (> 64 waiting) under the production configuration.
+
+    Drives every incremental-scan path the small hypothesis workloads
+    cannot reach: the vectorised candidate mask (wide windows), the
+    cross-pass scan cache, the O(1) reservation update, and — because
+    ``validate`` is *off* here, unlike the other differentials — the
+    free==0 / single-waiter pass short-circuits.  The full-rescan
+    reference must still match job for job.
+    """
+    jobs = random_workload(seed=13, n_jobs=220, max_cpus=4, mean_gap=40.0)
+    machine = Machine("m", 4)
+    fast = EasyBackfilling(machine, POLICIES[policy_name]()).run(jobs)
+    reference = ReferenceEasyBackfilling(machine, POLICIES[policy_name]()).run(jobs)
+    peak_queue = max(
+        sum(1 for other in jobs if other.submit_time <= o.job.submit_time)
+        - sum(1 for other in fast.outcomes if other.start_time <= o.job.submit_time)
+        for o in fast.outcomes
+    )
+    assert peak_queue > 64, "workload too shallow to exercise the wide-mask path"
+    for a, b in zip(fast.outcomes, reference.outcomes):
+        assert a.job.job_id == b.job.job_id
+        assert a.start_time == pytest.approx(b.start_time, abs=1e-6)
+        assert a.gear == b.gear
+    assert fast.energy.computational == pytest.approx(reference.energy.computational)
+
+
+@pytest.mark.parametrize("policy_name", ["nodvfs", "bsld(2,4)", "bsld(3,NO)"])
+def test_conservative_deep_queue_production_config(policy_name):
+    """Conservative incremental profile + pass skips on a deep queue,
+    against the rebuild-per-pass reference, with validation off."""
+    jobs = random_workload(seed=13, n_jobs=120, max_cpus=4, mean_gap=40.0)
+    machine = Machine("m", 4)
+    fast = ConservativeBackfilling(machine, POLICIES[policy_name]()).run(jobs)
+    reference = ReferenceConservativeBackfilling(machine, POLICIES[policy_name]()).run(jobs)
+    for a, b in zip(fast.outcomes, reference.outcomes):
+        assert a.job.job_id == b.job.job_id
+        assert a.start_time == pytest.approx(b.start_time, abs=1e-6)
+        assert a.gear == b.gear
+
+
 # -- conservative backfilling: incremental profile vs rebuild-per-pass ---------
 
 

@@ -66,6 +66,47 @@ class TestDeterminism:
             BatchRunner(max_workers=-1)
 
 
+class TestStreamingAndSharing:
+    def test_progress_streams_fresh_results(self, tmp_path):
+        """progress fires once per fresh spec (not for cache hits) with
+        the exact result the batch returns."""
+        specs = grid_specs()
+        landed: dict[RunSpec, object] = {}
+        runner = BatchRunner(max_workers=2, cache_dir=tmp_path)
+        results = runner.run(specs, progress=lambda spec, result: landed.setdefault(spec, result))
+        assert set(landed) == set(specs)
+        for spec, result in zip(specs, results):
+            assert as_bytes([landed[spec]]) == as_bytes([result])
+        # Second run: everything cached, nothing streams.
+        rerun_landed = []
+        runner.run(specs, progress=lambda s, r: rerun_landed.append(s))
+        assert rerun_landed == []
+
+    def test_shared_workload_store_matches_per_worker_resolution(self):
+        """The fork-shared bundle path must not change a single byte.
+
+        Serial execution resolves through the shared store; disabling
+        the store forces per-spec resolution — results must agree.
+        """
+        import repro.batch as batch_module
+
+        specs = grid_specs()
+        shared = BatchRunner(max_workers=1).run(specs)
+        original = batch_module.BatchRunner.__dict__["_share_workloads"]
+        batch_module.BatchRunner._share_workloads = staticmethod(lambda pending: None)
+        try:
+            unshared = BatchRunner(max_workers=1).run(specs)
+        finally:
+            batch_module.BatchRunner._share_workloads = original
+        assert as_bytes(shared) == as_bytes(unshared)
+
+    def test_store_cleared_after_run(self):
+        import repro.batch as batch_module
+
+        BatchRunner(max_workers=1).run(grid_specs()[:2])
+        assert batch_module._WORKLOAD_STORE == {}
+
+
 class TestDiskCache:
     def test_second_run_served_from_disk(self, tmp_path):
         specs = grid_specs()[:3]
