@@ -21,9 +21,15 @@ def test_ablation_sleep_vs_dvfs(benchmark):
     by_label = {row[0]: row for row in ablation.rows}
     assert by_label["no DVFS, no sleep"][1] == 1.0
     # sleep alone never hurts performance
-    assert by_label["sleep only"][2] == by_label["no DVFS, no sleep"][2]
-    assert by_label["sleep only"][1] < 1.0
+    assert by_label["sleep only (post-hoc)"][2] == by_label["no DVFS, no sleep"][2]
+    assert by_label["sleep only (post-hoc)"][1] < 1.0
     # the combination dominates either single technique on energy
-    combined = by_label["DVFS(2, NO) + sleep"][1]
-    assert combined <= by_label["sleep only"][1] + 1e-9
+    combined = by_label["DVFS(2, NO) + sleep (post-hoc)"][1]
+    assert combined <= by_label["sleep only (post-hoc)"][1] + 1e-9
     assert combined <= by_label["DVFS(2, NO)"][1] + 1e-9
+    # the in-engine subsystem agrees with the post-hoc estimator under
+    # zero wake latency
+    in_engine = by_label["DVFS(2, NO) + sleep (in-engine)"]
+    assert in_engine[1] == combined
+    laggy = by_label["DVFS(2, NO) + sleep (in-engine, 60s wake)"]
+    assert laggy[3] > 0.0  # still sleeping under wake latency

@@ -1,0 +1,103 @@
+"""In-engine node sleep states: powering down idle nodes *during* a run.
+
+The paper's §6 contrasts its BSLD-threshold DVFS policy with the other
+school of HPC power management — shutting idle nodes down.  This
+example drives the in-engine subsystem (``RunSpec.sleep``) end to end:
+
+1. run the same workload always-on, with instantaneous sleep, and with
+   a full-shutdown policy that needs two minutes to boot a node;
+2. compare the energy books (the sleep breakdown rides on
+   ``result.energy.sleep``) and the BSLD cost of wake latency;
+3. watch sleep transitions live through a session with instruments —
+   ``NodesSlept`` / ``NodesWoke`` lifecycle events and the telemetry
+   sampler's asleep-CPU column.
+
+Run with::
+
+    PYTHONPATH=src python examples/sleep_states.py
+"""
+
+from repro.api import Simulation
+from repro.cluster.power import SleepPolicy
+from repro.experiments.ascii_charts import format_table
+from repro.experiments.config import InstrumentSpec, PolicySpec, RunSpec
+from repro.instruments import Instrument
+from repro.sim.events import NodesSlept, NodesWoke
+
+BASE = RunSpec(
+    workload="SDSC", n_jobs=800, seed=7, policy=PolicySpec.power_aware(2.0, None)
+)
+
+VARIANTS = [
+    ("always on", None),
+    ("powernap (10ms wake)", SleepPolicy.preset("powernap")),
+    ("shutdown (120s wake)", SleepPolicy.preset("shutdown")),
+]
+
+
+def compare_variants() -> None:
+    baseline = Simulation(BASE).run()
+    rows = []
+    for label, sleep in VARIANTS:
+        result = Simulation(BASE.with_sleep(sleep)).run()
+        breakdown = result.energy.sleep
+        rows.append(
+            [
+                label,
+                f"{result.energy.total_idle_low / baseline.energy.total_idle_low:.3f}",
+                f"{result.average_bsld():.3f}",
+                f"{breakdown.sleep_fraction:.1%}" if breakdown else "-",
+                str(breakdown.wake_count) if breakdown else "-",
+                str(breakdown.wake_delayed_jobs) if breakdown else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["configuration", "energy/base", "avg BSLD", "idle asleep", "wakes", "stalled starts"],
+            rows,
+            title="DVFS(2, NO) on SDSC with in-engine node sleep states",
+        )
+    )
+
+
+class TransitionLog(Instrument):
+    """A tiny observer printing the first few sleep/wake transitions."""
+
+    name = "transition_log"
+
+    def __init__(self, limit: int = 8) -> None:
+        super().__init__()
+        self.limit = limit
+        self.seen = 0
+
+    def on_event(self, event) -> None:
+        if type(event) not in (NodesSlept, NodesWoke) or self.seen >= self.limit:
+            return
+        self.seen += 1
+        if type(event) is NodesSlept:
+            print(
+                f"  t={event.time:>10.0f}  {event.count:>3} nodes slept "
+                f"({event.asleep} asleep total)"
+            )
+        else:
+            print(
+                f"  t={event.time:>10.0f}  {event.count:>3} nodes woke "
+                f"(+{event.delay_seconds:g}s boot stall)"
+            )
+
+
+def watch_transitions() -> None:
+    print("\nlive sleep/wake transitions (first few):")
+    spec = BASE.with_sleep(SleepPolicy.preset("shutdown")).with_instruments(
+        InstrumentSpec.of("power_telemetry", min_interval=6 * 3600.0)
+    )
+    session = Simulation(spec).session(instruments=[TransitionLog()])
+    result = session.result()
+    samples = result.instrument("power_telemetry")["samples"]
+    asleep_peak = max(row[4] for row in samples)
+    print(f"telemetry saw up to {asleep_peak:.0f} CPUs asleep at once")
+
+
+if __name__ == "__main__":
+    compare_variants()
+    watch_transitions()

@@ -42,12 +42,16 @@ from datetime import datetime, timezone
 
 from repro.api import Simulation
 from repro.batch import BatchRunner
+from repro.cluster.power import SleepPolicy
 from repro.experiments.config import PolicySpec, RunSpec
 
 POLICIES: tuple[tuple[str, PolicySpec], ...] = (
     ("nodvfs", PolicySpec.baseline()),
     ("dvfs(2,NO)", PolicySpec.power_aware(2.0, None)),
 )
+
+#: The in-engine node-sleep cell configuration (default preset).
+SLEEP_POLICY = SleepPolicy()
 
 
 def max_rss_mb() -> float:
@@ -68,14 +72,16 @@ class SerialCell:
     """
 
     def __init__(self, workload: str, n_jobs: int, label: str, policy: PolicySpec,
-                 repeat: int, source: str = "synthetic") -> None:
+                 repeat: int, source: str = "synthetic",
+                 sleep: SleepPolicy | None = None) -> None:
         self.workload = workload
         self.n_jobs = n_jobs
         self.label = label
         self.repeat = repeat
         self.source = source
         self.best = float("inf")
-        spec = RunSpec(workload=workload, n_jobs=n_jobs, policy=policy, source=source)
+        spec = RunSpec(workload=workload, n_jobs=n_jobs, policy=policy, source=source,
+                       sleep=sleep)
         self.simulation = Simulation(spec)
         load_start = time.perf_counter()
         self.jobs = self.simulation.jobs  # materialise outside the timed region
@@ -176,6 +182,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="measure only the serial cells")
     parser.add_argument("--floor", type=float, default=None,
                         help="fail (exit 1) if any serial cell is below this jobs/s")
+    parser.add_argument("--sleep-workload", default="SDSC",
+                        help="workload for the in-engine node-sleep cell "
+                             "(default: SDSC; empty string skips it)")
+    parser.add_argument("--sleep-scale", type=int, default=50000,
+                        help="trace length for the node-sleep cell (default: 50000)")
+    parser.add_argument("--sleep-overhead-max", type=float, default=None, metavar="PCT",
+                        help="fail (exit 1) if the sleep subsystem costs more than "
+                             "PCT%% throughput: the sleep-enabled cell is compared "
+                             "against its sleep-disabled twin (with sleep disabled "
+                             "the subsystem is bypassed entirely, so the disabled "
+                             "twin doubles as the no-subsystem reference)")
     parser.add_argument("--output", default="BENCH_4.json",
                         help="output path (default: BENCH_4.json)")
     args = parser.parse_args(argv)
@@ -196,6 +213,22 @@ def main(argv: list[str] | None = None) -> int:
         for n_jobs in xl_scales
         for label, policy in POLICIES
     ]
+    sleep_pair: tuple[SerialCell, SerialCell] | None = None
+    if args.sleep_workload:
+        # The in-engine node-sleep cell, paired with a sleep-disabled
+        # twin measured in the same interleaved rounds so the overhead
+        # verdict compares like with like.
+        # The twin gets its own label: it may coincide with a regular
+        # scales cell, and duplicate (workload, n_jobs, policy) keys in
+        # the record would be ambiguous for trend tooling.
+        dvfs_label, dvfs_policy = POLICIES[1]
+        disabled = SerialCell(args.sleep_workload, args.sleep_scale,
+                              dvfs_label + " [sleep-ref]", dvfs_policy, args.repeat)
+        enabled = SerialCell(args.sleep_workload, args.sleep_scale,
+                             dvfs_label + "+sleep", dvfs_policy, args.repeat,
+                             sleep=SLEEP_POLICY)
+        sleep_pair = (disabled, enabled)
+        cells += [disabled, enabled]
     serial = measure_serial_cells(cells)
 
     batch = []
@@ -208,6 +241,13 @@ def main(argv: list[str] | None = None) -> int:
                   f"{cell['seconds']:>8.3f}s  {cell['jobs_per_sec']:>10.0f} jobs/s")
             if args.parallel <= 1:
                 break
+
+    sleep_overhead_pct = None
+    if sleep_pair is not None:
+        disabled, enabled = sleep_pair
+        sleep_overhead_pct = round(100.0 * (1.0 - disabled.best / enabled.best), 2)
+        print(f"node-sleep subsystem overhead ({disabled.workload}x{disabled.n_jobs}): "
+              f"{sleep_overhead_pct:+.1f}% vs the sleep-disabled twin")
 
     record = {
         "schema": "repro-bench/4",
@@ -228,21 +268,31 @@ def main(argv: list[str] | None = None) -> int:
         },
         "serial": serial,
         "batch": batch,
+        "sleep_overhead_pct": sleep_overhead_pct,
     }
     with open(args.output, "w", encoding="utf-8") as stream:
         json.dump(record, stream, indent=2, sort_keys=False)
         stream.write("\n")
     print(f"wrote {args.output}")
 
+    failed = False
     if args.floor is not None:
         slowest = min(serial, key=lambda cell: cell["jobs_per_sec"])
         verdict = "PASS" if slowest["jobs_per_sec"] >= args.floor else "FAIL"
         print(f"floor check [{verdict}]: slowest serial cell "
               f"{slowest['workload']}x{slowest['n_jobs']} {slowest['policy']} at "
               f"{slowest['jobs_per_sec']:.0f} jobs/s (floor {args.floor:.0f})")
-        if verdict == "FAIL":
-            return 1
-    return 0
+        failed |= verdict == "FAIL"
+    if args.sleep_overhead_max is not None:
+        if sleep_overhead_pct is None:
+            print("sleep overhead check [FAIL]: no node-sleep cell was measured")
+            failed = True
+        else:
+            verdict = "PASS" if sleep_overhead_pct <= args.sleep_overhead_max else "FAIL"
+            print(f"sleep overhead check [{verdict}]: {sleep_overhead_pct:+.1f}% "
+                  f"(max {args.sleep_overhead_max:.0f}%)")
+            failed |= verdict == "FAIL"
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

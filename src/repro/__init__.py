@@ -41,6 +41,7 @@ see README.md for a quickstart and the extension walkthrough.
 from repro.api import DEFAULT_N_JOBS, Simulation, normalize_spec
 from repro.batch import BatchRunner
 from repro.cluster.machine import Machine
+from repro.cluster.power import NodePowerManager, SleepPolicy
 from repro.core.dynamic_boost import DynamicBoostConfig
 from repro.core.frequency_policy import (
     BsldThresholdPolicy,
@@ -74,6 +75,7 @@ from repro.registry import (
     Registry,
     RegistryError,
     SCHEDULERS,
+    SLEEP_POLICIES,
     WORKLOAD_SOURCES,
 )
 from repro.power.time_model import BetaTimeModel, DEFAULT_BETA, PAPER_BETA
@@ -121,6 +123,7 @@ __all__ = [
     "JobOutcome",
     "Machine",
     "NO_WQ_LIMIT",
+    "NodePowerManager",
     "PAPER_BASELINE_BSLD",
     "PAPER_BETA",
     "PAPER_GEAR_SET",
@@ -134,9 +137,11 @@ __all__ = [
     "RegistryError",
     "RunSpec",
     "SCHEDULERS",
+    "SLEEP_POLICIES",
     "Scheduler",
     "SchedulerConfig",
     "SchedulingContext",
+    "SleepPolicy",
     "Simulation",
     "SimulationResult",
     "SimulationSession",

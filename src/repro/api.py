@@ -127,6 +127,7 @@ class Simulation:
                 validate=self._validate,
                 boost=spec.policy.boost_config(),
                 record_timeline=spec.record_timeline,
+                sleep=spec.sleep,
             ),
         )
 

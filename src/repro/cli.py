@@ -28,9 +28,10 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.cluster.power import SleepPolicy
 from repro.experiments.config import PolicySpec, RunSpec
 from repro.experiments.runner import ExperimentRunner
-from repro.registry import ABLATIONS, FIGURES, POWER_MODELS, SCHEDULERS
+from repro.registry import ABLATIONS, FIGURES, POWER_MODELS, SCHEDULERS, SLEEP_POLICIES
 from repro.workloads.generator import generate_workload, load_workload
 from repro.workloads.models import WORKLOAD_NAMES, trace_model
 from repro.workloads.stats import workload_stats
@@ -73,6 +74,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--boost", type=int, default=None,
                      help="dynamic-boost WQ trigger (extension; default off)")
     run.add_argument("--seed", type=int, default=None)
+    _add_sleep_flags(run)
     run.set_defaults(handler=_cmd_run)
 
     watch = sub.add_parser(
@@ -93,6 +95,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(model watts; see `run` output for the scale)")
     watch.add_argument("--step-events", type=int, default=256, metavar="N",
                        help="events to simulate between output flushes (default: 256)")
+    _add_sleep_flags(watch)
     watch.set_defaults(handler=_cmd_watch)
 
     sweep = sub.add_parser(
@@ -166,6 +169,38 @@ def _runner(args: argparse.Namespace) -> ExperimentRunner:
     )
 
 
+def _add_sleep_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sleep", default=None, choices=SLEEP_POLICIES.names(), metavar="PRESET",
+        help="power down idle nodes in-engine using this sleep-policy preset "
+             f"({', '.join(SLEEP_POLICIES.names())}; default: always-on machine)",
+    )
+    parser.add_argument(
+        "--sleep-after", type=float, default=None, metavar="SECONDS",
+        help="override the preset's idle threshold before nodes power down",
+    )
+    parser.add_argument(
+        "--wake-seconds", type=float, default=None, metavar="SECONDS",
+        help="override the preset's wake-transition latency",
+    )
+
+
+def _parse_sleep(args: argparse.Namespace) -> SleepPolicy | None:
+    overrides = {}
+    if args.sleep_after is not None:
+        overrides["sleep_after_seconds"] = args.sleep_after
+    if args.wake_seconds is not None:
+        overrides["wake_seconds"] = args.wake_seconds
+    if args.sleep is None:
+        if overrides:
+            raise SystemExit("--sleep-after/--wake-seconds need --sleep PRESET")
+        return None
+    try:
+        return SleepPolicy.preset(args.sleep, **overrides)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
 def _parse_wq(raw: str) -> int | None:
     if raw.upper() in ("NO", "NONE", "NOLIMIT", "NO_LIMIT"):
         return None
@@ -206,7 +241,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 beta=args.beta,
                 scheduler=args.scheduler,
                 power_model=args.power_model,
+                sleep=_parse_sleep(args),
             ),
+            # The reference stays an always-on no-DVFS machine so the
+            # energy ratios isolate what the policy (and sleep) saved.
             RunSpec(
                 workload=args.workload, seed=args.seed,
                 scheduler=args.scheduler, power_model=args.power_model,
@@ -214,6 +252,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ]
     )
     print(result.describe())
+    sleep_report = result.energy.sleep
+    if sleep_report is not None:
+        print(
+            f"sleep states:       {sleep_report.sleep_fraction:.1%} of idle time asleep, "
+            f"{sleep_report.wake_count} wakes, "
+            f"{sleep_report.wake_delayed_jobs} starts stalled "
+            f"{sleep_report.wake_delay_seconds_total:.0f}s total"
+        )
     print(f"energy (idle=0):    {result.energy.computational:.4g} "
           f"[{result.energy.computational / baseline.energy.computational:.3f} of no-DVFS]")
     print(f"energy (idle=low):  {result.energy.total_idle_low:.4g} "
@@ -241,6 +287,10 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         if args.cap <= 0:
             raise SystemExit(f"--cap must be positive, got {args.cap}")
         instruments.append(InstrumentSpec.of("power_cap", cap=args.cap))
+    sleep = _parse_sleep(args)
+    # A disabled override (--sleep-after inf) bypasses the subsystem
+    # entirely; show the asleep column only when it can ever be nonzero.
+    show_asleep = sleep is not None and sleep.enabled
     spec = RunSpec(
         workload=args.workload,
         policy=policy,
@@ -248,6 +298,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         seed=args.seed,
         scheduler=args.scheduler,
         instruments=tuple(instruments),
+        sleep=sleep,
     )
     session = Simulation(spec).session()
     sampler = session.instrument("power_telemetry")
@@ -255,6 +306,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
     print(f"watching {spec.label()} ({args.jobs} jobs)")
     header = f"{'sim time [s]':>14} {'power [W]':>11} {'busy CPUs':>10} {'queued':>7}"
+    if show_asleep:
+        header += f" {'asleep':>7}"
     if controller is not None:
         header += f" {'gear cap':>9}"
     print(header)
@@ -266,8 +319,10 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     cap_at_sample: float | None = None
     while not session.done:
         session.run_for(args.step_events)
-        for time, watts, busy, depth in sampler.samples[printed:]:
+        for time, watts, busy, depth, asleep in sampler.samples[printed:]:
             line = f"{time:>14.0f} {watts:>11.1f} {busy:>10.0f} {depth:>7.0f}"
+            if show_asleep:
+                line += f" {asleep:>7.0f}"
             if controller is not None:
                 transitions = controller.transitions
                 while (
@@ -295,6 +350,13 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             f"cap {report['cap']:g}: {report['reductions']} gear reductions, "
             f"{len(report['transitions'])} transitions, "
             f"{report['time_capped']:.0f}s spent capped"
+        )
+    sleep_report = result.energy.sleep
+    if sleep_report is not None:
+        print(
+            f"sleep: {sleep_report.sleep_fraction:.1%} of idle time asleep, "
+            f"{sleep_report.wake_count} wakes, "
+            f"{sleep_report.wake_delayed_jobs} starts stalled by wake latency"
         )
     return 0
 

@@ -1,0 +1,468 @@
+"""In-engine node power management: idle→sleep transitions and wake latency.
+
+The related-work school of HPC power management powers down idle nodes
+(Pinheiro et al.; Meisner's PowerNap) instead of — or on top of —
+scaling frequencies.  :mod:`repro.power.sleep` models that family as a
+*post-hoc* energy estimator over a finished schedule; this module is
+the first-class, in-simulation counterpart (SleepScale argues the two
+families must be evaluated jointly *inside* the loop):
+
+* :class:`SleepPolicy` — the frozen, spec-addressable configuration
+  (``RunSpec.sleep``), with named presets on
+  :data:`repro.registry.SLEEP_POLICIES`;
+* :class:`NodePowerManager` — the per-run idle-stack manager the
+  scheduler drives through its allocate/release lifecycle.  It accounts
+  awake-idle, asleep and wake-transition energy online, emits
+  :class:`~repro.sim.events.NodesSlept` / ``NodesWoke`` lifecycle
+  events off engine ``CONTROL`` timers, and answers "how long must this
+  job wait for its nodes to boot?" at every job start.
+
+Accounting is *exactly* the post-hoc estimator's: processors are
+anonymous, so idle intervals follow the LIFO (stack) discipline — the
+longest-idle processor is the last re-engaged — and all allocate/release
+traffic at one simulation timestamp is netted before it touches the
+stack, mirroring how :func:`repro.power.sleep.busy_series` merges
+simultaneous events.  Under zero wake latency the accumulators are
+bit-identical to ``sleep_energy`` over the finished schedule (a
+differential test pins this); a non-zero ``wake_seconds`` perturbs the
+schedule itself, which is the divergence the in-engine model exists to
+capture.
+
+Wake latency is charged *causally*: a start that must rouse sleeping
+nodes is delayed by ``wake_seconds`` even if nodes freed later at the
+same timestamp would have covered it under post-hoc netting.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, replace
+from itertools import repeat
+from math import inf, isinf, isnan, nextafter
+from typing import TYPE_CHECKING, Callable
+
+from repro.registry import SLEEP_POLICIES
+from repro.sim.events import EventKind, LifecycleEvent, NodesSlept
+
+if TYPE_CHECKING:  # imported for annotations only; avoids package cycles
+    from repro.sim.engine import Engine
+
+__all__ = ["SleepPolicy", "NodePowerManager"]
+
+
+@dataclass(frozen=True)
+class SleepPolicy:
+    """Parameters of the in-engine idle-sleep policy.
+
+    Attributes
+    ----------
+    sleep_after_seconds:
+        Idle time before a processor powers down.  ``inf`` disables the
+        subsystem entirely (the run is byte-identical to one without
+        it).
+    sleep_power_fraction:
+        Power of a sleeping processor as a fraction of idle power
+        (0 = perfect PowerNap).
+    wake_energy_idle_seconds:
+        Energy cost of one wake transition, in seconds of idle power
+        (amortised transition cost, as in the post-hoc estimator).
+    wake_seconds:
+        Wall-clock latency of a wake transition.  A job start that must
+        rouse sleeping nodes is delayed by this long; 0 keeps schedules
+        identical to a sleep-free run and the energy accountant exact
+        against :func:`repro.power.sleep.sleep_energy`.
+    """
+
+    sleep_after_seconds: float = 300.0
+    sleep_power_fraction: float = 0.05
+    wake_energy_idle_seconds: float = 30.0
+    wake_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if isnan(self.sleep_after_seconds) or self.sleep_after_seconds < 0.0:
+            raise ValueError(
+                f"sleep_after_seconds must be >= 0, got {self.sleep_after_seconds}"
+            )
+        if not 0.0 <= self.sleep_power_fraction <= 1.0:
+            raise ValueError(
+                f"sleep_power_fraction must be in [0, 1], got {self.sleep_power_fraction}"
+            )
+        if not 0.0 <= self.wake_energy_idle_seconds < float("inf"):
+            raise ValueError(
+                f"wake_energy_idle_seconds must be finite and >= 0, "
+                f"got {self.wake_energy_idle_seconds}"
+            )
+        if not 0.0 <= self.wake_seconds < float("inf"):
+            raise ValueError(
+                f"wake_seconds must be finite and >= 0, got {self.wake_seconds}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the policy can ever put a node to sleep."""
+        return not isinf(self.sleep_after_seconds)
+
+    @classmethod
+    def preset(cls, name: str, **overrides) -> "SleepPolicy":
+        """Build a named preset from :data:`~repro.registry.SLEEP_POLICIES`.
+
+        ``overrides`` replace individual fields of the preset::
+
+            SleepPolicy.preset("shutdown", wake_seconds=30.0)
+        """
+        policy = SLEEP_POLICIES.get(name)()
+        return replace(policy, **overrides) if overrides else policy
+
+    def label(self) -> str:
+        if not self.enabled:
+            return "sleep(off)"
+        base = f"sleep({self.sleep_after_seconds:g}s"
+        if self.wake_seconds:
+            base += f",wake{self.wake_seconds:g}s"
+        return base + ")"
+
+
+# -- the bundled presets -------------------------------------------------------
+@SLEEP_POLICIES.register("default")
+def _default_sleep() -> SleepPolicy:
+    """The post-hoc estimator's calibration: 5 min threshold, 5% sleep power."""
+    return SleepPolicy()
+
+
+@SLEEP_POLICIES.register("powernap")
+def _powernap_sleep() -> SleepPolicy:
+    """Meisner's PowerNap: near-instant transitions, near-zero sleep power."""
+    return SleepPolicy(
+        sleep_after_seconds=10.0,
+        sleep_power_fraction=0.0,
+        wake_energy_idle_seconds=0.5,
+        wake_seconds=0.01,
+    )
+
+
+@SLEEP_POLICIES.register("shutdown")
+def _shutdown_sleep() -> SleepPolicy:
+    """Full power-down (Pinheiro et al.): free sleep, tens of seconds to boot."""
+    return SleepPolicy(
+        sleep_after_seconds=600.0,
+        sleep_power_fraction=0.0,
+        wake_energy_idle_seconds=60.0,
+        wake_seconds=120.0,
+    )
+
+
+class NodePowerManager:
+    """Per-run idle/sleep/wake state of a machine's processors.
+
+    The owning scheduler calls :meth:`acquire` as part of every job
+    start (the return value is the wake stall to add to the job's
+    execution window), :meth:`release` on every completion, and
+    :meth:`finalize` once when the books close.  All traffic carries
+    the simulation clock, which never goes backwards.
+
+    Internal discipline — chosen so the accumulators reproduce
+    :func:`repro.power.sleep.sleep_energy` exactly under zero wake
+    latency:
+
+    * ``_stack`` holds the idle-since timestamp of every idle
+      processor, oldest at the bottom (it is therefore ascending);
+    * traffic at the *current* timestamp is buffered in a push/pop
+      bucket and netted into the stack only when the clock advances,
+      exactly like the post-hoc busy-step series merges simultaneous
+      events;
+    * a processor popped after more than ``sleep_after_seconds`` of
+      idleness settles ``threshold`` awake seconds, the excess asleep,
+      and one wake transition; processors still idle at ``span_end``
+      settle without a wake (they never have to boot).
+
+    ``engine`` (optional) lets the manager schedule ``CONTROL`` timer
+    events at sleep transitions so observers receive
+    :class:`~repro.sim.events.NodesSlept` the moment nodes power down;
+    ``emit`` (optional) is the scheduler's lifecycle-event sink.  With
+    no sink the manager schedules no timers at all — announcements are
+    an observer feature, and the accounting (netting-based, settled as
+    the clock advances) is identical either way.
+    """
+
+    __slots__ = (
+        "policy",
+        "_threshold",
+        "_wake_seconds",
+        "_engine",
+        "_emit",
+        "_stack",
+        "_cur_time",
+        "_pushed",
+        "_popped",
+        "_claimed",
+        "_fresh_avail",
+        "_announced",
+        "_timer",
+        "idle_awake_cpu_seconds",
+        "asleep_cpu_seconds",
+        "wake_count",
+        "wake_stall_cpu_seconds",
+        "wake_delay_seconds_total",
+        "wake_delayed_jobs",
+        "_finalized",
+    )
+
+    def __init__(
+        self,
+        total_cpus: int,
+        policy: SleepPolicy,
+        span_start: float = 0.0,
+        *,
+        engine: "Engine | None" = None,
+        emit: Callable[[LifecycleEvent], None] | None = None,
+    ) -> None:
+        if total_cpus <= 0:
+            raise ValueError(f"total_cpus must be positive, got {total_cpus}")
+        if not policy.enabled:
+            raise ValueError("NodePowerManager requires an enabled SleepPolicy")
+        self.policy = policy
+        self._threshold = policy.sleep_after_seconds
+        self._wake_seconds = policy.wake_seconds
+        self._engine = engine
+        self._emit = emit
+        # All processors idle since the accounting span opened.
+        self._stack: list[float] = [span_start] * total_cpus
+        self._cur_time = span_start
+        # Open-bucket state for the current timestamp: gross push/pop
+        # counts (their net settles into the stack when time advances),
+        # plus the *causal* split the wake decision needs — how many
+        # stack entries acquires have already claimed from the top, and
+        # how many same-timestamp releases remain available to cover
+        # later acquires without touching the stack.
+        self._pushed = 0
+        self._popped = 0
+        self._claimed = 0
+        self._fresh_avail = 0
+        self._announced = 0  # stack entries already reported asleep
+        self._timer = None
+        self.idle_awake_cpu_seconds = 0.0
+        self.asleep_cpu_seconds = 0.0
+        self.wake_count = 0
+        self.wake_stall_cpu_seconds = 0.0
+        self.wake_delay_seconds_total = 0.0
+        self.wake_delayed_jobs = 0
+        self._finalized = False
+        self._ensure_timer()
+
+    # -- scheduler-facing lifecycle ---------------------------------------------
+    def acquire(self, size: int, now: float) -> tuple[float, int]:
+        """Claim ``size`` processors at ``now``.
+
+        Returns ``(wake stall seconds, processors woken)``.  Processors
+        freed at the same timestamp are consumed first (they never
+        slept); any remainder pops the idle stack top-down, and if
+        sleeping processors are among them the whole allocation stalls
+        one ``wake_seconds`` transition (nodes boot in parallel).  The
+        caller emits :class:`~repro.sim.events.NodesWoke` once its own
+        bookkeeping is consistent — observers must never sample a
+        half-started job.
+        """
+        self._advance(now)
+        self._popped += size
+        fresh = self._fresh_avail
+        if fresh >= size:
+            # Fully covered by processors freed at this timestamp.
+            self._fresh_avail = fresh - size
+            return 0.0, 0
+        self._fresh_avail = 0
+        claiming = size - fresh
+        stack = self._stack
+        hi = len(stack) - self._claimed
+        lo = hi - claiming
+        if lo < 0:  # pragma: no cover - pool bookkeeping prevents over-allocation
+            lo = 0
+        self._claimed = len(stack) - lo
+        # Strictly-asleep entries only (idle for *more* than the
+        # threshold), matching the post-hoc settle comparison.
+        woken = bisect_left(stack, now - self._threshold, lo, hi) - lo
+        if woken <= 0:
+            return 0.0, 0
+        delay = self._wake_seconds
+        if delay:
+            # All `size` held processors wait out the boot; the stall is
+            # priced at idle power (the scheduler starts billing active
+            # power only once execution begins).
+            self.wake_stall_cpu_seconds += size * delay
+            self.wake_delay_seconds_total += delay
+            self.wake_delayed_jobs += 1
+        return delay, woken
+
+    def release(self, size: int, now: float) -> None:
+        """Return ``size`` processors to the idle pool at ``now``."""
+        self._advance(now)
+        self._pushed += size
+        self._fresh_avail += size
+        self._ensure_timer()
+
+    def finalize(self, span_end: float) -> None:
+        """Settle everything still idle at ``span_end`` and freeze.
+
+        Processors asleep when the run ends never wake — the residual
+        pass charges no transition (the post-hoc estimator shares this
+        rule).  Accumulators are final after this call.
+        """
+        if self._finalized:
+            raise RuntimeError("NodePowerManager already finalized")
+        self._settle_bucket()
+        for idled_since in self._stack:
+            self._settle(idled_since, span_end, wake=False)
+        self._finalized = True
+
+    # -- probes ------------------------------------------------------------------
+    def asleep_cpus(self, now: float) -> int:
+        """How many processors are asleep at ``now``.
+
+        Counts idle entries *strictly* older than ``sleep_after_seconds``
+        — the same boundary the wake decision and the energy settle use
+        — buffered same-timestamp releases included, excluding any
+        already claimed by starts at the current timestamp (those are
+        awake — or booting — by now).
+        """
+        stack = self._stack
+        limit = len(stack) - self._claimed
+        asleep = bisect_left(stack, now - self._threshold)
+        if asleep > limit:
+            asleep = limit
+        if asleep < 0:
+            asleep = 0
+        # Unconsumed same-timestamp releases are idle since the open
+        # bucket's timestamp; with claimed entries excluded above, the
+        # idle population counted here matches the pool's free count.
+        if self._fresh_avail > 0 and self._cur_time < now - self._threshold:
+            asleep += self._fresh_avail
+        return asleep
+
+    @property
+    def wake_seconds(self) -> float:
+        return self._wake_seconds
+
+    # -- the engine timer (sleep-transition announcements) -----------------------
+    def on_timer(self, now: float, payload: object) -> None:
+        """CONTROL-event handler: announce entries that completed the
+        idle threshold since the last announcement, then re-arm."""
+        # _timer deliberately stays set (pointing at the handle that
+        # just fired) until the announcement below has advanced
+        # _announced: the settle path's _ensure_timer would otherwise
+        # re-arm a same-instant duplicate for the entries this very
+        # handler is about to announce.
+        if now > self._cur_time:
+            self._advance(now)
+        elif self._pushed or self._popped:
+            # CONTROL events sort after every job event at the same
+            # timestamp, so no further traffic can land in this bucket:
+            # settle it in place.  (Essential for tiny thresholds, where
+            # a bucket-based timer due *now* could otherwise never make
+            # progress.)
+            self._settle_bucket()
+        stack = self._stack
+        # The bucket was settled just above (either by _advance or in
+        # place), so no claimed/buffered traffic remains to exclude.
+        limit = len(stack)
+        # Strictly asleep only (idle *longer* than the threshold) — the
+        # same boundary acquire and the energy settle apply, so an
+        # announced node is one the books would charge as asleep.  The
+        # same ``entry + threshold`` arithmetic _ensure_timer scheduled
+        # with: comparing against ``now - threshold`` instead can
+        # disagree with it in the last ulp and re-arm a timer for the
+        # current instant forever (timers fire one ulp past the
+        # boundary, so the strict comparison still makes progress).
+        boundary = self._announced
+        threshold = self._threshold
+        while boundary < limit and stack[boundary] + threshold < now:
+            boundary += 1
+        newly = boundary - self._announced
+        if newly > 0:
+            self._announced = boundary
+            if self._emit is not None:
+                self._emit(NodesSlept(now, newly, boundary))
+        self._timer = None
+        self._ensure_timer()
+
+    def _ensure_timer(self) -> None:
+        # Transition timers exist to *announce* NodesSlept to observers
+        # (accounting is netting-based and needs no timer): with no
+        # event sink they would be pure event-loop overhead — ~25% of
+        # throughput on sparse traces — so an unobserved run schedules
+        # none and stays timer-free.
+        if (
+            self._timer is not None
+            or self._engine is None
+            or self._emit is None
+            or self._finalized
+        ):
+            return
+        limit = len(self._stack) - self._claimed
+        if self._announced < limit:
+            at = self._stack[self._announced] + self._threshold
+        elif self._pushed > self._popped:
+            # Only buffered releases remain unannounced; they will have
+            # been idle one threshold after the open timestamp.
+            at = self._cur_time + self._threshold
+        else:
+            return
+        # One ulp past the boundary: a node idle *exactly* one threshold
+        # is still awake (strict comparisons everywhere), so the
+        # transition is announced at the first representable instant it
+        # is genuinely asleep.
+        self._timer = self._engine.schedule(nextafter(at, inf), EventKind.CONTROL, None)
+
+    # -- the netting core ---------------------------------------------------------
+    def _advance(self, now: float) -> None:
+        if now <= self._cur_time:
+            return
+        self._settle_bucket()
+        self._cur_time = now
+
+    def _settle_bucket(self) -> None:
+        delta = self._pushed - self._popped
+        if delta > 0:
+            self._stack.extend(repeat(self._cur_time, delta))
+        elif delta < 0:
+            # _settle inlined with local accumulators and a slice take
+            # instead of repeated pop(); the reversed() walk keeps the
+            # exact top-down settle order, so additions happen in the
+            # same sequence and the floats stay bit-identical.  This
+            # loop runs once per CPU of every completed job and is the
+            # subsystem's hottest path.
+            stack = self._stack
+            tail = stack[delta:]
+            del stack[delta:]
+            until = self._cur_time
+            threshold = self._threshold
+            awake = self.idle_awake_cpu_seconds
+            asleep = self.asleep_cpu_seconds
+            wakes = self.wake_count
+            for idled_since in reversed(tail):
+                length = until - idled_since
+                if length > threshold:
+                    awake += threshold
+                    asleep += length - threshold
+                    wakes += 1
+                else:
+                    awake += length
+            self.idle_awake_cpu_seconds = awake
+            self.asleep_cpu_seconds = asleep
+            self.wake_count = wakes
+            if self._announced > len(stack):
+                self._announced = len(stack)
+        self._pushed = 0
+        self._popped = 0
+        self._claimed = 0
+        self._fresh_avail = 0
+        self._ensure_timer()
+
+    def _settle(self, idled_since: float, until: float, wake: bool) -> None:
+        length = until - idled_since
+        threshold = self._threshold
+        if length > threshold:
+            self.idle_awake_cpu_seconds += threshold
+            self.asleep_cpu_seconds += length - threshold
+            if wake:
+                self.wake_count += 1
+        else:
+            self.idle_awake_cpu_seconds += length

@@ -37,8 +37,13 @@ class UtilizationTriggeredPolicy(FrequencyPolicy):
 
     def __init__(self, steps: tuple[tuple[float, int], ...] = ((0.4, 0), (0.6, 3))) -> None:
         bounds = [b for b, _ in steps]
-        if bounds != sorted(bounds):
-            raise ValueError(f"utilisation bounds must be ascending, got {bounds}")
+        # Strictly ascending: a duplicate bound would silently
+        # dead-letter every later step sharing it (the first match
+        # always wins in the lookup below).
+        if any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"utilisation bounds must be strictly ascending, got {bounds}"
+            )
         if any(not 0.0 <= b <= 1.0 for b in bounds):
             raise ValueError(f"utilisation bounds must lie in [0, 1], got {bounds}")
         if any(i < 0 for _, i in steps):

@@ -303,19 +303,32 @@ def sleep_vs_dvfs(
     runner: ExperimentRunner,
     workload: str = "LLNLThunder",
     sleep_after_seconds: float = 300.0,
+    wake_seconds: float = 60.0,
 ) -> SleepVsDvfs:
     """Compare the paper's DVFS policy against PowerNap-style idle sleep.
 
     Sleep states attack *idle* energy, DVFS attacks *active* energy; the
     combination attacks both.  Rows report total energy normalised to
-    the no-DVFS, no-sleep idle=low baseline.
+    the no-DVFS, no-sleep idle=low baseline.  The "post-hoc" rows
+    re-price finished always-on schedules with the
+    :func:`~repro.power.sleep.sleep_energy` estimator; the "in-engine"
+    rows simulate the same sleep policy live
+    (:class:`~repro.cluster.power.SleepPolicy` on the spec), and the
+    final row adds a wake latency — the scheduling cost the post-hoc
+    model cannot see, visible in its BSLD.
     """
+    from repro.cluster.power import SleepPolicy
     from repro.power.sleep import SleepStateConfig, sleep_energy
 
-    base, powered = runner.run_many(
+    live = SleepPolicy(sleep_after_seconds=sleep_after_seconds)
+    laggy = replace(live, wake_seconds=wake_seconds)
+    dvfs = PolicySpec.power_aware(2.0, None)
+    base, powered, in_engine, in_engine_laggy = runner.run_many(
         [
             RunSpec(workload=workload),
-            RunSpec(workload=workload, policy=PolicySpec.power_aware(2.0, None)),
+            RunSpec(workload=workload, policy=dvfs),
+            RunSpec(workload=workload, policy=dvfs, sleep=live),
+            RunSpec(workload=workload, policy=dvfs, sleep=laggy),
         ]
     )
     config = SleepStateConfig(sleep_after_seconds=sleep_after_seconds)
@@ -334,16 +347,28 @@ def sleep_vs_dvfs(
             0.0,
         ),
         (
-            "sleep only",
+            "sleep only (post-hoc)",
             (base.energy.computational + base_sleep.idle_energy) / baseline_total,
             base.average_bsld(),
             base_sleep.sleep_fraction,
         ),
         (
-            "DVFS(2, NO) + sleep",
+            "DVFS(2, NO) + sleep (post-hoc)",
             (powered.energy.computational + powered_sleep.idle_energy) / baseline_total,
             powered.average_bsld(),
             powered_sleep.sleep_fraction,
+        ),
+        (
+            "DVFS(2, NO) + sleep (in-engine)",
+            in_engine.energy.total_idle_low / baseline_total,
+            in_engine.average_bsld(),
+            in_engine.energy.sleep.sleep_fraction,
+        ),
+        (
+            f"DVFS(2, NO) + sleep (in-engine, {wake_seconds:g}s wake)",
+            in_engine_laggy.energy.total_idle_low / baseline_total,
+            in_engine_laggy.average_bsld(),
+            in_engine_laggy.energy.sleep.sleep_fraction,
         ),
     )
     return SleepVsDvfs(workload=workload, rows=rows)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.cluster.power import SleepPolicy
 from repro.core.dynamic_boost import DynamicBoostConfig
 from repro.core.frequency_policy import (
     BsldThresholdPolicy,
@@ -204,7 +205,10 @@ class RunSpec:
     ``source`` name entries on the corresponding registries;
     ``instruments`` attaches session observers/controllers by
     :class:`InstrumentSpec` (they ride along through every execution
-    path, cache keys included).
+    path, cache keys included).  ``sleep`` enables in-engine node
+    power-down (:class:`~repro.cluster.power.SleepPolicy`, presets on
+    :data:`~repro.registry.SLEEP_POLICIES`); like instruments it is
+    serialized and cache-keyed.
     """
 
     workload: str
@@ -218,10 +222,15 @@ class RunSpec:
     source: str = "synthetic"
     record_timeline: bool = False
     instruments: tuple[InstrumentSpec, ...] = ()
+    sleep: SleepPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.n_jobs is not None and self.n_jobs <= 0:
             raise ValueError(f"n_jobs must be positive, got {self.n_jobs}")
+        if self.sleep is not None and not isinstance(self.sleep, SleepPolicy):
+            raise ValueError(
+                f"sleep must be a SleepPolicy or None, got {self.sleep!r}"
+            )
         if not isinstance(self.instruments, tuple):
             object.__setattr__(self, "instruments", tuple(self.instruments))
         for instrument in self.instruments:
@@ -258,9 +267,15 @@ class RunSpec:
         """Copy with these instruments attached (replacing any existing)."""
         return replace(self, instruments=tuple(instruments))
 
+    def with_sleep(self, sleep: SleepPolicy | None) -> "RunSpec":
+        """Copy with in-engine node power management set to ``sleep``."""
+        return replace(self, sleep=sleep)
+
     def label(self) -> str:
         scale = "" if self.size_factor == 1.0 else f" x{self.size_factor:g}"
         base = f"{self.workload}{scale} {self.policy.label()}"
+        if self.sleep is not None:
+            base += " +" + self.sleep.label()
         if self.instruments:
             base += " +" + "+".join(spec.label() for spec in self.instruments)
         return base

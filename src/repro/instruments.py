@@ -37,6 +37,8 @@ from repro.sim.events import (
     JobFinished,
     JobStarted,
     LifecycleEvent,
+    NodesSlept,
+    NodesWoke,
 )
 
 if TYPE_CHECKING:  # imported for annotations only; avoids package cycles
@@ -81,6 +83,11 @@ class InstrumentContext:
     @property
     def busy_cpus(self) -> int:
         return self._scheduler.busy_cpus
+
+    @property
+    def asleep_cpus(self) -> int:
+        """Processors currently powered down (0 without a sleep policy)."""
+        return self._scheduler.asleep_cpus
 
     @property
     def total_cpus(self) -> int:
@@ -172,7 +179,8 @@ class PowerTelemetrySampler(Instrument):
             raise ValueError(f"max_samples must be positive, got {max_samples}")
         self.min_interval = min_interval
         self.max_samples = max_samples
-        self.samples: list[list[float]] = []  # [time, watts, busy_cpus, queue_depth]
+        #: rows of [time, watts, busy_cpus, queue_depth, asleep_cpus]
+        self.samples: list[list[float]] = []
         self._last_sample_time = float("-inf")
         self._dropped = 0
         self._peak_watts = 0.0
@@ -181,7 +189,9 @@ class PowerTelemetrySampler(Instrument):
         self._watts_count = 0
 
     def on_event(self, event: LifecycleEvent) -> None:
-        if type(event) is not ClockTick:
+        # Sleep transitions are sampling points too: they are the only
+        # moments machine power changes without a job event.
+        if type(event) not in (ClockTick, NodesSlept, NodesWoke):
             return
         if event.time - self._last_sample_time < self.min_interval:
             return
@@ -197,7 +207,13 @@ class PowerTelemetrySampler(Instrument):
             self._dropped += 1
             return
         self.samples.append(
-            [event.time, watts, float(context.busy_cpus), float(context.queue_depth)]
+            [
+                event.time,
+                watts,
+                float(context.busy_cpus),
+                float(context.queue_depth),
+                float(context.asleep_cpus),
+            ]
         )
 
     @property
@@ -407,7 +423,10 @@ class PowerCapController(Instrument):
         return self._cap_index is not None
 
     def on_event(self, event: LifecycleEvent) -> None:
-        if type(event) not in (ClockTick, JobStarted, JobFinished):
+        # Sleep transitions (NodesSlept/NodesWoke) move machine power
+        # without a job event, so a cap controller must resample on
+        # them — e.g. to relax the cap once enough nodes power down.
+        if type(event) not in (ClockTick, JobStarted, JobFinished, NodesSlept, NodesWoke):
             return
         context = self.context
         watts = context.instantaneous_power()

@@ -7,7 +7,7 @@ from repro.power.beta_model import (
     TruncatedNormalBeta,
     UniformBeta,
 )
-from repro.power.energy import EnergyAccounting, EnergyReport
+from repro.power.energy import EnergyAccounting, EnergyReport, SleepEnergyBreakdown
 from repro.power.model import PAPER_ACTIVITY_RATIO, PAPER_STATIC_SHARE, PowerModel
 from repro.power.sleep import SleepEnergyReport, SleepStateConfig, busy_series, sleep_energy
 from repro.power.time_model import BetaTimeModel, DEFAULT_BETA, PAPER_BETA
@@ -24,6 +24,7 @@ __all__ = [
     "PAPER_BETA",
     "PAPER_STATIC_SHARE",
     "PowerModel",
+    "SleepEnergyBreakdown",
     "SleepEnergyReport",
     "SleepStateConfig",
     "TruncatedNormalBeta",

@@ -20,7 +20,38 @@ from dataclasses import dataclass
 from repro.core.gears import Gear
 from repro.power.model import PowerModel
 
-__all__ = ["EnergyAccounting", "EnergyReport"]
+__all__ = ["EnergyAccounting", "EnergyReport", "SleepEnergyBreakdown"]
+
+
+@dataclass(frozen=True)
+class SleepEnergyBreakdown:
+    """Idle-side split of a run simulated with in-engine sleep states.
+
+    Produced by the :class:`~repro.cluster.power.NodePowerManager` and
+    folded into :attr:`EnergyReport.sleep` when a
+    :class:`~repro.cluster.power.SleepPolicy` is active.  The first
+    three fields mirror :class:`repro.power.sleep.SleepEnergyReport`
+    (under zero wake latency they are bit-identical to the post-hoc
+    estimator's); the policy echo fields make the report
+    self-describing, and the wake-delay pair records the scheduling
+    cost the post-hoc model cannot see.
+    """
+
+    idle_awake_cpu_seconds: float
+    asleep_cpu_seconds: float
+    wake_count: int
+    sleep_power_fraction: float
+    wake_energy_idle_seconds: float
+    wake_stall_cpu_seconds: float = 0.0
+    wake_delay_seconds_total: float = 0.0
+    wake_delayed_jobs: int = 0
+
+    @property
+    def sleep_fraction(self) -> float:
+        total = self.idle_awake_cpu_seconds + self.asleep_cpu_seconds
+        if total <= 0.0:
+            return 0.0
+        return self.asleep_cpu_seconds / total
 
 
 @dataclass(frozen=True)
@@ -43,6 +74,12 @@ class EnergyReport:
         CPU-seconds no job was using over the accounting span.
     span:
         Accounting interval length in seconds.
+    sleep:
+        Awake/asleep/wake split of the idle side when the run simulated
+        in-engine sleep states (:class:`~repro.cluster.power.SleepPolicy`
+        on the spec); ``None`` for a conventional always-on machine, in
+        which case ``idle`` is plain idle power over
+        ``idle_cpu_seconds``.
     """
 
     computational: float
@@ -50,6 +87,7 @@ class EnergyReport:
     busy_cpu_seconds: float
     idle_cpu_seconds: float
     span: float
+    sleep: SleepEnergyBreakdown | None = None
 
     @property
     def total_idle_low(self) -> float:
@@ -109,12 +147,22 @@ class EnergyAccounting:
         self.count_job()
         return energy
 
-    def report(self, total_cpus: int, span_start: float, span_end: float) -> EnergyReport:
+    def report(
+        self,
+        total_cpus: int,
+        span_start: float,
+        span_end: float,
+        sleep: SleepEnergyBreakdown | None = None,
+    ) -> EnergyReport:
         """Close the books over ``[span_start, span_end]``.
 
         ``span`` is clamped below at the busy-CPU-seconds floor: a
         zero-length span with accounted jobs would otherwise produce a
-        negative idle time.
+        negative idle time.  With a ``sleep`` breakdown (in-engine node
+        power management) the idle component prices awake-idle, asleep
+        and wake-transition time separately — the exact expression of
+        :func:`repro.power.sleep.sleep_energy`; without one every idle
+        CPU-second burns full idle power.
         """
         if total_cpus <= 0:
             raise ValueError(f"total_cpus must be positive, got {total_cpus}")
@@ -130,10 +178,23 @@ class EnergyAccounting:
                     f"busy={self._busy_cpu_seconds}, capacity={total_cpus * span}"
                 )
             idle_cpu_seconds = 0.0
+        if sleep is None:
+            idle_energy = self._model.idle_energy(idle_cpu_seconds)
+        else:
+            idle_power = self._model.idle_power()
+            idle_energy = (
+                sleep.idle_awake_cpu_seconds * idle_power
+                + sleep.asleep_cpu_seconds * idle_power * sleep.sleep_power_fraction
+                + sleep.wake_count * sleep.wake_energy_idle_seconds * idle_power
+                # Processors held by a job while its nodes boot burn idle
+                # power (the job's active billing starts after the stall).
+                + sleep.wake_stall_cpu_seconds * idle_power
+            )
         return EnergyReport(
             computational=self._computational,
-            idle=self._model.idle_energy(idle_cpu_seconds),
+            idle=idle_energy,
             busy_cpu_seconds=self._busy_cpu_seconds,
             idle_cpu_seconds=idle_cpu_seconds,
             span=span,
+            sleep=sleep,
         )

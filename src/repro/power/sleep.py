@@ -19,6 +19,15 @@ busy-CPU step series with the standard LIFO (stack) discipline: the
 processor idle the longest is the last to be re-engaged, which is the
 optimal assignment for maximising sleep time and is what a
 sleep-aware resource selector would implement.
+
+This estimator is *post-hoc*: it re-prices the idle side of a finished
+schedule and can never feed back into scheduling.  The first-class,
+in-simulation counterpart is :class:`repro.cluster.power.SleepPolicy` /
+:class:`~repro.cluster.power.NodePowerManager` (``RunSpec.sleep``),
+which additionally models wake *latency* and exposes sleep state to
+instruments mid-run.  Under zero wake latency the two agree exactly — a
+differential test pins the in-engine accountant to this module — so
+``sleep_energy`` stays as the independent cross-check.
 """
 
 from __future__ import annotations
@@ -86,10 +95,12 @@ def busy_series(result: SimulationResult) -> list[tuple[float, int]]:
     series: list[tuple[float, int]] = []
     for time in sorted(events):
         busy += events[time]
-        if series and series[-1][0] == time:
-            series[-1] = (time, busy)
-        else:
-            series.append((time, busy))
+        # A timestamp whose events net to zero (e.g. a zero-runtime job
+        # starting and finishing in the same instant) is not a step:
+        # emitting it would duplicate the previous level.
+        if series and series[-1][1] == busy:
+            continue
+        series.append((time, busy))
     if busy != 0:
         raise ValueError(f"busy series does not return to zero (ends at {busy})")
     return series
@@ -109,7 +120,9 @@ def sleep_energy(
     freed processors join the top of the idle stack.  Each idle interval
     of length ``L`` contributes ``min(L, T)`` awake idle seconds plus
     ``max(L - T, 0)`` sleeping seconds (``T = sleep_after_seconds``) and
-    one wake transition if it slept.
+    one wake transition if it slept — except for processors still
+    asleep when the span closes, which never have to wake and are
+    settled without a transition.
     """
     model = model or PowerModel(gears=result.machine.gears)
     series = busy_series(result)
@@ -128,13 +141,13 @@ def sleep_energy(
     wakes = 0
     threshold = config.sleep_after_seconds
 
-    def settle(idled_since: float, until: float) -> None:
+    def settle(idled_since: float, until: float, wake: bool = True) -> None:
         nonlocal awake_idle, asleep, wakes
         length = max(until - idled_since, 0.0)
         if length > threshold:
             awake_idle_part = threshold
             asleep_part = length - threshold
-            wakes_here = 1
+            wakes_here = 1 if wake else 0
         else:
             awake_idle_part = length
             asleep_part = 0.0
@@ -156,8 +169,11 @@ def sleep_energy(
         elif delta < 0:
             idle_stack.extend([time] * (-delta))
         previous_busy = busy
+    # Processors still idle when the span closes are settled awake/asleep
+    # but charge no wake transition: a node that sleeps to the end of the
+    # accounting window never has to boot again.
     for idled_since in idle_stack:
-        settle(idled_since, span_end)
+        settle(idled_since, span_end, wake=False)
 
     idle_power = model.idle_power()
     energy = (

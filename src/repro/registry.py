@@ -31,6 +31,7 @@ __all__ = [
     "POWER_MODELS",
     "WORKLOAD_SOURCES",
     "INSTRUMENTS",
+    "SLEEP_POLICIES",
     "FIGURES",
     "ABLATIONS",
 ]
@@ -180,6 +181,11 @@ WORKLOAD_SOURCES: Registry[Callable] = Registry(
 #: Session instruments (``Instrument`` subclasses), keyed by spec name.
 INSTRUMENTS: Registry[type] = Registry(
     "instrument", modules=("repro.instruments",)
+)
+
+#: Named sleep-policy presets ``() -> SleepPolicy`` (in-engine node power-down).
+SLEEP_POLICIES: Registry[Callable] = Registry(
+    "sleep policy", modules=("repro.cluster.power",)
 )
 
 #: Paper-figure builders ``(ExperimentRunner) -> figure``, keyed by number.

@@ -17,11 +17,12 @@ from typing import Callable
 
 from repro.cluster.allocation import Allocation
 from repro.cluster.machine import Machine
+from repro.cluster.power import NodePowerManager, SleepPolicy
 from repro.cluster.processors import ProcessorPool
 from repro.core.dynamic_boost import DynamicBoostConfig, boost_plan
 from repro.core.frequency_policy import FrequencyPolicy, GearCappedPolicy, SchedulingContext
 from repro.core.gears import Gear
-from repro.power.energy import EnergyAccounting
+from repro.power.energy import EnergyAccounting, SleepEnergyBreakdown
 from repro.power.model import PowerModel
 from repro.power.time_model import BetaTimeModel, DEFAULT_BETA
 from repro.scheduling.job import Job, JobOutcome, validate_jobs
@@ -36,6 +37,7 @@ from repro.sim.events import (
     JobStarted,
     JobSubmitted,
     LifecycleEvent,
+    NodesWoke,
     QueueDepthChanged,
 )
 
@@ -62,6 +64,12 @@ class SchedulerConfig:
     clamp_runtimes:
         Clamp ``runtime`` to ``requested_time`` on ingest
         (kill-at-limit semantics; keeps reservations conservative).
+    sleep:
+        In-engine node power management
+        (:class:`~repro.cluster.power.SleepPolicy`), or ``None`` for a
+        conventional always-on machine.  A policy that can never sleep
+        (``sleep_after_seconds=inf``) is treated as ``None``, keeping
+        the run byte-identical to one without the subsystem.
     """
 
     track_processor_ids: bool = False
@@ -69,6 +77,7 @@ class SchedulerConfig:
     boost: DynamicBoostConfig | None = None
     record_timeline: bool = False
     clamp_runtimes: bool = True
+    sleep: SleepPolicy | None = None
 
 
 class _RunningJob:
@@ -152,6 +161,7 @@ class Scheduler(ABC):
         )
 
         # Per-run state, initialised in prepare().
+        self._sleep: NodePowerManager | None = None
         self._engine: Engine
         self._pool: ProcessorPool
         self._accounting: EnergyAccounting
@@ -201,6 +211,13 @@ class Scheduler(ABC):
         return self._pool.busy_cpus
 
     @property
+    def asleep_cpus(self) -> int:
+        """Processors currently powered down (0 without a sleep policy)."""
+        if self._sleep is None:
+            return 0
+        return self._sleep.asleep_cpus(self._engine.now)
+
+    @property
     def event_budget(self) -> int:
         """The runaway guard sized for the loaded trace."""
         return self._event_budget
@@ -210,13 +227,33 @@ class Scheduler(ABC):
 
         Running jobs draw active power at their current gear; every idle
         processor draws the model's idle power — the same accounting the
-        energy report integrates, sampled instantaneously.
+        energy report integrates, sampled instantaneously.  Under a
+        sleep policy, powered-down processors draw only the policy's
+        fraction of idle power, and a job still waiting out its wake
+        stall (``segment_start`` in the future) draws idle power, not
+        its gear's — matching how the energy books price the boot.
         """
         model = self._power_model
-        active = sum(
-            model.active_power(r.gear) * r.job.size for r in self._running.values()
+        idle_power = model.idle_power()
+        sleep = self._sleep
+        if sleep is None:
+            active = sum(
+                model.active_power(r.gear) * r.job.size for r in self._running.values()
+            )
+            return active + idle_power * self._pool.free_cpus
+        now = self._engine.now
+        active = 0.0
+        stalled = 0
+        for r in self._running.values():
+            if r.segment_start > now:
+                stalled += r.job.size
+            else:
+                active += model.active_power(r.gear) * r.job.size
+        asleep = sleep.asleep_cpus(now)
+        awake_idle = self._pool.free_cpus - asleep
+        return active + idle_power * (
+            awake_idle + stalled + asleep * sleep.policy.sleep_power_fraction
         )
-        return active + model.idle_power() * self._pool.free_cpus
 
     # -- observers and runtime control -------------------------------------------
     def attach_observer(self, observer: Callable[[LifecycleEvent], None]) -> None:
@@ -224,6 +261,9 @@ class Scheduler(ABC):
 
         Observers are called synchronously, in attachment order, with
         frozen :class:`~repro.sim.events.LifecycleEvent` instances.
+        Attach before :meth:`prepare` (sessions do): sleep-transition
+        timers — and therefore ``NodesSlept``/``NodesWoke`` events —
+        are armed only when an observer is present at prepare time.
         """
         self._observers.append(observer)
         self._plain_pass = False
@@ -309,6 +349,7 @@ class Scheduler(ABC):
         self._outcomes = []
         self._timeline = []
         self._trigger = "init"  # "arrival" | "finish": what fired the current pass
+        self._starts_count = 0  # jobs started so far (validate-mode slip bounds)
         self._jobs_loaded = len(jobs)
         self._span_start = jobs[0].submit_time if jobs else 0.0
         self._event_budget = 4 * len(jobs) + 64
@@ -328,7 +369,29 @@ class Scheduler(ABC):
         self._engine.schedule_sorted(
             EventKind.JOB_ARRIVAL, [(job.submit_time, job) for job in jobs]
         )
+        # Armed after the arrivals bulk-load: the manager schedules its
+        # first sleep-transition CONTROL timer immediately, and
+        # schedule_sorted requires an empty queue.
+        sleep = self._config.sleep
+        if sleep is not None and sleep.enabled:
+            # CONTROL timers announce sleep transitions: at most one per
+            # distinct release timestamp plus re-arms — comfortably
+            # inside a doubled budget.
+            self._event_budget = 8 * len(jobs) + 256
+            self._engine.on(EventKind.CONTROL, self._on_sleep_timer)
+            self._sleep = NodePowerManager(
+                self._machine.total_cpus,
+                sleep,
+                self._span_start,
+                engine=self._engine,
+                emit=self._emit if self._observers else None,
+            )
+        else:
+            self._sleep = None
         return self._engine
+
+    def _on_sleep_timer(self, now: float, payload: object) -> None:
+        self._sleep.on_timer(now, payload)
 
     def finalize(self) -> SimulationResult:
         """Close the books after the event queue drained.
@@ -344,8 +407,22 @@ class Scheduler(ABC):
             )
         outcomes = tuple(sorted(self._outcomes, key=lambda o: o.job.job_id))
         span_end = max((o.finish_time for o in outcomes), default=self._span_start)
+        breakdown = None
+        if self._sleep is not None:
+            manager = self._sleep
+            manager.finalize(span_end)
+            breakdown = SleepEnergyBreakdown(
+                idle_awake_cpu_seconds=manager.idle_awake_cpu_seconds,
+                asleep_cpu_seconds=manager.asleep_cpu_seconds,
+                wake_count=manager.wake_count,
+                sleep_power_fraction=manager.policy.sleep_power_fraction,
+                wake_energy_idle_seconds=manager.policy.wake_energy_idle_seconds,
+                wake_stall_cpu_seconds=manager.wake_stall_cpu_seconds,
+                wake_delay_seconds_total=manager.wake_delay_seconds_total,
+                wake_delayed_jobs=manager.wake_delayed_jobs,
+            )
         report = self._accounting.report(
-            self._machine.total_cpus, self._span_start, span_end
+            self._machine.total_cpus, self._span_start, span_end, sleep=breakdown
         )
         return SimulationResult(
             machine=self._machine,
@@ -374,6 +451,8 @@ class Scheduler(ABC):
         )
         self._accounting.count_job()
         self._pool.release(running.allocation)
+        if self._sleep is not None:
+            self._sleep.release(running.job.size, now)
         self._drop_estimate(running)
         del self._running[running.job.job_id]
         if self._wants_lifecycle_hooks:
@@ -487,9 +566,21 @@ class Scheduler(ABC):
     def _start_job(self, now: float, job: Job, gear: Gear) -> _RunningJob:
         coefficient = self._time_model.coefficient(gear.frequency, job.beta)
         allocation = self._pool.allocate(job.size)
+        # A start that rouses sleeping nodes stalls for the wake
+        # transition: the whole execution window stretches by the delay.
+        # The job holds its processors from dispatch, but active power is
+        # billed only from `begin` — the stall itself is priced at idle
+        # power by the manager (plus the explicit per-node transition
+        # energy), not at the job's gear.
+        begin = now
+        woken = 0
+        if self._sleep is not None:
+            delay, woken = self._sleep.acquire(job.size, now)
+            begin = now + delay
         running = _RunningJob(job, gear, now, allocation)
-        running.actual_end = now + job.runtime * coefficient
-        estimated = now + job.requested_time * coefficient
+        running.segment_start = begin
+        running.actual_end = begin + job.runtime * coefficient
+        estimated = begin + job.requested_time * coefficient
         # Keep the reservation profile conservative even for unclamped traces.
         running.estimated_end = max(estimated, running.actual_end)
         running.ever_reduced = gear != self._gears.top
@@ -501,9 +592,15 @@ class Scheduler(ABC):
         self._est_version += 1
         running.estimate_entry = entry
         self._running[job.job_id] = running
+        self._starts_count += 1
         if self._wants_lifecycle_hooks:
             self._note_started(running, now)
         if self._observers:
+            if woken:
+                # Emitted here, not inside the manager: by now the
+                # running set is consistent, so observers reacting to
+                # the wake sample sane machine state.
+                self._emit(NodesWoke(now, woken, begin - now))
             self._emit(GearSelected(now, job.job_id, gear.frequency, "start"))
             self._emit(
                 JobStarted(now, job.job_id, job.size, gear.frequency, now - job.submit_time)
@@ -530,8 +627,14 @@ class Scheduler(ABC):
         for running in self._running.values():
             if running.gear == top:
                 continue
+            # A job still waiting out a wake stall has not started
+            # executing: anchor the plan at segment_start so only the
+            # execution window is gear-scaled — scaling from `now` would
+            # compress the (frequency-invariant) boot time and could
+            # reschedule the finish before the nodes have even booted.
+            anchor = running.segment_start if running.segment_start > now else now
             plan = boost_plan(
-                now=now,
+                now=anchor,
                 current_gear=running.gear,
                 gears=self._gears,
                 time_model=self._time_model,
@@ -556,10 +659,15 @@ class Scheduler(ABC):
         new_estimated_end: float,
         reason: str = "boost",
     ) -> None:
-        running.energy += self._accounting.add_segment(
-            running.gear, running.job.size, now - running.segment_start
-        )
-        running.segment_start = now
+        elapsed = now - running.segment_start
+        if elapsed > 0.0:
+            running.energy += self._accounting.add_segment(
+                running.gear, running.job.size, elapsed
+            )
+            running.segment_start = now
+        # else: the job is still inside its wake stall — the pending
+        # active segment keeps its (future) start and bills at the new
+        # gear from there.
         running.gear = gear
         self._engine.cancel(running.finish_handle)
         running.finish_handle = self._engine.schedule(

@@ -171,12 +171,26 @@ class ConservativeBackfilling(Scheduler):
             # Whether started or merely reserved, the job consumes profile
             # space so later queue entries cannot plan over it (the
             # conservative property).
-            profile.reserve(begin, begin + duration, job.size)
+            end = begin + duration
             plan[job.job_id] = begin
             if start <= now and self._pool.fits(job.size):
-                self._start_job(now, job, gear)
+                started = self._start_job(now, job, gear)
+                stall = started.segment_start - now
+                if stall > 0.0:
+                    # The start roused sleeping nodes: its true window
+                    # includes the wake stall, and later queue entries in
+                    # this very pass must not plan over the boot (future
+                    # reservations stay wake-blind — wake state at a
+                    # future start is unknowable — but every pass replans
+                    # over the incremental profile, which carries the
+                    # stall through estimated_end).  Keyed on the actual
+                    # stall, never on estimate overruns, so zero-wake
+                    # (and unclamped) schedules stay byte-identical to a
+                    # sleep-free run.
+                    end += stall
             else:
                 still_waiting.append(job)
+            profile.reserve(begin, end, job.size)
         self._queue.clear()
         self._queue.extend(still_waiting)
         if self._config.validate:

@@ -90,6 +90,10 @@ _TRACE_FIELDS = (
     "was_reduced",
     "requested_time",
     "depth",
+    # NodesSlept / NodesWoke (in-engine node power management)
+    "count",
+    "asleep",
+    "delay_seconds",
 )
 
 

@@ -13,12 +13,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+from math import isinf
 from typing import Any
 
 from repro.cluster.machine import Machine
+from repro.cluster.power import SleepPolicy
 from repro.core.gears import Gear, GearSet
 from repro.experiments.config import InstrumentSpec, PolicySpec, RunSpec, _tupled
-from repro.power.energy import EnergyReport
+from repro.power.energy import EnergyReport, SleepEnergyBreakdown
 from repro.scheduling.job import Job, JobOutcome
 from repro.scheduling.result import InstrumentReport, SimulationResult, TimelinePoint
 
@@ -35,7 +37,9 @@ __all__ = [
 #: Bumped whenever the serialised layout changes; cached results with a
 #: different version are ignored rather than misread.
 #: v2: specs gained ``instruments``, results gained instrument reports.
-FORMAT_VERSION = 2
+#: v3: specs gained ``sleep`` (in-engine node power-down); energy
+#:     reports gained the ``sleep`` breakdown.
+FORMAT_VERSION = 3
 
 
 def jsonable(value: Any) -> Any:
@@ -63,6 +67,30 @@ def _params_from_json(data: list) -> tuple:
 
 
 # -- RunSpec ------------------------------------------------------------------
+def _sleep_to_dict(sleep: SleepPolicy | None) -> dict[str, float | None] | None:
+    if sleep is None:
+        return None
+    after = sleep.sleep_after_seconds
+    return {
+        # ``inf`` (the never-sleeps configuration) maps to null so the
+        # emitted document stays strict JSON — json.dump would otherwise
+        # write the non-standard ``Infinity`` token.
+        "sleep_after_seconds": None if isinf(after) else after,
+        "sleep_power_fraction": sleep.sleep_power_fraction,
+        "wake_energy_idle_seconds": sleep.wake_energy_idle_seconds,
+        "wake_seconds": sleep.wake_seconds,
+    }
+
+
+def _sleep_from_dict(data: dict[str, float | None] | None) -> SleepPolicy | None:
+    if data is None:
+        return None
+    fields = dict(data)
+    if fields.get("sleep_after_seconds") is None:
+        fields["sleep_after_seconds"] = float("inf")
+    return SleepPolicy(**fields)
+
+
 def spec_to_dict(spec: RunSpec) -> dict[str, Any]:
     """A JSON-ready dict capturing every field of ``spec``."""
     return {
@@ -87,6 +115,7 @@ def spec_to_dict(spec: RunSpec) -> dict[str, Any]:
             {"name": inst.name, "params": _params_to_json(inst.params)}
             for inst in spec.instruments
         ],
+        "sleep": _sleep_to_dict(spec.sleep),
     }
 
 
@@ -114,6 +143,7 @@ def spec_from_dict(data: dict[str, Any]) -> RunSpec:
             InstrumentSpec(name=inst["name"], params=_params_from_json(inst["params"]))
             for inst in data.get("instruments", [])
         ),
+        sleep=_sleep_from_dict(data.get("sleep")),
     )
 
 
@@ -195,6 +225,20 @@ def result_to_dict(result: SimulationResult) -> dict[str, Any]:
             "busy_cpu_seconds": result.energy.busy_cpu_seconds,
             "idle_cpu_seconds": result.energy.idle_cpu_seconds,
             "span": result.energy.span,
+            "sleep": (
+                None
+                if result.energy.sleep is None
+                else {
+                    "idle_awake_cpu_seconds": result.energy.sleep.idle_awake_cpu_seconds,
+                    "asleep_cpu_seconds": result.energy.sleep.asleep_cpu_seconds,
+                    "wake_count": result.energy.sleep.wake_count,
+                    "sleep_power_fraction": result.energy.sleep.sleep_power_fraction,
+                    "wake_energy_idle_seconds": result.energy.sleep.wake_energy_idle_seconds,
+                    "wake_stall_cpu_seconds": result.energy.sleep.wake_stall_cpu_seconds,
+                    "wake_delay_seconds_total": result.energy.sleep.wake_delay_seconds_total,
+                    "wake_delayed_jobs": result.energy.sleep.wake_delayed_jobs,
+                }
+            ),
         },
         "events_processed": result.events_processed,
         "timeline": [
@@ -206,6 +250,14 @@ def result_to_dict(result: SimulationResult) -> dict[str, Any]:
             for report in result.instruments
         ],
     }
+
+
+def _energy_from_dict(data: dict[str, Any]) -> EnergyReport:
+    sleep = data.get("sleep")
+    return EnergyReport(
+        **{key: value for key, value in data.items() if key != "sleep"},
+        sleep=None if sleep is None else SleepEnergyBreakdown(**sleep),
+    )
 
 
 def result_from_dict(data: dict[str, Any]) -> SimulationResult:
@@ -223,7 +275,7 @@ def result_from_dict(data: dict[str, Any]) -> SimulationResult:
         ),
         policy=data["policy"],
         outcomes=tuple(_outcome_from_dict(o) for o in data["outcomes"]),
-        energy=EnergyReport(**data["energy"]),
+        energy=_energy_from_dict(data["energy"]),
         events_processed=data["events_processed"],
         timeline=tuple(TimelinePoint(**p) for p in data["timeline"]),
         instruments=tuple(

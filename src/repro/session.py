@@ -97,6 +97,11 @@ class SimulationSession:
         return self._scheduler.queue_depth
 
     @property
+    def asleep_cpus(self) -> int:
+        """Processors currently powered down (0 without a sleep policy)."""
+        return self._scheduler.asleep_cpus
+
+    @property
     def instruments(self) -> tuple[Instrument, ...]:
         return tuple(self._instruments)
 

@@ -32,6 +32,8 @@ __all__ = [
     "GearSelected",
     "QueueDepthChanged",
     "ClockTick",
+    "NodesSlept",
+    "NodesWoke",
 ]
 
 
@@ -282,3 +284,30 @@ class ClockTick(LifecycleEvent):
     scheduling pass at that time has settled — the natural sampling
     point for telemetry instruments.
     """
+
+
+@dataclass(frozen=True, slots=True)
+class NodesSlept(LifecycleEvent):
+    """Idle processors crossed the sleep threshold and powered down.
+
+    Emitted by the :class:`~repro.cluster.power.NodePowerManager` off an
+    engine ``CONTROL`` timer at the transition moment, so controller
+    instruments (e.g. a power cap) observe the power drop when it
+    happens rather than at the next job event.  ``count`` is how many
+    processors just fell asleep; ``asleep`` the machine-wide total.
+    """
+
+    count: int
+    asleep: int
+
+
+@dataclass(frozen=True, slots=True)
+class NodesWoke(LifecycleEvent):
+    """Sleeping processors were roused to run a job.
+
+    ``delay_seconds`` is the wake transition the job's execution window
+    was stretched by (0 under an instantaneous-wake policy).
+    """
+
+    count: int
+    delay_seconds: float

@@ -72,6 +72,16 @@ class TestValidation:
         with pytest.raises(ValueError, match="ascending"):
             UtilizationTriggeredPolicy(steps=((0.6, 0), (0.4, 1)))
 
+    def test_duplicate_bounds_rejected(self):
+        # Regression: `bounds != sorted(bounds)` accepted duplicates,
+        # silently dead-lettering the later step (first match wins).
+        with pytest.raises(ValueError, match="strictly ascending"):
+            UtilizationTriggeredPolicy(steps=((0.4, 0), (0.4, 3)))
+
+    def test_strictly_ascending_bounds_accepted(self):
+        policy = UtilizationTriggeredPolicy(steps=((0.2, 0), (0.4, 1), (0.9, 2)))
+        assert "UtilizationTriggered" in policy.describe()
+
     def test_out_of_range_bounds_rejected(self):
         with pytest.raises(ValueError, match="0, 1"):
             UtilizationTriggeredPolicy(steps=((1.4, 0),))

@@ -53,7 +53,27 @@ class TestBusySeries:
             ]
         )
         series = busy_series(result)
-        assert (100.0, 4) in series  # finish+start at the same instant
+        # Finish+start at the same instant nets to zero: the level is
+        # unchanged, so no (redundant) step is emitted at t=100.
+        assert series == [(0.0, 4), (150.0, 0)]
+
+    def test_zero_runtime_jobs_emit_no_redundant_steps(self):
+        # A zero-runtime job starts and finishes in the same instant:
+        # its events net to zero and must not duplicate the level.
+        result = simulate(
+            [
+                make_job(1, submit=0.0, runtime=100.0, requested=100.0, size=2),
+                make_job(2, submit=10.0, runtime=0.0, requested=1.0, size=1),
+            ]
+        )
+        series = busy_series(result)
+        assert series == [(0.0, 2), (100.0, 0)]
+        levels = [busy for _, busy in series]
+        assert all(a != b for a, b in zip(levels, levels[1:]))
+
+    def test_only_zero_runtime_jobs(self):
+        result = simulate([make_job(1, submit=5.0, runtime=0.0, requested=1.0, size=3)])
+        assert busy_series(result) == [(5.0, 0)]
 
 
 class TestSleepEnergy:
@@ -95,7 +115,41 @@ class TestSleepEnergy:
         assert report.idle_awake_cpu_seconds == pytest.approx(80.0)
         assert report.asleep_cpu_seconds == pytest.approx(120.0)
         assert report.idle_energy == pytest.approx(MODEL.idle_energy(80.0))
-        assert report.wake_count == 2  # both settle asleep at span end
+        # Both sleepers are still asleep when the span closes: they never
+        # have to boot again, so no wake transitions are charged.
+        assert report.wake_count == 0
+
+    def test_no_wake_charged_for_nodes_asleep_at_span_end(self):
+        # Regression: the residual settle used to charge one wake per
+        # processor still asleep at span_end.  One short job, then a
+        # long empty tail: every CPU sleeps to the end and none wakes.
+        jobs = [make_job(1, submit=0.0, runtime=10.0, requested=10.0, size=4)]
+        result = simulate(jobs)
+        config = SleepStateConfig(
+            sleep_after_seconds=100.0,
+            sleep_power_fraction=0.0,
+            wake_energy_idle_seconds=50.0,
+        )
+        report = sleep_energy(result, config, MODEL, span_end=100000.0)
+        assert report.wake_count == 0
+        assert report.asleep_cpu_seconds == pytest.approx(4 * (100000.0 - 10.0 - 100.0))
+        # With zero sleep power, the tail costs exactly the 4 x 100s of
+        # awake idling — no phantom wake energy.
+        assert report.idle_energy == pytest.approx(MODEL.idle_energy(4 * 100.0))
+
+    def test_interior_wakes_still_charged(self):
+        # The fix must not drop *real* wakes: a second job rouses all
+        # four CPUs mid-span, and only that transition is charged.
+        jobs = [
+            make_job(1, submit=0.0, runtime=10.0, requested=10.0, size=4),
+            make_job(2, submit=5000.0, runtime=10.0, size=4),
+        ]
+        result = simulate(jobs)
+        config = SleepStateConfig(
+            sleep_after_seconds=100.0, sleep_power_fraction=0.0, wake_energy_idle_seconds=50.0
+        )
+        report = sleep_energy(result, config, MODEL)
+        assert report.wake_count == 4  # woken at t=5000, none at span end
 
     def test_wake_cost_accounted(self):
         jobs = [

@@ -23,6 +23,7 @@ from pathlib import Path
 import pytest
 
 from repro.api import Simulation
+from repro.cluster.power import SleepPolicy
 from repro.experiments.config import InstrumentSpec, PolicySpec, RunSpec
 from repro.scheduling.export import outcomes_to_csv
 
@@ -35,8 +36,20 @@ GOLDEN_DIR = Path(__file__).resolve().parent.parent / "goldens"
 #: asserts the 80% relation still holds.
 POWERCAP_SDSC_CAP = 706.5600000000002
 
+#: A full-shutdown sleep policy with a two-minute boot: wake latency
+#: visibly perturbs the schedule, so this golden pins the in-engine
+#: node-power subsystem end to end (idle detection, wake stalls and the
+#: sleep-aware energy books all feed the exported outcome rows).
+SLEEP_SDSC_POLICY = SleepPolicy(
+    sleep_after_seconds=600.0,
+    sleep_power_fraction=0.0,
+    wake_energy_idle_seconds=60.0,
+    wake_seconds=120.0,
+)
+
 #: Two pinned workloads x {no-DVFS baseline, the paper's DVFS(2, NO)},
-#: plus the reactive power-capping scenario on SDSC.
+#: plus the reactive power-capping scenario on SDSC and the node-sleep
+#: scenario on SDSC DVFS(2, NO).
 GOLDEN_SPECS: dict[str, RunSpec] = {
     "sdsc_300_nodvfs": RunSpec(
         workload="SDSC", n_jobs=300, seed=1, policy=PolicySpec.baseline()
@@ -50,6 +63,13 @@ GOLDEN_SPECS: dict[str, RunSpec] = {
         seed=1,
         policy=PolicySpec.baseline(),
         instruments=(InstrumentSpec.of("power_cap", cap=POWERCAP_SDSC_CAP),),
+    ),
+    "sdsc_300_sleep": RunSpec(
+        workload="SDSC",
+        n_jobs=300,
+        seed=1,
+        policy=PolicySpec.power_aware(2.0, None),
+        sleep=SLEEP_SDSC_POLICY,
     ),
     "ctc_300_nodvfs": RunSpec(
         workload="CTC", n_jobs=300, seed=1, policy=PolicySpec.baseline()
@@ -68,6 +88,22 @@ def test_powercap_cap_tracks_nodvfs_peak():
     result = Simulation(spec).run()
     peak = result.instrument("power_telemetry")["peak_watts"]
     assert POWERCAP_SDSC_CAP == pytest.approx(0.8 * peak, rel=1e-12)
+
+
+def test_sleep_golden_actually_sleeps_and_stalls():
+    """The sleep golden exercises both sides of the subsystem: nodes
+    genuinely power down, and wake latency genuinely moves the schedule
+    relative to the sleep-free twin."""
+    asleep = Simulation(GOLDEN_SPECS["sdsc_300_sleep"]).run()
+    awake = Simulation(GOLDEN_SPECS["sdsc_300_dvfs2no"]).run()
+    breakdown = asleep.energy.sleep
+    assert breakdown is not None
+    assert breakdown.asleep_cpu_seconds > 0.0
+    assert breakdown.wake_count > 0
+    assert breakdown.wake_delayed_jobs > 0
+    assert breakdown.wake_delay_seconds_total > 0.0
+    assert asleep.outcomes != awake.outcomes  # latency perturbed the schedule
+    assert asleep.energy.idle < awake.energy.idle  # and sleeping saved energy
 
 
 def test_powercap_golden_actually_caps():

@@ -55,6 +55,27 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "NotAWorkload"])
 
+    def test_sleep_preset_run(self, capsys):
+        out = run_cli(capsys, "--jobs", "60", "run", "SDSC", "--sleep", "shutdown")
+        assert "sleep states:" in out
+        assert "wakes" in out
+
+    def test_sleep_overrides(self, capsys):
+        out = run_cli(
+            capsys, "--jobs", "60", "run", "SDSC",
+            "--sleep", "default", "--sleep-after", "120", "--wake-seconds", "30",
+        )
+        assert "sleep states:" in out
+
+    def test_sleep_override_without_preset_rejected(self):
+        with pytest.raises(SystemExit, match="--sleep PRESET"):
+            main(["--jobs", "10", "run", "SDSC", "--sleep-after", "60"])
+
+    def test_bad_sleep_override_rejected(self):
+        with pytest.raises(SystemExit, match="sleep_after"):
+            main(["--jobs", "10", "run", "SDSC", "--sleep", "default",
+                  "--sleep-after", "-5"])
+
 
 class TestWatch:
     def test_streams_telemetry_lines(self, capsys):
@@ -83,6 +104,15 @@ class TestWatch:
             main(["--jobs", "10", "watch", "SDSC", "--cap", "-1"])
         with pytest.raises(SystemExit):
             main(["--jobs", "10", "watch", "SDSC", "--step-events", "0"])
+
+    def test_sleep_watch_shows_asleep_column(self, capsys):
+        out = run_cli(
+            capsys, "--jobs", "60", "watch", "SDSC",
+            "--interval", "3600", "--sleep", "default",
+        )
+        assert "asleep" in out
+        assert "sleep:" in out
+        assert "+sleep(300s)" in out
 
 
 class TestSweep:

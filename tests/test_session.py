@@ -181,8 +181,9 @@ class TestBundledInstruments:
         assert report["peak_watts"] == max(row[1] for row in samples)
         total = result.machine.total_cpus
         idle = Simulation(spec).build_scheduler().power_model.idle_power()
-        for _, watts, busy, depth in samples:
+        for _, watts, busy, depth, asleep in samples:
             assert 0 <= busy <= total and depth >= 0
+            assert asleep == 0  # no sleep policy on this spec
             assert watts >= idle * (total - busy) - 1e-9
 
     def test_power_telemetry_min_interval_thins(self):
@@ -284,6 +285,26 @@ class TestPowerCapScenario:
         assert report["reductions"] == 0
         assert report["transitions"] == []
         assert comparable(result) == comparable(Simulation(SMALL).run())
+
+    def test_end_of_run_settles_open_capped_interval(self):
+        """Satellite sweep: a run that ends while still capped must fold
+        the open ``_capped_since`` interval into ``time_capped``."""
+        result = Simulation(SMALL.with_instruments(
+            InstrumentSpec.of("power_cap", cap=1.0))).run()  # unmeetable cap
+        report = result.instrument("power_cap")
+        assert report["engaged_at_end"] is True
+        first_engaged = report["transitions"][0][0]
+        assert report["time_capped"] == pytest.approx(result.makespan - first_engaged)
+        assert report["time_capped"] > 0.0
+
+    def test_capped_report_is_stable_across_calls(self):
+        """The end-of-run settlement must not double-count when the
+        report is read more than once."""
+        session = Simulation(SMALL.with_instruments(
+            InstrumentSpec.of("power_cap", cap=1.0))).session()
+        session.run_to_completion()
+        controller = session.instrument("power_cap")
+        assert controller.report() == controller.report()
 
     def test_cap_schedule_steps(self):
         controller = PowerCapController(cap=100.0, schedule=((50.0, 80.0), (10.0, 90.0)))
