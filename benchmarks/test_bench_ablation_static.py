@@ -21,5 +21,5 @@ def test_ablation_static_share(benchmark):
     print()
     print(sweep.render())
     energies = [row[1] for row in sweep.rows]
-    for leaner, fatter in zip(energies, energies[1:]):
+    for leaner, fatter in zip(energies, energies[1:], strict=False):
         assert fatter >= leaner - 0.02

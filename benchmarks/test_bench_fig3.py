@@ -36,5 +36,5 @@ def test_figure3(benchmark):
     for workload in grid.workloads:
         for bsld in grid.bsld_thresholds:
             energies = [fig.normalized_energy((workload, bsld, wq), "idle0") for wq in order]
-            for tighter, looser in zip(energies, energies[1:]):
+            for tighter, looser in zip(energies, energies[1:], strict=False):
                 assert looser <= tighter + 0.02

@@ -21,7 +21,7 @@ def test_figure4(benchmark):
         for bsld in grid.bsld_thresholds:
             # WQ monotonicity of reduced-job counts.
             counts = [fig.reduced_jobs((workload, bsld, wq)) for wq in (0, 4, 16, None)]
-            for tight, loose in zip(counts, counts[1:]):
+            for tight, loose in zip(counts, counts[1:], strict=False):
                 assert loose >= tight - max(3, int(0.02 * BENCH_JOBS))
             assert counts[-1] <= BENCH_JOBS
 

@@ -19,7 +19,7 @@ def check_enlarged_energy_shapes(fig):
     for workload in sweep.workloads:
         comp = [fig.normalized_energy(workload, f, "idle0") for f in factors]
         # monotone non-increasing computational energy (small tolerance)
-        for small, large in zip(comp, comp[1:]):
+        for small, large in zip(comp, comp[1:], strict=False):
             assert large <= small + 0.02, (workload, comp)
         low = [fig.normalized_energy(workload, f, "idlelow") for f in factors]
         # On the largest machine the idle floor dominates: idle=low can

@@ -25,7 +25,7 @@ def test_figure9(benchmark):
             # monotone improvement with size (generous tolerance: the
             # trace is finite and bursty)
             assert series[-1] <= series[0] + 0.5
-            for a, b in zip(series, series[2:]):
+            for a, b in zip(series, series[2:], strict=False):
                 assert b <= a * 1.10 + 0.2
 
     # The loaded systems cross below their no-DVFS baseline by +125%

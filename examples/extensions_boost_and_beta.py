@@ -60,7 +60,7 @@ def main() -> None:
     # --- per-job beta: a memory-bound / CPU-bound job population --------
     assigner = BimodalBeta(cpu_bound_fraction=0.5)
     betas = assigner.assign(len(jobs), seed=7)
-    mixed_jobs = [job.with_beta(beta) for job, beta in zip(jobs, betas)]
+    mixed_jobs = [job.with_beta(beta) for job, beta in zip(jobs, betas, strict=True)]
 
     mixed_base = EasyBackfilling(machine, FixedGearPolicy()).run(mixed_jobs)
     mixed = EasyBackfilling(machine, BsldThresholdPolicy(2.0, None)).run(mixed_jobs)

@@ -38,9 +38,9 @@ def main() -> None:
         f"({runner.cache_hits} from cache, {runner.cache_misses} simulated)\n"
     )
 
-    base_by_workload = dict(zip(WORKLOADS, results[: len(baselines)]))
+    base_by_workload = dict(zip(WORKLOADS, results[: len(baselines)], strict=True))
     print(f"{'run':28s} {'avg BSLD':>9s} {'E_idle0/base':>13s} {'reduced':>8s}")
-    for spec, result in zip(grid, results[len(baselines):]):
+    for spec, result in zip(grid, results[len(baselines):], strict=True):
         base = base_by_workload[spec.workload]
         ratio = result.energy.computational / base.energy.computational
         print(

@@ -1,0 +1,110 @@
+"""Run the repo's determinism & invariant analysis suite.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_invariants.py
+    PYTHONPATH=src python scripts/check_invariants.py --update-snapshot
+    PYTHONPATH=src python scripts/check_invariants.py --github-summary
+
+Layers run (see :mod:`repro.analysis`): the custom AST lint rules over
+the engine core and the codec/cache-key/schema-snapshot consistency
+checks.  Exit status is non-zero when any finding survives, so CI can
+gate on it; ``--github-summary`` additionally appends a markdown table
+to ``$GITHUB_STEP_SUMMARY`` when that file is available.
+
+``--update-snapshot`` regenerates ``repro/analysis/schema_snapshot.json``
+after a deliberate serialized-surface change; it refuses to run unless
+``FORMAT_VERSION`` was bumped past the committed snapshot's version.
+"""
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.consistency import run_consistency, update_snapshot  # noqa: E402
+from repro.analysis.lints import RULE_DOCS, run_lints  # noqa: E402
+
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def github_summary(findings) -> None:
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = ["## Invariant analysis", ""]
+    if not findings:
+        lines.append("No findings — all determinism invariants hold.")
+    else:
+        lines += [
+            f"**{len(findings)} finding(s)**",
+            "",
+            "| Rule | Location | Message |",
+            "| --- | --- | --- |",
+        ]
+        lines += [
+            f"| `{f.rule}` | `{f.path}:{f.line}` | {f.message} |" for f in findings
+        ]
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update-snapshot",
+        action="store_true",
+        help="regenerate repro/analysis/schema_snapshot.json (requires a "
+        "FORMAT_VERSION bump when the field set changed)",
+    )
+    parser.add_argument(
+        "--github-summary",
+        action="store_true",
+        help="append a findings table to $GITHUB_STEP_SUMMARY if set",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="alternate package root to lint (AST rules only; used by the "
+        "seeded-violation fixture tests under tests/analysis/fixtures)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update_snapshot:
+        path, written = update_snapshot(PACKAGE_ROOT)
+        if not written:
+            print(
+                "refusing to update the schema snapshot: the serialized field "
+                "set changed but FORMAT_VERSION was not bumped past the "
+                "committed snapshot's version. Bump FORMAT_VERSION in "
+                "src/repro/serialize.py first.",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"schema snapshot written: {path.relative_to(REPO_ROOT)}")
+        return 0
+
+    if args.root is not None:
+        # Fixture mode: the AST rules run over an arbitrary mini-package;
+        # the codec/snapshot consistency layer is tied to the real repo.
+        findings = run_lints(args.root)
+    else:
+        findings = run_lints(PACKAGE_ROOT) + run_consistency(PACKAGE_ROOT)
+    for finding in findings:
+        print(finding)
+    if args.github_summary:
+        github_summary(findings)
+    if findings:
+        print(f"\n{len(findings)} finding(s).", file=sys.stderr)
+        return 1
+    checked = [*sorted(RULE_DOCS), "codec-field", "cache-key-chain", "schema-snapshot"]
+    print(f"invariant analysis clean ({len(checked)} rules: {', '.join(checked)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Static analysis and runtime sanitization for the simulator's invariants.
+
+The repo's determinism guarantees are defended dynamically by goldens
+and hypothesis differentials; this package defends them *statically*
+and *structurally*, in three coordinated layers:
+
+:mod:`repro.analysis.lints`
+    Custom AST lint rules over the engine core (``sim/``,
+    ``scheduling/``, ``cluster/``, ``power/``): no wall clock, no RNG
+    outside :mod:`repro.sim.rng`, frozen (and, for lifecycle events,
+    slotted) dataclasses, no silently swallowed exceptions, no float
+    equality in scheduling/profile arithmetic, and registry
+    registrations reachable from the public ``repro`` surface.
+
+:mod:`repro.analysis.consistency`
+    Cross-consistency between the spec dataclasses
+    (:class:`~repro.experiments.config.RunSpec` and friends) and
+    :mod:`repro.serialize`: every field must be encoded, decoded and
+    cache-keyed, and any change to the serialized surface must bump
+    ``FORMAT_VERSION`` against the committed
+    ``schema_snapshot.json``.
+
+:mod:`repro.analysis.sanitize`
+    The opt-in runtime sanitizer (``REPRO_SANITIZE=1``,
+    ``SchedulerConfig(sanitize=True)``, or
+    :func:`~repro.analysis.sanitize.sanitized`): after every
+    scheduling pass the engine re-verifies heap-clock monotonicity,
+    availability-profile capacity bounds, job-queue tombstone
+    accounting, non-negative energy books and the node-sleep idle-stack
+    netting.  Zero cost when off.
+
+Run everything locally with::
+
+    PYTHONPATH=src python scripts/check_invariants.py
+
+and the sanitizer-enabled test lane with::
+
+    REPRO_SANITIZE=1 PYTHONPATH=src python -m pytest -x -q
+"""
+
+from repro.analysis.lints import Finding, lint_file, run_lints
+from repro.analysis.consistency import run_consistency, update_snapshot
+from repro.analysis.sanitize import SanitizeError, enable, enabled, sanitized
+
+__all__ = [
+    "Finding",
+    "SanitizeError",
+    "enable",
+    "enabled",
+    "lint_file",
+    "run_consistency",
+    "run_lints",
+    "sanitized",
+    "update_snapshot",
+]

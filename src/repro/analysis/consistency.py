@@ -1,0 +1,270 @@
+"""Cross-consistency checks between spec dataclasses and their codecs.
+
+:mod:`repro.serialize` promises exact round-trips, and
+:class:`~repro.batch.BatchRunner`'s on-disk cache keys on the canonical
+spec JSON.  Both promises break *silently* if someone adds a field to
+:class:`~repro.experiments.config.RunSpec` (or ``PolicySpec``,
+``InstrumentSpec``, :class:`~repro.cluster.power.SleepPolicy`) without
+teaching the codecs about it: the new field vanishes on encode, two
+specs differing only in that field collide on one cache entry, and
+every cached result the field should have invalidated is happily
+reused.  Nothing fails until a plot is wrong.
+
+This module closes the loop statically, by parsing the source with
+``ast`` (never importing or instantiating anything):
+
+* every field of each tracked dataclass appears as a key in its encoder
+  function in ``serialize.py``;
+* every field is reconstructed by its decoder (keyword arguments of the
+  class constructor call, or a ``**``-expansion which covers all
+  fields);
+* the cache key is derived from the full encoding — ``spec_key`` must
+  hash ``spec_json``, which must serialise ``spec_to_dict`` — so
+  encoder coverage *is* cache-key coverage;
+* the serialised field set matches the committed snapshot
+  (``schema_snapshot.json``); when it doesn't, ``FORMAT_VERSION`` must
+  have been bumped before the snapshot may be regenerated with
+  ``scripts/check_invariants.py --update-snapshot``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from repro.analysis.lints import Finding
+
+__all__ = [
+    "TRACKED_CLASSES",
+    "collect_schema",
+    "load_snapshot",
+    "run_consistency",
+    "update_snapshot",
+]
+
+#: ``class name -> (defining module, encoder function, decoder function)``.
+#: Encoder/decoder functions live in ``repro/serialize.py``.
+TRACKED_CLASSES: dict[str, tuple[str, str, str]] = {
+    "RunSpec": ("experiments/config.py", "spec_to_dict", "spec_from_dict"),
+    "PolicySpec": ("experiments/config.py", "spec_to_dict", "spec_from_dict"),
+    "InstrumentSpec": ("experiments/config.py", "spec_to_dict", "spec_from_dict"),
+    "SleepPolicy": ("cluster/power.py", "_sleep_to_dict", "_sleep_from_dict"),
+}
+
+SNAPSHOT_FILE = "schema_snapshot.json"
+
+SERIALIZE = "serialize.py"
+
+
+def _parse(path: Path) -> ast.Module:
+    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+def _dataclass_fields(tree: ast.Module, class_name: str) -> tuple[str, ...]:
+    """Field names of a dataclass, in declaration order."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields = []
+            for statement in node.body:
+                if isinstance(statement, ast.AnnAssign) and isinstance(
+                    statement.target, ast.Name
+                ):
+                    annotation = ast.unparse(statement.annotation)
+                    if annotation.startswith("ClassVar"):
+                        continue
+                    fields.append(statement.target.id)
+            return tuple(fields)
+    raise LookupError(f"dataclass {class_name} not found")
+
+
+def _function(tree: ast.Module, name: str) -> ast.FunctionDef:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    raise LookupError(f"function {name} not found in serialize.py")
+
+
+def _dict_keys(function: ast.FunctionDef) -> set[str]:
+    """All constant string dict keys built anywhere inside ``function``."""
+    keys: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+    return keys
+
+
+def _decoded_fields(
+    function: ast.FunctionDef, class_name: str, all_fields: tuple[str, ...]
+) -> set[str]:
+    """Fields of ``class_name`` that ``function`` reconstructs.
+
+    A keyword argument in a ``ClassName(...)`` call marks that field
+    decoded; a ``ClassName(**mapping)`` expansion marks every field
+    decoded (the mapping is the decoded document itself).
+    """
+    decoded: set[str] = set()
+    for node in ast.walk(function):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == class_name
+        ):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg is None:  # **expansion
+                decoded.update(all_fields)
+            else:
+                decoded.add(keyword.arg)
+    return decoded
+
+
+def _calls(function: ast.FunctionDef) -> set[str]:
+    """Names of all plain-name functions called inside ``function``."""
+    names: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            names.add(node.func.id)
+    return names
+
+
+def _format_version(tree: ast.Module) -> int:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "FORMAT_VERSION":
+                    if isinstance(node.value, ast.Constant) and isinstance(
+                        node.value.value, int
+                    ):
+                        return node.value.value
+    raise LookupError("FORMAT_VERSION not found in serialize.py")
+
+
+# -- schema snapshot -----------------------------------------------------------
+def collect_schema(package_root: Path) -> dict:
+    """The current serialised surface: format version + per-class fields."""
+    serialize_tree = _parse(package_root / SERIALIZE)
+    classes = {}
+    for class_name, (module, _encoder, _decoder) in TRACKED_CLASSES.items():
+        tree = _parse(package_root / module)
+        classes[class_name] = sorted(_dataclass_fields(tree, class_name))
+    return {
+        "format_version": _format_version(serialize_tree),
+        "classes": classes,
+    }
+
+
+def _snapshot_path(package_root: Path) -> Path:
+    return package_root / "analysis" / SNAPSHOT_FILE
+
+
+def load_snapshot(package_root: Path) -> dict | None:
+    path = _snapshot_path(package_root)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def update_snapshot(package_root: Path) -> tuple[Path, bool]:
+    """Regenerate the snapshot; refuses to paper over a missing version bump.
+
+    Returns ``(path, written)``.  ``written`` is ``False`` when the
+    field set changed but ``FORMAT_VERSION`` did not — the caller must
+    bump the version first, or stale cached results would be reread
+    under the new layout.
+    """
+    current = collect_schema(package_root)
+    previous = load_snapshot(package_root)
+    if (
+        previous is not None
+        and previous["classes"] != current["classes"]
+        and current["format_version"] <= previous["format_version"]
+    ):
+        return _snapshot_path(package_root), False
+    path = _snapshot_path(package_root)
+    path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path, True
+
+
+# -- the checks ----------------------------------------------------------------
+def run_consistency(package_root: Path | str | None = None) -> list[Finding]:
+    """All codec/cache-key/snapshot findings for the package."""
+    if package_root is None:
+        package_root = Path(__file__).resolve().parent.parent
+    root = Path(package_root)
+    serialize_tree = _parse(root / SERIALIZE)
+    findings: list[Finding] = []
+
+    for class_name, (module, encoder_name, decoder_name) in TRACKED_CLASSES.items():
+        fields = _dataclass_fields(_parse(root / module), class_name)
+        encoder = _function(serialize_tree, encoder_name)
+        decoder = _function(serialize_tree, decoder_name)
+        encoded = _dict_keys(encoder)
+        decoded = _decoded_fields(decoder, class_name, fields)
+        for name in fields:
+            if name not in encoded:
+                findings.append(Finding(
+                    "codec-field", SERIALIZE, encoder.lineno,
+                    f"{class_name}.{name} is never emitted by {encoder_name}() — "
+                    f"the field silently drops out of serialized specs and "
+                    f"cache keys",
+                ))
+            if name not in decoded:
+                findings.append(Finding(
+                    "codec-field", SERIALIZE, decoder.lineno,
+                    f"{class_name}.{name} is never reconstructed by "
+                    f"{decoder_name}() — round-trips lose the field",
+                ))
+
+    # Cache-key derivation chain: spec_key -> spec_json -> spec_to_dict.
+    # Encoder coverage only implies cache-key coverage through this chain.
+    spec_key = _function(serialize_tree, "spec_key")
+    spec_json = _function(serialize_tree, "spec_json")
+    if "spec_json" not in _calls(spec_key):
+        findings.append(Finding(
+            "cache-key-chain", SERIALIZE, spec_key.lineno,
+            "spec_key() no longer hashes spec_json() — cache keys are not "
+            "derived from the full canonical encoding",
+        ))
+    if "spec_to_dict" not in _calls(spec_json):
+        findings.append(Finding(
+            "cache-key-chain", SERIALIZE, spec_json.lineno,
+            "spec_json() no longer serialises spec_to_dict() — the canonical "
+            "JSON is not the full field encoding",
+        ))
+
+    # Snapshot discipline: serialized surface changes require a version bump.
+    current = collect_schema(root)
+    snapshot = load_snapshot(root)
+    if snapshot is None:
+        findings.append(Finding(
+            "schema-snapshot", f"analysis/{SNAPSHOT_FILE}", 1,
+            "schema snapshot missing — run scripts/check_invariants.py "
+            "--update-snapshot and commit the file",
+        ))
+    else:
+        fields_changed = snapshot["classes"] != current["classes"]
+        version_now = current["format_version"]
+        version_then = snapshot["format_version"]
+        if fields_changed and version_now <= version_then:
+            changed = sorted(
+                name for name in set(snapshot["classes"]) | set(current["classes"])
+                if snapshot["classes"].get(name) != current["classes"].get(name)
+            )
+            findings.append(Finding(
+                "schema-snapshot", SERIALIZE, 1,
+                f"serialized field set changed ({', '.join(changed)}) but "
+                f"FORMAT_VERSION is still {version_now} — bump it, then run "
+                f"scripts/check_invariants.py --update-snapshot",
+            ))
+        elif fields_changed or version_now != version_then:
+            findings.append(Finding(
+                "schema-snapshot", f"analysis/{SNAPSHOT_FILE}", 1,
+                f"schema snapshot is stale (snapshot v{version_then}, code "
+                f"v{version_now}) — run scripts/check_invariants.py "
+                f"--update-snapshot and commit the result",
+            ))
+
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))

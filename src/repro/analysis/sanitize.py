@@ -1,0 +1,69 @@
+"""The opt-in engine sanitizer: one flag, deep checks, zero cost when off.
+
+The simulator's determinism guarantees rest on a handful of structural
+invariants (heap-clock monotonicity, profile capacity bounds, queue
+tombstone accounting, non-negative energy books, idle-stack netting).
+The dynamic harness samples them — goldens and hypothesis differentials
+catch a violation only when it changes a result.  The sanitizer checks
+them *directly*: every core structure grows a ``check_consistency``
+method, and :class:`~repro.scheduling.base.Scheduler` calls them after
+every scheduling pass when sanitizing is on.
+
+Enablement is a single module-level flag:
+
+* ``REPRO_SANITIZE=1`` in the environment (read once at import), or
+* ``SchedulerConfig(sanitize=True)`` /
+  ``Simulation(spec, sanitize=True)`` per run, or
+* :func:`enable` / the :func:`sanitized` context manager (tests).
+
+The flag is consulted once per run, in ``Scheduler.prepare`` — a
+disabled run takes the exact pre-sanitizer fast path (the plain-pass
+branch the scheduler already has), so the feature costs nothing when
+off.  When on, every pass pays O(live state) re-verification; the
+hypothesis suites and a dedicated CI job run this way.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["SanitizeError", "enabled", "enable", "sanitized"]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: Module-level switch; seeded from ``REPRO_SANITIZE`` at import time.
+_ENABLED = os.environ.get("REPRO_SANITIZE", "").strip().lower() in _TRUTHY
+
+
+class SanitizeError(AssertionError):
+    """A core-structure invariant does not hold (a simulator bug)."""
+
+
+def enabled() -> bool:
+    """Whether the process-wide sanitizer flag is set."""
+    return _ENABLED
+
+
+def enable(on: bool = True) -> None:
+    """Set the process-wide sanitizer flag (tests and harnesses)."""
+    global _ENABLED
+    _ENABLED = on
+
+
+@contextmanager
+def sanitized() -> Iterator[None]:
+    """Context manager: sanitize runs prepared inside the block."""
+    before = _ENABLED
+    enable(True)
+    try:
+        yield
+    finally:
+        enable(before)
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`SanitizeError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise SanitizeError(message)

@@ -66,6 +66,12 @@ class Simulation:
         :data:`DEFAULT_N_JOBS`.
     validate:
         Run with per-pass invariant checking on (slower).
+    sanitize:
+        Run with the deep structural sanitizer on
+        (:mod:`repro.analysis.sanitize`; also enabled process-wide by
+        ``REPRO_SANITIZE=1``).  A facade flag rather than a
+        :class:`RunSpec` field: the sanitizer never changes results, so
+        it must never change cache keys either.
     jobs / machine:
         Optional pre-materialised trace/machine (the experiment runner
         passes its memoised ones); by default both come from the spec's
@@ -77,11 +83,13 @@ class Simulation:
         spec: RunSpec,
         *,
         validate: bool = False,
+        sanitize: bool = False,
         jobs: Sequence[Job] | None = None,
         machine: Machine | None = None,
     ) -> None:
         self.spec = normalize_spec(spec)
         self._validate = validate
+        self._sanitize = sanitize
         self._jobs: list[Job] | None = list(jobs) if jobs is not None else None
         self._machine = machine
 
@@ -128,6 +136,7 @@ class Simulation:
                 boost=spec.policy.boost_config(),
                 record_timeline=spec.record_timeline,
                 sleep=spec.sleep,
+                sanitize=self._sanitize,
             ),
         )
 

@@ -20,8 +20,8 @@ on-disk cache (and handed to the optional ``progress`` callback) as it
 lands, so a crashed sweep resumes from everything already finished.
 
 The on-disk cache (one JSON file per spec, keyed by the canonical spec
-hash) makes repeated sweeps — the 60-run grids behind Figures 3–5 and
-7–9 — free after the first run, across processes and sessions.
+hash) makes repeated sweeps — the 60-run grids behind Figures 3-5 and
+7-9 — free after the first run, across processes and sessions.
 """
 
 from __future__ import annotations

@@ -198,7 +198,7 @@ def _parse_sleep(args: argparse.Namespace) -> SleepPolicy | None:
     try:
         return SleepPolicy.preset(args.sleep, **overrides)
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
 
 
 def _parse_wq(raw: str) -> int | None:
@@ -207,7 +207,7 @@ def _parse_wq(raw: str) -> int | None:
     try:
         value = int(raw)
     except ValueError:
-        raise SystemExit(f"--wq-threshold must be an integer or NO, got {raw!r}")
+        raise SystemExit(f"--wq-threshold must be an integer or NO, got {raw!r}") from None
     if value < 0:
         raise SystemExit(f"--wq-threshold must be >= 0, got {value}")
     return value
@@ -217,7 +217,7 @@ def _parse_float_list(raw: str, flag: str) -> tuple[float, ...]:
     try:
         values = tuple(float(part) for part in raw.split(",") if part.strip())
     except ValueError:
-        raise SystemExit(f"{flag} must be a comma-separated list of numbers, got {raw!r}")
+        raise SystemExit(f"{flag} must be a comma-separated list of numbers, got {raw!r}") from None
     if not values:
         raise SystemExit(f"{flag} must name at least one value")
     return values

@@ -313,6 +313,58 @@ class NodePowerManager:
             self._settle(idled_since, span_end, wake=False)
         self._finalized = True
 
+    def check_consistency(self, free_cpus: int | None = None) -> None:
+        """Verify the idle-stack netting invariants (sanitizer hook).
+
+        The stack must stay ascending (LIFO re-engagement of anonymous
+        processors), the open-bucket counters in range, and every energy
+        accumulator non-negative.  When the caller passes the pool's
+        ``free_cpus``, the netting identity is checked too: the idle
+        population the manager believes in — stack entries not yet
+        claimed by same-timestamp starts, plus unconsumed same-timestamp
+        releases — must equal the pool's free count exactly.  O(stack);
+        called only under :mod:`repro.analysis.sanitize`.
+        """
+        from repro.analysis.sanitize import require
+
+        stack = self._stack
+        for index in range(1, len(stack)):
+            require(
+                stack[index - 1] <= stack[index],
+                f"idle stack not ascending at index {index}",
+            )
+        require(
+            0 <= self._claimed <= len(stack),
+            f"claimed count {self._claimed} outside the stack of {len(stack)}",
+        )
+        require(self._fresh_avail >= 0, f"negative fresh-release bucket {self._fresh_avail}")
+        require(self._pushed >= 0, f"negative push counter {self._pushed}")
+        require(self._popped >= 0, f"negative pop counter {self._popped}")
+        require(
+            0 <= self._announced <= len(stack),
+            f"announced count {self._announced} outside the stack of {len(stack)}",
+        )
+        for name in (
+            "idle_awake_cpu_seconds", "asleep_cpu_seconds",
+            "wake_stall_cpu_seconds", "wake_delay_seconds_total",
+        ):
+            require(
+                getattr(self, name) >= 0.0,
+                f"energy accumulator {name} went negative: {getattr(self, name)}",
+            )
+        require(self.wake_count >= 0, f"negative wake count {self.wake_count}")
+        require(
+            self.wake_delayed_jobs >= 0,
+            f"negative delayed-job count {self.wake_delayed_jobs}",
+        )
+        if free_cpus is not None:
+            idle = len(stack) - self._claimed + self._fresh_avail
+            require(
+                idle == free_cpus,
+                f"idle-stack netting drift: manager sees {idle} idle "
+                f"processors, the pool reports {free_cpus} free",
+            )
+
     # -- probes ------------------------------------------------------------------
     def asleep_cpus(self, now: float) -> int:
         """How many processors are asleep at ``now``.

@@ -141,6 +141,75 @@ class AvailabilityProfile:
             si = 0
         return lowest
 
+    def check_consistency(self) -> None:
+        """Verify the blocked-index invariants (sanitizer hook).
+
+        The block summaries (``_bstart``/``_bmin``/``_bmax``) are what
+        lets searches skip whole blocks; a stale summary silently makes
+        ``find_start`` return wrong allocations.  Checks parallel-list
+        alignment, strictly-increasing breakpoints, capacity bounds
+        ``0 <= free <= total`` on every segment, summary freshness, and
+        the no-equal-neighbours compaction invariant.  O(breakpoints);
+        called only under :mod:`repro.analysis.sanitize`.
+        """
+        from repro.analysis.sanitize import require
+
+        blocks = len(self._bt)
+        require(blocks >= 1, "profile lost its last block")
+        for name, column in (
+            ("_bf", self._bf), ("_badd", self._badd), ("_bmin", self._bmin),
+            ("_bmax", self._bmax), ("_bstart", self._bstart),
+        ):
+            require(
+                len(column) == blocks,
+                f"parallel block list {name} has {len(column)} entries, "
+                f"expected {blocks}",
+            )
+        previous_time = float("-inf")
+        previous_free: int | None = None
+        for bi in range(blocks):
+            times = self._bt[bi]
+            frees = self._bf[bi]
+            add = self._badd[bi]
+            require(len(times) > 0, f"block {bi} is empty")
+            require(
+                len(times) == len(frees),
+                f"block {bi} time/free columns disagree",
+            )
+            require(
+                self._bstart[bi] == times[0],
+                f"block {bi} bisect key {self._bstart[bi]} != first "
+                f"breakpoint {times[0]}",
+            )
+            effective = [value + add for value in frees]
+            require(
+                self._bmin[bi] == min(effective),
+                f"block {bi} min summary stale",
+            )
+            require(
+                self._bmax[bi] == max(effective),
+                f"block {bi} max summary stale",
+            )
+            for si, time in enumerate(times):
+                require(
+                    time > previous_time,
+                    f"breakpoints not strictly increasing at block {bi} "
+                    f"slot {si} ({time} after {previous_time})",
+                )
+                previous_time = time
+                free = effective[si]
+                require(
+                    0 <= free <= self._total,
+                    f"free count {free} outside [0, {self._total}] at "
+                    f"t={time}",
+                )
+                require(
+                    previous_free is None or free != previous_free,
+                    f"uncompacted equal-free neighbour at t={time} "
+                    f"(free={free})",
+                )
+                previous_free = free
+
     # -- mutation --------------------------------------------------------------
     def _recompute_bounds(self, bi: int) -> None:
         frees = self._bf[bi]
@@ -632,7 +701,7 @@ class ReferenceAvailabilityProfile:
             return
         times = [self._times[0]]
         free = [self._free[0]]
-        for t, f in zip(self._times[1:], self._free[1:]):
+        for t, f in zip(self._times[1:], self._free[1:], strict=True):
             if f == free[-1]:
                 continue
             times.append(t)

@@ -56,7 +56,7 @@ class SchedulingContext:
         Current simulation time.
     wait_time_for:
         ``WT`` of Eq. (2) as a function of the candidate gear: the wait
-        the tentative allocation would impose (scheduled start − submit
+        the tentative allocation would impose (scheduled start - submit
         time).  Under EASY the start does not depend on the gear (the
         running-jobs free profile is non-decreasing in time), but under
         conservative backfilling a longer (slower) job may only fit

@@ -58,7 +58,7 @@ class GearSet:
         freqs = [g.frequency for g in ordered]
         if len(set(freqs)) != len(freqs):
             raise ValueError(f"duplicate frequencies in gear set: {freqs}")
-        for lo, hi in zip(ordered, ordered[1:]):
+        for lo, hi in zip(ordered, ordered[1:], strict=False):
             if hi.voltage < lo.voltage:
                 raise ValueError(
                     "voltage must be non-decreasing with frequency: "

@@ -40,7 +40,7 @@ class UtilizationTriggeredPolicy(FrequencyPolicy):
         # Strictly ascending: a duplicate bound would silently
         # dead-letter every later step sharing it (the first match
         # always wins in the lookup below).
-        if any(a >= b for a, b in zip(bounds, bounds[1:])):
+        if any(a >= b for a, b in zip(bounds, bounds[1:], strict=False)):
             raise ValueError(
                 f"utilisation bounds must be strictly ascending, got {bounds}"
             )

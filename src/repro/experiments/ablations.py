@@ -229,7 +229,7 @@ def policy_comparison(
             run.energy.computational / base.energy.computational,
             run.reduced_jobs,
         )
-        for (label, _), run in zip(configs, results)
+        for (label, _), run in zip(configs, results, strict=True)
     )
     return PolicyComparison(workload=workload, n_jobs=n, rows=rows)
 

@@ -68,7 +68,7 @@ def bar_chart(
     lines: list[str] = []
     if title:
         lines.append(title)
-    for label, value in zip(labels, values):
+    for label, value in zip(labels, values, strict=True):
         filled = 0 if top <= 0 else max(0, min(width, round(width * value / top)))
         lines.append(f"{label.ljust(label_width)} |{'#' * filled}{' ' * (width - filled)}| {value:.3f}")
     return "\n".join(lines)

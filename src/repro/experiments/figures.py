@@ -26,6 +26,7 @@ reproduction by *shape*:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.experiments.ascii_charts import format_table, line_plot
 from repro.experiments.config import (
@@ -75,11 +76,14 @@ class ThresholdGrid:
     runs: dict[GridKey, SimulationResult]
     baselines: dict[str, SimulationResult]
 
-    def keys(self):
+    def keys(self) -> Iterator[GridKey]:
         for workload in self.workloads:
             for bsld in self.bsld_thresholds:
                 for wq in self.wq_thresholds:
                     yield (workload, bsld, wq)
+
+    def __iter__(self) -> Iterator[GridKey]:
+        return self.keys()
 
 
 def threshold_grid(

@@ -103,7 +103,7 @@ def build_report(runner: ExperimentRunner, include_ablations: bool = True) -> st
     ]
     sections.append(
         f"Average saving across the grid: {sum(savings) / len(savings):.1%} "
-        f"(paper: 7%–18% average depending on allowed penalty); best corner "
+        f"(paper: 7%-18% average depending on allowed penalty); best corner "
         f"{max(savings):.1%} (paper: up to 22%)."
     )
     sections.append(_h(2, "Figure 4 — jobs run at reduced frequency"))
@@ -138,7 +138,7 @@ def build_report(runner: ExperimentRunner, include_ablations: bool = True) -> st
     )
     sections.append(
         f"+20% system, computational energy saving across workloads: "
-        f"{best20:.1%}–{deepest20:.1%} (paper: 'almost 30%' on the amenable "
+        f"{best20:.1%}-{deepest20:.1%} (paper: 'almost 30%' on the amenable "
         f"workloads while keeping original performance)."
     )
     sections.append(_h(2, "Figure 9 — average BSLD of enlarged systems"))
@@ -179,7 +179,7 @@ def build_report(runner: ExperimentRunner, include_ablations: bool = True) -> st
         "(`repro.workloads.models`).  Gear ladder, power model, β time "
         "model and the BSLD formulas are implemented verbatim from the "
         "paper.  The calibrated baselines above anchor the queueing "
-        "regimes; everything downstream (Figures 3–9, Table 3) is "
+        "regimes; everything downstream (Figures 3-9, Table 3) is "
         "emergent behaviour of the policy, not fitted."
     )
     return "\n\n".join(sections) + "\n"

@@ -117,7 +117,7 @@ class ExperimentRunner:
             if spec not in self._results and spec not in missing:
                 missing.append(spec)
         if self._batch is not None and missing:
-            for spec, result in zip(missing, self._batch.run(missing)):
+            for spec, result in zip(missing, self._batch.run(missing), strict=True):
                 self._results[spec] = result
         else:
             for spec in missing:

@@ -76,7 +76,7 @@ def predicted_bsld(
     ----------
     wait_time:
         ``WT``: wait time the allocation would impose
-        (scheduled start − submit).
+        (scheduled start - submit).
     requested_time:
         ``RQ``: the user's runtime estimate at the top frequency.
     coefficient:

@@ -13,10 +13,13 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from random import Random
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.power.time_model import DEFAULT_BETA
+from repro.sim.rng import seeded_rng
+
+if TYPE_CHECKING:
+    from random import Random
 
 __all__ = [
     "BetaAssigner",
@@ -35,8 +38,14 @@ class BetaAssigner(ABC):
         """Draw one β value."""
 
     def assign(self, n: int, seed: int = 0) -> list[float]:
-        """Draw ``n`` β values reproducibly from ``seed``."""
-        rng = Random(seed)
+        """Draw ``n`` β values reproducibly from ``seed``.
+
+        Uses :func:`repro.sim.rng.seeded_rng`, whose stream is
+        byte-identical to the ``Random(seed)`` this method historically
+        constructed, so existing goldens and cached results are
+        unaffected.
+        """
+        rng = seeded_rng(seed)
         return [self.sample(rng) for _ in range(n)]
 
 

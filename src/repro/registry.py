@@ -21,7 +21,7 @@ up automatically.
 from __future__ import annotations
 
 import importlib
-from typing import Callable, Generic, Iterator, Sequence, TypeVar
+from typing import Any, Callable, Generic, Iterator, Sequence, TypeVar
 
 __all__ = [
     "Registry",
@@ -154,7 +154,7 @@ class Registry(Generic[T]):
 
 
 #: Scheduler classes (``Scheduler`` subclasses), keyed by CLI name.
-SCHEDULERS: Registry[type] = Registry(
+SCHEDULERS: Registry[type[Any]] = Registry(
     "scheduler",
     modules=(
         "repro.scheduling.easy",
@@ -164,36 +164,36 @@ SCHEDULERS: Registry[type] = Registry(
 )
 
 #: Frequency-policy builders ``(PolicySpec) -> FrequencyPolicy``, keyed by kind.
-POLICIES: Registry[Callable] = Registry(
+POLICIES: Registry[Callable[..., Any]] = Registry(
     "frequency policy", modules=("repro.experiments.config",)
 )
 
 #: Power-model factories ``(GearSet) -> PowerModel``.
-POWER_MODELS: Registry[Callable] = Registry(
+POWER_MODELS: Registry[Callable[..., Any]] = Registry(
     "power model", modules=("repro.power.model",)
 )
 
 #: Workload sources ``(workload, n_jobs, seed) -> WorkloadBundle``.
-WORKLOAD_SOURCES: Registry[Callable] = Registry(
+WORKLOAD_SOURCES: Registry[Callable[..., Any]] = Registry(
     "workload source", modules=("repro.workloads.sources",)
 )
 
 #: Session instruments (``Instrument`` subclasses), keyed by spec name.
-INSTRUMENTS: Registry[type] = Registry(
+INSTRUMENTS: Registry[type[Any]] = Registry(
     "instrument", modules=("repro.instruments",)
 )
 
 #: Named sleep-policy presets ``() -> SleepPolicy`` (in-engine node power-down).
-SLEEP_POLICIES: Registry[Callable] = Registry(
+SLEEP_POLICIES: Registry[Callable[..., Any]] = Registry(
     "sleep policy", modules=("repro.cluster.power",)
 )
 
 #: Paper-figure builders ``(ExperimentRunner) -> figure``, keyed by number.
-FIGURES: Registry[Callable] = Registry(
+FIGURES: Registry[Callable[..., Any]] = Registry(
     "figure", modules=("repro.experiments.figures",)
 )
 
 #: Ablation-study builders ``(ExperimentRunner, **kwargs) -> ablation``.
-ABLATIONS: Registry[Callable] = Registry(
+ABLATIONS: Registry[Callable[..., Any]] = Registry(
     "ablation", modules=("repro.experiments.ablations",)
 )

@@ -15,6 +15,7 @@ from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.analysis.sanitize import enabled as sanitize_enabled
 from repro.cluster.allocation import Allocation
 from repro.cluster.machine import Machine
 from repro.cluster.power import NodePowerManager, SleepPolicy
@@ -70,6 +71,14 @@ class SchedulerConfig:
         conventional always-on machine.  A policy that can never sleep
         (``sleep_after_seconds=inf``) is treated as ``None``, keeping
         the run byte-identical to one without the subsystem.
+    sanitize:
+        Run the deep structural sanitizer after every scheduling pass
+        (:mod:`repro.analysis.sanitize`); also enabled process-wide by
+        ``REPRO_SANITIZE=1``.  Unlike ``validate`` (cross-structure
+        accounting identities), the sanitizer re-verifies each core
+        structure's *internal* invariants — event-queue ordering, queue
+        tombstone columns, profile summaries, idle-stack netting,
+        energy-book signs.  Zero cost when off.
     """
 
     track_processor_ids: bool = False
@@ -78,6 +87,7 @@ class SchedulerConfig:
     record_timeline: bool = False
     clamp_runtimes: bool = True
     sleep: SleepPolicy | None = None
+    sanitize: bool = False
 
 
 class _RunningJob:
@@ -146,10 +156,12 @@ class Scheduler(ABC):
         # truthiness check per hook site.
         self._observers: list[Callable[[LifecycleEvent], None]] = []
 
-        # With no boost, validation, timeline or observers configured, a
-        # pass is just the scheduling hook — _run_pass takes a one-branch
-        # fast path instead of re-testing all four per event.
+        # With no boost, validation, timeline, sanitizer or observers
+        # configured, a pass is just the scheduling hook — _run_pass
+        # takes a one-branch fast path instead of re-testing all five
+        # per event.
         self._plain_pass = False
+        self._sanitize = False
 
         # Schedulers that don't maintain incremental running-set state
         # (EASY, FCFS) skip the virtual no-op hook call per job event.
@@ -356,10 +368,14 @@ class Scheduler(ABC):
         self._last_tick = float("-inf")
         self._last_depth = 0
         config = self._config
+        # Resolved once per run: the env flag must not be re-read per
+        # pass, and a disabled sanitizer must keep the plain fast path.
+        self._sanitize = config.sanitize or sanitize_enabled()
         self._plain_pass = (
             config.boost is None
             and not config.validate
             and not config.record_timeline
+            and not self._sanitize
             and not self._observers
         )
         self._reset_pass_state()
@@ -497,6 +513,8 @@ class Scheduler(ABC):
             self._schedule_pass(now)
         if self._config.validate:
             self._check_invariants(now)
+        if self._sanitize:
+            self._sanitize_pass(now)
         if self._config.record_timeline:
             self._timeline.append(
                 TimelinePoint(time=now, queued_jobs=len(self._queue), busy_cpus=self._pool.busy_cpus)
@@ -688,6 +706,43 @@ class Scheduler(ABC):
 
     def _utilization(self) -> float:
         return self._pool.busy_cpus / self._pool.total_cpus
+
+    def _sanitize_pass(self, now: float) -> None:
+        """Deep structural re-verification of every core structure.
+
+        Called after each settled scheduling pass when the sanitizer is
+        on (:mod:`repro.analysis.sanitize`).  Subclasses holding extra
+        incremental structures (conservative backfilling's availability
+        profile) extend this.  Raises
+        :class:`~repro.analysis.sanitize.SanitizeError` on the first
+        violated invariant.
+        """
+        from repro.analysis.sanitize import require
+
+        self._engine.check_consistency()
+        self._queue.check_consistency()
+        pool = self._pool
+        require(
+            0 <= pool.free_cpus <= pool.total_cpus,
+            f"pool free count {pool.free_cpus} outside "
+            f"[0, {pool.total_cpus}] at t={now}",
+        )
+        require(
+            self._accounting._computational >= 0.0,
+            f"computational energy went negative at t={now}",
+        )
+        require(
+            self._accounting._busy_cpu_seconds >= 0.0,
+            f"busy CPU-seconds went negative at t={now}",
+        )
+        estimates = self._estimates
+        for index in range(1, len(estimates)):
+            require(
+                estimates[index - 1] <= estimates[index],
+                f"estimate profile lost its ordering at index {index}",
+            )
+        if self._sleep is not None:
+            self._sleep.check_consistency(pool.free_cpus)
 
     # -- validation -----------------------------------------------------------------
     def _check_invariants(self, now: float) -> None:

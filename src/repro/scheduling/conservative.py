@@ -124,6 +124,13 @@ class ConservativeBackfilling(Scheduler):
         if running.estimated_end > now:
             self._profile.reserve(now, running.estimated_end, size)
 
+    def _sanitize_pass(self, now: float) -> None:
+        super()._sanitize_pass(now)
+        # The incremental running-set profile is this scheduler's extra
+        # structure; a stale block summary would silently misplace
+        # reservations on the next replanning pass.
+        self._profile.check_consistency()
+
     # -- the pass ----------------------------------------------------------------
     def _schedule_pass(self, now: float) -> None:
         self._profile.advance_origin(now)

@@ -258,6 +258,66 @@ class JobQueue:
             return positions[self._sizes[positions] <= free]
         return positions
 
+    def check_consistency(self) -> None:
+        """Verify the tombstone/column/position bookkeeping (sanitizer hook).
+
+        The vectorised backfill mask is only a faithful superset filter
+        while the parallel columns mirror the slot array exactly: a live
+        slot must carry its job's true size (and float32-rounded
+        requested time) and a tombstone the impossible sentinel, the
+        position map must be a perfect index of live slots, and the
+        live count must equal the number of live slots in the window.
+        O(slots); called only under :mod:`repro.analysis.sanitize`.
+        """
+        from repro.analysis.sanitize import require
+
+        require(
+            0 <= self._head <= self._n <= self._cap,
+            f"slot window corrupt: head={self._head} n={self._n} cap={self._cap}",
+        )
+        live = 0
+        for index in range(self._n):
+            job = self._jobs[index]
+            if job is None:
+                require(
+                    self._sizes[index] == _DEAD_SIZE,
+                    f"tombstone at slot {index} lacks the sentinel size",
+                )
+                continue
+            require(
+                index >= self._head,
+                f"live job {job.job_id} at slot {index} before the head {self._head}",
+            )
+            live += 1
+            require(
+                self._pos.get(job.job_id) == index,
+                f"position map lost job {job.job_id} (slot {index})",
+            )
+            require(
+                self._sizes[index] == job.size,
+                f"size column drift at slot {index}: "
+                f"{self._sizes[index]} != {job.size}",
+            )
+            expected_req = (
+                float(_np.float32(job.requested_time))
+                if _np is not None
+                else job.requested_time
+            )
+            require(
+                float(self._reqs[index]) == expected_req,
+                f"requested-time column drift at slot {index}",
+            )
+        for index in range(self._n, self._cap):
+            require(
+                self._jobs[index] is None,
+                f"unused slot {index} beyond n={self._n} holds a job",
+            )
+        require(
+            live == self._live == len(self._pos),
+            f"live-count drift: {self._live} recorded, {live} slots, "
+            f"{len(self._pos)} positions",
+        )
+
     # -- internals ----------------------------------------------------------------
     def _kill(self, index: int, job: Job) -> None:
         self._jobs[index] = None

@@ -118,7 +118,7 @@ class ReferenceEasyBackfilling(Scheduler):
 class ReferenceConservativeBackfilling(Scheduler):
     """Conservative backfilling that replans on a fresh profile every pass.
 
-    This is the original rebuild-per-pass implementation (O(R·S) profile
+    This is the original rebuild-per-pass implementation (O(R*S) profile
     construction per event on top of the O(Q²) planning work); the fast
     :class:`~repro.scheduling.conservative.ConservativeBackfilling`
     maintains the running-jobs profile incrementally and must stay

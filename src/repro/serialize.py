@@ -57,12 +57,12 @@ def jsonable(value: Any) -> Any:
     return value
 
 
-def _params_to_json(params: tuple) -> list:
+def _params_to_json(params: tuple[tuple[str, Any], ...]) -> list[list[Any]]:
     """Instrument params as JSON ([[key, value], ...]; tuples become lists)."""
     return [[key, jsonable(value)] for key, value in params]
 
 
-def _params_from_json(data: list) -> tuple:
+def _params_from_json(data: list[list[Any]]) -> tuple[tuple[str, Any], ...]:
     return tuple((key, _tupled(value)) for key, value in data)
 
 
@@ -82,7 +82,7 @@ def _sleep_to_dict(sleep: SleepPolicy | None) -> dict[str, float | None] | None:
     }
 
 
-def _sleep_from_dict(data: dict[str, float | None] | None) -> SleepPolicy | None:
+def _sleep_from_dict(data: dict[str, Any] | None) -> SleepPolicy | None:
     if data is None:
         return None
     fields = dict(data)

@@ -89,6 +89,25 @@ class Engine:
         except ValueError as exc:
             raise SimulationError(str(exc)) from None
 
+    def check_consistency(self) -> None:
+        """Verify clock/queue invariants (sanitizer hook).
+
+        The clock must never sit past the earliest pending event (events
+        fire in time order, so a pending past-due event means the heap
+        merge or a handler corrupted ordering), and the queue's own
+        structure must hold.
+        """
+        from repro.analysis.sanitize import require
+
+        queue = self._queue
+        queue.check_consistency()
+        if queue:
+            require(
+                queue.peek_time() >= self._now - 1e-9,
+                f"pending event at {queue.peek_time()} precedes the "
+                f"clock {self._now}",
+            )
+
     # -- main loop -------------------------------------------------------------------
     def step(self) -> bool:
         """Process exactly one event; returns ``False`` on an empty queue.
@@ -149,6 +168,7 @@ class Engine:
                 index = queue._run_index
                 if index < len(run):
                     entry = run[index]
+                    assert entry is not None  # never consumed before _run_index
                     if heap and heap[0] < entry:
                         entry = pop(heap)
                     else:

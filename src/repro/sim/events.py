@@ -169,6 +169,7 @@ class EventQueue:
             index = self._run_index
             if index < len(run):
                 entry = run[index]
+                assert entry is not None  # never consumed before _run_index
                 if heap and heap[0] < entry:
                     handle = heappop(heap)[3]
                 else:
@@ -185,19 +186,81 @@ class EventQueue:
             self._live -= 1
             return handle
 
+    def check_consistency(self) -> None:
+        """Verify the queue's structural invariants (sanitizer hook).
+
+        Checks the heap property, the sorted run's ordering and
+        consumed-prefix discipline, the live-count bookkeeping, and
+        handle ownership.  O(pending events); called only under
+        :mod:`repro.analysis.sanitize`.
+        """
+        from repro.analysis.sanitize import require
+
+        heap = self._heap
+        for index in range(1, len(heap)):
+            parent = (index - 1) >> 1
+            require(
+                heap[parent] <= heap[index],
+                f"event heap property violated at index {index}",
+            )
+        run = self._run
+        require(
+            0 <= self._run_index <= len(run),
+            f"run index {self._run_index} outside the run of {len(run)}",
+        )
+        for index in range(self._run_index):
+            require(
+                run[index] is None,
+                f"consumed run entry {index} was not freed",
+            )
+        previous = float("-inf")
+        live = 0
+        for index in range(self._run_index, len(run)):
+            entry = run[index]
+            require(entry is not None, f"pending run entry {index} is None")
+            if entry is None:  # unreachable: require() raised; narrows the type
+                continue
+            require(
+                entry[0] >= previous,
+                f"sorted run out of order at index {index}",
+            )
+            previous = entry[0]
+            if not entry[3].cancelled:
+                live += 1
+        for entry in heap:
+            if not entry[3].cancelled:
+                live += 1
+        require(
+            live == self._live,
+            f"live-event count drift: {self._live} recorded, {live} present",
+        )
+        for entry in heap:
+            handle = entry[3]
+            if not handle.cancelled:
+                require(
+                    handle.queue is self,
+                    f"pending handle {handle!r} does not own this queue",
+                )
+
     def peek_time(self) -> float:
         """Timestamp of the earliest live event."""
         heap = self._heap
         run = self._run
         while heap and heap[0][3].cancelled:
             heappop(heap)
-        while self._run_index < len(run) and run[self._run_index][3].cancelled:
+        while self._run_index < len(run):
+            head = run[self._run_index]
+            assert head is not None  # never consumed before _run_index
+            if not head[3].cancelled:
+                break
             self._run_index += 1
         index = self._run_index
         if index < len(run):
-            if heap and heap[0] < run[index]:
+            entry = run[index]
+            assert entry is not None  # never consumed before _run_index
+            if heap and heap[0] < entry:
                 return heap[0][0]
-            return run[index][0]
+            return entry[0]
         if not heap:
             raise IndexError("peek into an empty event queue")
         return heap[0][0]

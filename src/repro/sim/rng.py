@@ -11,7 +11,21 @@ from __future__ import annotations
 import hashlib
 from random import Random
 
-__all__ = ["substream", "RngStreams"]
+__all__ = ["seeded_rng", "substream", "RngStreams"]
+
+
+def seeded_rng(seed: int) -> Random:
+    """A :class:`random.Random` seeded directly with ``seed``.
+
+    The sanctioned way for code outside this module to obtain a raw
+    seeded stream (the ``no-unseeded-rng`` lint forbids importing
+    :mod:`random` elsewhere in the engine core).  Streams are
+    byte-identical to ``Random(seed)``, so callers that historically
+    constructed one keep their exact draw sequences; new components
+    should prefer :func:`substream`, whose per-name derivation keeps
+    components from perturbing each other's draws.
+    """
+    return Random(seed)
 
 
 def substream(seed: int, name: str) -> Random:

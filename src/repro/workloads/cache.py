@@ -125,6 +125,7 @@ def jobs_from_columns(columns) -> list[Job]:
             columns["group_id"].tolist(),
             columns["executable"].tolist(),
             betas,
+            strict=True,
         )
     ]
 

@@ -72,7 +72,7 @@ def _sample_runtime(trace: TraceModel, rng_class: Random, rng_runtime: Random) -
     pick = rng_class.random()
     cumulative = 0.0
     chosen = classes[-1]
-    for cls, weight in zip(classes, weights):
+    for cls, weight in zip(classes, weights, strict=True):
         cumulative += weight
         if pick < cumulative:
             chosen = cls
@@ -117,14 +117,14 @@ def generate_workload(
         sample_estimate(trace.estimates, runtime, rng_estimate) for runtime in runtimes
     ]
     # Requests are capped at the site limit; keep runtimes honest.
-    runtimes = [min(runtime, estimate) for runtime, estimate in zip(runtimes, estimates)]
+    runtimes = [min(runtime, estimate) for runtime, estimate in zip(runtimes, estimates, strict=True)]
 
     utilization = (
         trace.arrivals.utilization if utilization_override is None else utilization_override
     )
     if utilization <= 0.0:
         raise ValueError(f"utilization must be positive, got {utilization}")
-    mean_area = sum(size * runtime for size, runtime in zip(sizes, runtimes)) / n_jobs
+    mean_area = sum(size * runtime for size, runtime in zip(sizes, runtimes, strict=True)) / n_jobs
     mean_gap = mean_area / (utilization * trace.cpus)
 
     shape = trace.arrivals.burst_shape
@@ -160,7 +160,7 @@ def generate_workload(
             group_id=index % 11,
         )
         for index, (submit, runtime, estimate, size) in enumerate(
-            zip(submits, runtimes, estimates, sizes)
+            zip(submits, runtimes, estimates, sizes, strict=True)
         )
     ]
     return jobs

@@ -159,6 +159,8 @@ def read_swf(
     header = SwfHeader()
     records: list[tuple[int, ...]] = []
     with open(path, "r", encoding="utf-8") as stream:
+        # ``header`` deliberately rebinds to the (shared, progressively
+        # populated) header object; its final state is returned below.
         for header, record in iter_swf(stream):
             records.append(record)
     jobs = jobs_from_records(records, drop_invalid=drop_invalid, clamp_runtime=clamp_runtime)

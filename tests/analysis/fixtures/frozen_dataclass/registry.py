@@ -1,0 +1,1 @@
+"""Empty registry stub: this fixture seeds an AST-rule violation only."""

@@ -1,0 +1,8 @@
+"""Seeded violation: a mutable, unslotted lifecycle event dataclass."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MutableEvent:
+    time: float

@@ -1,0 +1,9 @@
+"""Seeded violation: float equality in scheduling code."""
+
+
+def same_share(a: float, b: float, total: float) -> bool:
+    return a / total == b / total
+
+
+def is_third(x: float) -> bool:
+    return x == 0.3

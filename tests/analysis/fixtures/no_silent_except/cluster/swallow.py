@@ -1,0 +1,8 @@
+"""Seeded violation: silently swallowed exceptions in the engine core."""
+
+
+def drain(queue):
+    try:
+        queue.pop()
+    except:
+        pass

@@ -1,0 +1,7 @@
+"""Seeded violation: a raw RNG import inside the engine core."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()

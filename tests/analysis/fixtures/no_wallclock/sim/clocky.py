@@ -1,0 +1,7 @@
+"""Seeded violation: the engine core consults the wall clock."""
+
+import time
+
+
+def now() -> float:
+    return time.time()

@@ -1,0 +1,8 @@
+"""A builder registered on THINGS but missing from its modules tuple."""
+
+from ..registry import THINGS
+
+
+@THINGS.register("extra")
+def build_extra():
+    return object()

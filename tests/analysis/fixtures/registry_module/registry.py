@@ -1,0 +1,16 @@
+"""Seeded violation: a registry whose lazy modules tuple misses a registrant."""
+
+
+class Registry:
+    def __init__(self, kind, *, modules=()):
+        self.kind = kind
+        self.modules = modules
+
+    def register(self, name):
+        def decorator(obj):
+            return obj
+
+        return decorator
+
+
+THINGS = Registry("thing", modules=())

@@ -1,0 +1,122 @@
+"""Codec/cache-key/schema-snapshot cross-consistency checks.
+
+The tamper tests mirror just the files the consistency layer reads into
+a throwaway package root, then break one link in the chain and assert
+the checker notices — these are the exact silent-corruption paths the
+layer exists to close.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+from repro.analysis.consistency import (
+    collect_schema,
+    load_snapshot,
+    run_consistency,
+    update_snapshot,
+)
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+_MIRRORED = (
+    "serialize.py",
+    "experiments/config.py",
+    "cluster/power.py",
+    "analysis/schema_snapshot.json",
+)
+
+
+def _mirror(tmp_path: Path) -> Path:
+    for rel in _MIRRORED:
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(SRC_ROOT / rel, target)
+    return tmp_path
+
+
+def test_repo_is_consistent():
+    assert run_consistency(SRC_ROOT) == []
+
+
+def test_snapshot_matches_collected_schema():
+    assert load_snapshot(SRC_ROOT) == collect_schema(SRC_ROOT)
+
+
+def test_dropped_encoder_key_is_caught(tmp_path):
+    root = _mirror(tmp_path)
+    serialize = root / "serialize.py"
+    text = serialize.read_text()
+    assert '"seed": spec.seed,' in text
+    serialize.write_text(text.replace('"seed": spec.seed,', ""))
+    findings = run_consistency(root)
+    assert any(
+        f.rule == "codec-field" and "RunSpec.seed" in f.message and "spec_to_dict" in f.message
+        for f in findings
+    )
+
+
+def test_dropped_decoder_field_is_caught(tmp_path):
+    root = _mirror(tmp_path)
+    serialize = root / "serialize.py"
+    text = serialize.read_text()
+    assert 'seed=data["seed"],' in text
+    serialize.write_text(text.replace('seed=data["seed"],', ""))
+    findings = run_consistency(root)
+    assert any(
+        f.rule == "codec-field" and "RunSpec.seed" in f.message and "spec_from_dict" in f.message
+        for f in findings
+    )
+
+
+def test_broken_cache_key_chain_is_caught(tmp_path):
+    root = _mirror(tmp_path)
+    serialize = root / "serialize.py"
+    text = serialize.read_text()
+    assert "spec_json(spec).encode" in text
+    serialize.write_text(text.replace("spec_json(spec).encode", "repr(spec).encode"))
+    findings = run_consistency(root)
+    assert any(f.rule == "cache-key-chain" for f in findings)
+
+
+def test_schema_drift_is_caught(tmp_path):
+    root = _mirror(tmp_path)
+    snapshot_path = root / "analysis" / "schema_snapshot.json"
+    snapshot = json.loads(snapshot_path.read_text())
+    snapshot["classes"]["RunSpec"] = sorted(
+        [*snapshot["classes"]["RunSpec"], "phantom_field"]
+    )
+    snapshot_path.write_text(json.dumps(snapshot))
+    findings = run_consistency(root)
+    assert any(f.rule == "schema-snapshot" for f in findings)
+
+
+def test_update_snapshot_refuses_without_version_bump(tmp_path):
+    root = _mirror(tmp_path)
+    snapshot_path = root / "analysis" / "schema_snapshot.json"
+    snapshot = json.loads(snapshot_path.read_text())
+    snapshot["classes"]["RunSpec"] = ["something_else"]
+    snapshot_path.write_text(json.dumps(snapshot))
+    _path, written = update_snapshot(root)
+    assert not written
+
+
+def test_update_snapshot_allows_after_version_bump(tmp_path):
+    root = _mirror(tmp_path)
+    snapshot_path = root / "analysis" / "schema_snapshot.json"
+    snapshot = json.loads(snapshot_path.read_text())
+    snapshot["classes"]["RunSpec"] = ["something_else"]
+    snapshot_path.write_text(json.dumps(snapshot))
+    serialize = root / "serialize.py"
+    version = json.loads(snapshot_path.read_text())["format_version"]
+    serialize.write_text(
+        serialize.read_text().replace(
+            f"FORMAT_VERSION = {version}", f"FORMAT_VERSION = {version + 1}"
+        )
+    )
+    _path, written = update_snapshot(root)
+    assert written
+    assert load_snapshot(root) == collect_schema(root)
+    assert run_consistency(root) == []

@@ -1,0 +1,112 @@
+"""The custom AST lint rules: every seeded fixture must fire its rule.
+
+Each directory under ``fixtures/`` is a miniature package root carrying
+exactly one deliberate violation; the lints must flag it (and nothing
+else), and ``scripts/check_invariants.py --root`` must exit non-zero on
+it while staying clean on the real repository.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lints import lint_file, run_lints
+
+TESTS_DIR = Path(__file__).resolve().parent
+FIXTURES = TESTS_DIR / "fixtures"
+REPO_ROOT = TESTS_DIR.parent.parent
+CHECKER = REPO_ROOT / "scripts" / "check_invariants.py"
+
+#: fixture directory -> the one rule it seeds a violation of.
+SEEDED = {
+    "no_wallclock": "no-wallclock",
+    "no_unseeded_rng": "no-unseeded-rng",
+    "frozen_dataclass": "frozen-dataclass",
+    "no_silent_except": "no-silent-except",
+    "no_float_eq": "no-float-eq",
+    "registry_module": "registry-module",
+}
+
+
+@pytest.mark.parametrize("fixture,rule", sorted(SEEDED.items()))
+def test_seeded_fixture_fires_its_rule(fixture, rule):
+    findings = run_lints(FIXTURES / fixture)
+    assert findings, f"fixture {fixture!r} produced no findings"
+    assert {f.rule for f in findings} == {rule}
+
+
+@pytest.mark.parametrize("fixture", sorted(SEEDED))
+def test_checker_exits_nonzero_on_fixture(fixture):
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER), "--root", str(FIXTURES / fixture)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode != 0, proc.stdout + proc.stderr
+    assert SEEDED[fixture] in proc.stdout
+
+
+def test_checker_exits_zero_on_repo():
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER)], capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "invariant analysis clean" in proc.stdout
+
+
+def test_installed_package_is_clean():
+    assert run_lints() == []
+
+
+def _mini_root(tmp_path: Path, rel: str, source: str) -> Path:
+    (tmp_path / "__init__.py").write_text("")
+    (tmp_path / "registry.py").write_text("")
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return tmp_path
+
+
+def test_waiver_comment_suppresses_the_named_rule(tmp_path):
+    root = _mini_root(
+        tmp_path, "sim/clocky.py", "import time  # det: allow(no-wallclock)\n"
+    )
+    assert run_lints(root) == []
+
+
+def test_waiver_for_a_different_rule_does_not_suppress(tmp_path):
+    root = _mini_root(
+        tmp_path, "sim/clocky.py", "import time  # det: allow(no-float-eq)\n"
+    )
+    assert [f.rule for f in run_lints(root)] == ["no-wallclock"]
+
+
+def test_type_checking_imports_are_exempt(tmp_path):
+    source = (
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from random import Random\n"
+        "    import time\n"
+    )
+    root = _mini_root(tmp_path, "scheduling/annotations_only.py", source)
+    assert run_lints(root) == []
+
+
+def test_rules_only_apply_to_the_engine_core(tmp_path):
+    # The same violations outside sim/scheduling/cluster/power are fine:
+    # experiment drivers may time themselves and draw seeds.
+    root = _mini_root(tmp_path, "experiments/driver.py", "import time\nimport random\n")
+    assert run_lints(root) == []
+
+
+def test_lint_file_reports_path_and_line(tmp_path):
+    target = tmp_path / "clocky.py"
+    target.write_text("import time\n")
+    findings = lint_file(target, "sim/clocky.py")
+    assert [f.line for f in findings] == [1]
+    assert "sim/clocky.py:1" in str(findings[0])
+    assert "wall clock" in str(findings[0])

@@ -119,7 +119,7 @@ class TestQueries:
         segments = list(profile.segments())
         assert segments[0][0] == 0.0
         assert segments[-1][1] == float("inf")
-        for (s0, e0, _), (s1, _, _) in zip(segments, segments[1:]):
+        for (_s0, e0, _), (s1, _, _) in zip(segments, segments[1:], strict=False):
             assert e0 == s1
 
 
@@ -211,7 +211,7 @@ def test_profile_invariants_property(blocks):
         if profile.min_free(start, end) >= size:
             profile.reserve(start, end, size)
             applied.append((start, end, size))
-    for start, end, free in profile.segments():
+    for _start, _end, free in profile.segments():
         assert 0 <= free <= 8
     # find_start always returns a feasible slot
     for size in (1, 4, 8):
@@ -220,7 +220,7 @@ def test_profile_invariants_property(blocks):
     # releasing everything restores a flat profile
     for start, end, size in applied:
         profile.release(start, end, size)
-    assert list(profile.segments())[0][2] == 8
+    assert next(iter(profile.segments()))[2] == 8
     assert len(list(profile.segments())) == 1
 
 
@@ -241,7 +241,7 @@ def test_find_start_is_earliest_property(blocks, earliest, duration, size):
     assert found >= earliest
     assert profile.fits_at(found, duration, size)
     # candidate starts are `earliest` and segment boundaries after it
-    candidates = [earliest] + [s for s, _, _ in profile.segments() if earliest < s < found]
+    candidates = [earliest, *(s for s, _, _ in profile.segments() if earliest < s < found)]
     for candidate in candidates:
         if candidate < found:
             assert not profile.fits_at(candidate, duration, size)

@@ -44,7 +44,7 @@ def assert_invariants(profile: AvailabilityProfile) -> None:
     times = [start for start, _end, _free in profile.segments()]
     frees = [free for _start, _end, free in profile.segments()]
     assert all(0 <= free <= profile.total_cpus for free in frees), frees
-    assert all(a < b for a, b in zip(times, times[1:])), times
+    assert all(a < b for a, b in zip(times, times[1:], strict=False)), times
 
 
 def as_step_function(profile: AvailabilityProfile, probes) -> list[int]:

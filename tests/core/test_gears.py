@@ -53,7 +53,7 @@ class TestGearSet:
 
     def test_len_iter_getitem_contains(self):
         assert len(PAPER_GEAR_SET) == 6
-        assert list(PAPER_GEAR_SET)[0] == PAPER_GEAR_SET[0]
+        assert next(iter(PAPER_GEAR_SET)) == PAPER_GEAR_SET[0]
         assert Gear(1.4, 1.2) in PAPER_GEAR_SET
         assert Gear(9.9, 9.9) not in PAPER_GEAR_SET
 
@@ -117,12 +117,12 @@ class TestSingleGearSet:
 )
 def test_gearset_construction_property(pairs):
     """Any frequency-unique, voltage-monotone ladder constructs and sorts."""
-    pairs = sorted(set((f, v) for f, v in pairs))
+    pairs = sorted({(f, v) for f, v in pairs})
     # force voltage monotone by sorting voltages to match frequencies
     freqs = sorted({f for f, _ in pairs})
     volts = sorted(v for _, v in pairs)[: len(freqs)]
     while len(volts) < len(freqs):
         volts.append(volts[-1] + 0.01)
-    gears = GearSet([Gear(f, v) for f, v in zip(freqs, volts)])
+    gears = GearSet([Gear(f, v) for f, v in zip(freqs, volts, strict=True)])
     assert gears.frequencies == tuple(freqs)
     assert gears.lowest.frequency <= gears.top.frequency

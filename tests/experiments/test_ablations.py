@@ -27,7 +27,7 @@ class TestBetaSweep:
 
     def test_energy_ratio_bounds(self, runner):
         sweep = beta_sweep(runner, workload="CTC", betas=(0.0, 0.5))
-        for _, energy, bsld, reduced in sweep.rows:
+        for _, energy, bsld, _reduced in sweep.rows:
             assert 0.0 < energy <= 1.0 + 1e-9
             assert bsld >= 1.0
         assert "beta sensitivity" in sweep.render()

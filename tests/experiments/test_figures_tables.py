@@ -51,13 +51,13 @@ class TestFigure3:
         from repro.experiments.figures import Figure3
 
         fig = Figure3(grid=threshold_grid(runner, workloads=WORKLOADS))
-        for key in fig.grid.keys():
+        for key in fig.grid:
             for scenario in ("idle0", "idlelow"):
                 value = fig.normalized_energy(key, scenario)
                 assert 0.0 < value < 2.0
         # energy can only be saved relative to baseline at fixed size
         # for the computational scenario (reduced gears are energy-cheaper)
-        for key in fig.grid.keys():
+        for key in fig.grid:
             assert fig.normalized_energy(key, "idle0") <= 1.0 + 1e-9
 
     def test_render(self, runner):
@@ -74,7 +74,7 @@ class TestFigure4and5:
         from repro.experiments.figures import Figure4
 
         fig = Figure4(grid=threshold_grid(runner, workloads=WORKLOADS))
-        for key in fig.grid.keys():
+        for key in fig.grid:
             assert 0 <= fig.reduced_jobs(key) <= N_JOBS
 
     def test_wq_monotone_reduced_jobs_weakly(self, runner):
@@ -156,7 +156,7 @@ class TestTables:
     def test_table1_rows(self, runner):
         table = table1(runner)
         assert len(table.rows) == len(WORKLOAD_NAMES)
-        for name, cpus, jobs, measured, paper in table.rows:
+        for _name, _cpus, jobs, measured, paper in table.rows:
             assert jobs == N_JOBS
             assert measured >= 1.0
             assert paper >= 1.0
@@ -177,5 +177,5 @@ class TestTables:
 
     def test_paper_table3_shape(self):
         # the paper's own numbers, sanity: +50% systems always wait less
-        for name, row in PAPER_TABLE3.items():
+        for _name, row in PAPER_TABLE3.items():
             assert row["Inc50WQ0"] <= row["OrigWQ0"] or row["OrigWQ0"] == 0

@@ -79,7 +79,7 @@ class TestPowers:
     def test_power_table_rows(self):
         table = MODEL.power_table()
         assert len(table) == len(PAPER_GEAR_SET)
-        for gear, dynamic, static, total in table:
+        for _gear, dynamic, static, total in table:
             assert total == pytest.approx(dynamic + static)
 
 

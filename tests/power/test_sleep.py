@@ -69,7 +69,7 @@ class TestBusySeries:
         series = busy_series(result)
         assert series == [(0.0, 2), (100.0, 0)]
         levels = [busy for _, busy in series]
-        assert all(a != b for a, b in zip(levels, levels[1:]))
+        assert all(a != b for a, b in zip(levels, levels[1:], strict=False))
 
     def test_only_zero_runtime_jobs(self):
         result = simulate([make_job(1, submit=5.0, runtime=0.0, requested=1.0, size=3)])

@@ -16,7 +16,9 @@ TIME_MODEL = BetaTimeModel.for_gear_set(PAPER_GEAR_SET)
 
 class TestBoostPlan:
     def plan(self, now=0.0, gear=PAPER_GEAR_SET.lowest, actual=1937.5, estimate=1937.5,
-             config=DynamicBoostConfig(wq_trigger=0)):
+             config=None):
+        if config is None:
+            config = DynamicBoostConfig(wq_trigger=0)
         return boost_plan(
             now=now,
             current_gear=gear,

@@ -96,7 +96,7 @@ class TestConservativeVsEasy:
         log = scheduler.plan_log
         assert log, "validate mode must record plans"
         arrival_passes = 0
-        for (_, _, before), (trigger, _, after) in zip(log, log[1:]):
+        for (_, _, before), (trigger, _, after) in zip(log, log[1:], strict=False):
             if trigger != "arrival":
                 continue
             arrival_passes += 1

@@ -144,7 +144,7 @@ class TestPerJobBetaEndToEnd:
 
         base_jobs = random_workload(seed=61, n_jobs=60, max_cpus=8)
         betas = BimodalBeta().assign(len(base_jobs), seed=2)
-        jobs = [job.with_beta(beta) for job, beta in zip(base_jobs, betas)]
+        jobs = [job.with_beta(beta) for job, beta in zip(base_jobs, betas, strict=True)]
         machine = Machine("m", 8)
         fast = EasyBackfilling(
             machine, BsldThresholdPolicy(2.0, 4), config=SchedulerConfig(validate=True)
@@ -152,7 +152,7 @@ class TestPerJobBetaEndToEnd:
         reference = ReferenceEasyBackfilling(
             machine, BsldThresholdPolicy(2.0, 4), config=SchedulerConfig(validate=True)
         ).run(jobs)
-        for a, b in zip(fast.outcomes, reference.outcomes):
+        for a, b in zip(fast.outcomes, reference.outcomes, strict=True):
             assert a.start_time == pytest.approx(b.start_time, abs=1e-6)
             assert a.gear == b.gear
 

@@ -41,7 +41,7 @@ def assert_matching_pair(jobs, cpus, policy_factory, fast_cls, reference_cls):
     reference = reference_cls(
         machine, policy_factory(), config=SchedulerConfig(validate=True)
     ).run(jobs)
-    for a, b in zip(fast.outcomes, reference.outcomes):
+    for a, b in zip(fast.outcomes, reference.outcomes, strict=True):
         assert a.job.job_id == b.job.job_id
         assert a.start_time == pytest.approx(b.start_time, abs=1e-6), (
             f"job {a.job.job_id}: fast start {a.start_time}, reference {b.start_time}"
@@ -119,7 +119,7 @@ def test_equivalence_deep_queue_production_config(policy_name):
         for o in fast.outcomes
     )
     assert peak_queue > 64, "workload too shallow to exercise the wide-mask path"
-    for a, b in zip(fast.outcomes, reference.outcomes):
+    for a, b in zip(fast.outcomes, reference.outcomes, strict=True):
         assert a.job.job_id == b.job.job_id
         assert a.start_time == pytest.approx(b.start_time, abs=1e-6)
         assert a.gear == b.gear
@@ -134,7 +134,7 @@ def test_conservative_deep_queue_production_config(policy_name):
     machine = Machine("m", 4)
     fast = ConservativeBackfilling(machine, POLICIES[policy_name]()).run(jobs)
     reference = ReferenceConservativeBackfilling(machine, POLICIES[policy_name]()).run(jobs)
-    for a, b in zip(fast.outcomes, reference.outcomes):
+    for a, b in zip(fast.outcomes, reference.outcomes, strict=True):
         assert a.job.job_id == b.job.job_id
         assert a.start_time == pytest.approx(b.start_time, abs=1e-6)
         assert a.gear == b.gear

@@ -90,7 +90,7 @@ def test_power_aware_with_top_only_gear_equals_baseline():
     machine = Machine("m", 8, gears=single_gear_set())
     base = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
     powered = EasyBackfilling(machine, BsldThresholdPolicy(2.0, None)).run(jobs)
-    for a, b in zip(base.outcomes, powered.outcomes):
+    for a, b in zip(base.outcomes, powered.outcomes, strict=True):
         assert a.start_time == b.start_time
         assert a.gear == b.gear
     assert powered.reduced_jobs == 0
@@ -105,7 +105,7 @@ def test_infeasible_bsld_threshold_never_reduces():
     base = EasyBackfilling(machine, FixedGearPolicy()).run(jobs)
     powered = EasyBackfilling(machine, BsldThresholdPolicy(1.0, None)).run(jobs)
     assert powered.reduced_jobs == 0
-    for a, b in zip(base.outcomes, powered.outcomes):
+    for a, b in zip(base.outcomes, powered.outcomes, strict=True):
         assert a.start_time == pytest.approx(b.start_time)
 
 

@@ -43,7 +43,7 @@ class TestJob:
         assert job.beta == 0.25
 
     def test_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(AttributeError):
             make_job().runtime = 5.0  # type: ignore[misc]
 
 

@@ -126,7 +126,7 @@ class TestLittlesLaw:
         # time-average queue length from the recorded timeline
         points = result.timeline
         area = 0.0
-        for a, b in zip(points, points[1:]):
+        for a, b in zip(points, points[1:], strict=False):
             area += a.queued_jobs * (b.time - a.time)
         span = points[-1].time - points[0].time
         mean_queue = area / span

@@ -43,7 +43,7 @@ class TestDeterminism:
         specs = grid_specs()
         results = BatchRunner(max_workers=2).run(specs)
         assert len(results) == len(specs)
-        for spec, result in zip(specs, results):
+        for spec, result in zip(specs, results, strict=True):
             assert result.machine.name.startswith(spec.workload)
             if spec.policy.kind == "nodvfs":
                 assert result.reduced_jobs == 0
@@ -75,7 +75,7 @@ class TestStreamingAndSharing:
         runner = BatchRunner(max_workers=2, cache_dir=tmp_path)
         results = runner.run(specs, progress=lambda spec, result: landed.setdefault(spec, result))
         assert set(landed) == set(specs)
-        for spec, result in zip(specs, results):
+        for spec, result in zip(specs, results, strict=True):
             assert as_bytes([landed[spec]]) == as_bytes([result])
         # Second run: everything cached, nothing streams.
         rerun_landed = []
@@ -221,5 +221,5 @@ class TestRunnerIntegration:
         results = runner.run_many(specs)
         assert runner.cached_runs == len(set(specs))
         # follow-up lookups are cache hits returning identical objects
-        for spec, result in zip(specs, results):
+        for spec, result in zip(specs, results, strict=True):
             assert runner.run(spec) is result

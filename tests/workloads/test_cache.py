@@ -21,7 +21,7 @@ from repro.workloads.generator import (
     generate_workload_xl,
 )
 from repro.workloads.models import trace_model
-from repro.workloads.swf import read_swf, write_swf
+from repro.workloads.swf import SwfError, read_swf, write_swf
 
 
 def jobs_key(jobs):
@@ -76,7 +76,7 @@ class TestSwfCache:
         with open(trace_file, "a", encoding="utf-8") as stream:
             stream.write("9998 9999999 -1 -5 4 -1 -1 4 600 -1 1 1 1 1 -1 -1 -1 -1\n")
         _h, dropped = read_swf_cached(trace_file, drop_invalid=True)
-        with pytest.raises(Exception):
+        with pytest.raises(SwfError):
             read_swf_cached(trace_file, drop_invalid=False)
         # The failed strict parse must not have poisoned the lenient entry.
         _h, again = read_swf_cached(trace_file, drop_invalid=True)
@@ -130,7 +130,7 @@ class TestXlGenerator:
         a = generate_workload_xl(trace_model("SDSC"), 2000, seed=3)
         b = generate_workload_xl(trace_model("SDSC"), 2000, seed=3)
         assert jobs_key(a) == jobs_key(b)
-        assert all(x.submit_time <= y.submit_time for x, y in zip(a, a[1:]))
+        assert all(x.submit_time <= y.submit_time for x, y in zip(a, a[1:], strict=False))
         assert jobs_key(a) != jobs_key(generate_workload_xl(trace_model("SDSC"), 2000, seed=4))
 
     def test_jobs_respect_model_invariants(self):

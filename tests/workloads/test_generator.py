@@ -40,7 +40,7 @@ class TestDeterminism:
         depend on how many jobs follow (arrival pacing may differ)."""
         short = load_workload("SDSC", 50, seed=3)
         long = load_workload("SDSC", 100, seed=3)
-        for a, b in zip(short, long):
+        for a, b in zip(short, long, strict=False):
             assert a.runtime == b.runtime
             assert a.size == b.size
             assert a.requested_time == b.requested_time

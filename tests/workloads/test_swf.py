@@ -67,7 +67,7 @@ class TestParsing:
             list(iter_swf(io.StringIO("1 2 3\n")))
 
     def test_non_numeric_field(self):
-        bad = " ".join(["x"] + ["1"] * 17)
+        bad = " ".join(["x", *["1"] * 17])
         with pytest.raises(SwfError, match="non-numeric"):
             list(iter_swf(io.StringIO(bad + "\n")))
 
@@ -214,7 +214,7 @@ class TestRoundTrip:
         assert header.max_procs == 8
         assert header.fields["Site"] == "test"
         assert len(parsed) == 2
-        for original, roundtripped in zip(jobs, parsed):
+        for original, roundtripped in zip(jobs, parsed, strict=True):
             assert roundtripped.job_id == original.job_id
             assert roundtripped.submit_time == pytest.approx(original.submit_time)
             assert roundtripped.runtime == pytest.approx(original.runtime)
