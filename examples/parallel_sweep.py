@@ -1,23 +1,31 @@
-"""Parallel parameter sweep with BatchRunner and the on-disk result cache.
+"""Fault-tolerant parallel sweep with checkpoint/resume and retries.
 
 Run with::
 
     python examples/parallel_sweep.py
 
 Fans the paper's Figure 3-5 threshold grid for two workloads out over
-worker processes, caches every result as JSON under ``.repro-cache``
-(rerunning the script is instant), and prints the energy/BSLD trade-off
-per configuration.  Deleting ``.repro-cache`` resets the cache.
+worker processes as a *crash-safe sweep*: every finished run is cached
+as JSON under ``.repro-cache``, per-spec status is journaled to
+``.repro-sweep.jsonl``, a failing run is retried (``on_error="retry"``)
+instead of aborting the grid, and rerunning the script resumes from
+whatever already completed — kill it mid-sweep and run it again to see
+only the remaining specs simulate.  Results are kept in aggregates-only
+mode (headline metrics, no per-job outcomes), which is what lets sweeps
+this shape scale to fleet size without exhausting memory.  Deleting
+``.repro-cache`` and ``.repro-sweep.jsonl`` resets everything.
 """
 
+import os
 import time
 
-from repro import BatchRunner, PolicySpec, RunSpec
+from repro import PolicySpec, RunSpec, run_sweep
 
 N_JOBS = 1000
 WORKLOADS = ("CTC", "SDSCBlue")
 BSLD_THRESHOLDS = (1.5, 2.0, 3.0)
 WQ_THRESHOLDS = (0, 4, 16, None)
+MANIFEST = ".repro-sweep.jsonl"
 
 
 def main() -> None:
@@ -29,24 +37,39 @@ def main() -> None:
         for wq in WQ_THRESHOLDS
     ]
 
-    runner = BatchRunner(max_workers=4, cache_dir=".repro-cache")
     started = time.perf_counter()
-    results = runner.run([*baselines, *grid])
+    report = run_sweep(
+        [*baselines, *grid],
+        manifest_path=MANIFEST,
+        cache_dir=".repro-cache",
+        resume=os.path.exists(MANIFEST),  # second invocation picks up the journal
+        max_workers=4,
+        aggregates_only=True,
+        on_error="retry",  # a flaky spec is re-run (twice) before being skipped
+        retries=2,
+    )
     elapsed = time.perf_counter() - started
     print(
-        f"{len(results)} runs in {elapsed:.1f}s "
-        f"({runner.cache_hits} from cache, {runner.cache_misses} simulated)\n"
+        f"{report.total} unique runs in {elapsed:.1f}s "
+        f"({report.skipped} resumed from cache, {report.completed} simulated, "
+        f"{len(report.failures)} failed)\n"
     )
 
-    base_by_workload = dict(zip(WORKLOADS, results[: len(baselines)], strict=True))
+    base_by_workload = dict(zip(WORKLOADS, report.results[: len(baselines)], strict=True))
     print(f"{'run':28s} {'avg BSLD':>9s} {'E_idle0/base':>13s} {'reduced':>8s}")
-    for spec, result in zip(grid, results[len(baselines):], strict=True):
+    for spec, result in zip(grid, report.results[len(baselines):], strict=True):
         base = base_by_workload[spec.workload]
+        if result is None or base is None:
+            print(f"{spec.label():28s} {'FAILED':>9s}")
+            continue
         ratio = result.energy.computational / base.energy.computational
         print(
             f"{spec.label():28s} {result.average_bsld():9.2f} "
             f"{ratio:13.3f} {result.reduced_jobs:8d}"
         )
+    for failure in report.failures:
+        print(f"\nFAILED after {failure.attempts} attempts: "
+              f"{failure.spec.label()} — {failure.error}")
 
 
 if __name__ == "__main__":

@@ -4,7 +4,7 @@ Usage::
 
     python scripts/capture_benchmark.py                      # full capture
     python scripts/capture_benchmark.py --scales 1000,5000   # quicker CI run
-    python scripts/capture_benchmark.py --output BENCH_4.json
+    python scripts/capture_benchmark.py --output BENCH_5.json
 
 Measures jobs/second of the scheduler hot path through the
 :class:`repro.api.Simulation` facade for every (workload, scale,
@@ -21,11 +21,19 @@ cell reports the best of ``--repeat`` runs, timed in interleaved
 rounds across cells so one host-load phase cannot bias a single cell
 (see :class:`SerialCell`).
 
-The committed ``BENCH_4.json`` at the repository root is the perf
+The committed ``BENCH_5.json`` at the repository root is the perf
 trajectory record for this PR; regenerate it on comparable hardware
 before claiming a speedup or a regression.  ``--floor`` exits non-zero
 if any serial cell falls below the given jobs/s (the CI large-scale
 job prints the floor check into its summary).
+
+The batch-RSS rows compare the parent-process peak RSS of a sweep
+collecting *full* results against the same sweep in *aggregates-only*
+mode.  ``ru_maxrss`` is a monotonic process-wide high-water mark, so
+the two modes cannot share a process: each runs in its own child
+interpreter (the hidden ``--_rss-probe`` mode) and reports its peak
+back as JSON.  ``--rss-ratio-min`` turns the full/aggregates ratio
+into a pass/fail check.
 """
 
 from __future__ import annotations
@@ -152,6 +160,58 @@ def measure_batch(workloads: list[str], scales: list[int], workers: int) -> dict
     }
 
 
+def _rss_probe_specs(workload: str, n_jobs: int) -> list[RunSpec]:
+    """Six policy variants over ONE trace (same workload/n_jobs/seed).
+
+    Varying only the policy keeps the parent's trace materialisation —
+    identical in both probe modes — down to a single workload, so the
+    full/aggregates RSS ratio reflects result retention, not trace count.
+    """
+    return [
+        RunSpec(workload=workload, n_jobs=n_jobs,
+                policy=PolicySpec.power_aware(bsld, wq))
+        for bsld in (1.5, 2.0, 3.0)
+        for wq in (0, None)
+    ]
+
+
+def run_rss_probe(mode: str, workload: str, n_jobs: int, workers: int) -> int:
+    """Child-process half of the batch-RSS measurement; prints JSON."""
+    specs = _rss_probe_specs(workload, n_jobs)
+    runner = BatchRunner(max_workers=workers, aggregates_only=(mode == "aggregates"))
+    start = time.perf_counter()
+    results = runner.run(specs)
+    elapsed = time.perf_counter() - start
+    assert all(result is not None for result in results)
+    print(json.dumps({
+        "mode": mode,
+        "runs": len(results),
+        "seconds": round(elapsed, 4),
+        "max_rss_mb": round(max_rss_mb(), 1),
+    }))
+    return 0
+
+
+def measure_batch_rss(workload: str, n_jobs: int, workers: int) -> list[dict]:
+    """Peak parent RSS of full vs aggregates-only sweeps, isolated per mode."""
+    import subprocess
+
+    rows = []
+    for mode in ("full", "aggregates"):
+        proc = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), "--_rss-probe", mode,
+             "--rss-workload", workload, "--rss-scale", str(n_jobs),
+             "--parallel", str(workers)],
+            capture_output=True, text=True, check=True,
+        )
+        row = json.loads(proc.stdout.strip().splitlines()[-1])
+        row.update({"workload": workload, "n_jobs": n_jobs, "workers": workers})
+        rows.append(row)
+        print(f"{'batch-rss/' + mode:>25} ({workload}x{n_jobs}, {row['runs']} runs) "
+              f"{row['seconds']:>8.3f}s  peak RSS {row['max_rss_mb']:>8.1f} MiB")
+    return rows
+
+
 def print_cell(cell: dict) -> None:
     print(f"{cell['workload']:>12} x {cell['n_jobs']:>7} {cell['policy']:<12} "
           f"[{cell['source']}] {cell['seconds']:>8.3f}s  "
@@ -193,9 +253,23 @@ def main(argv: list[str] | None = None) -> int:
                              "against its sleep-disabled twin (with sleep disabled "
                              "the subsystem is bypassed entirely, so the disabled "
                              "twin doubles as the no-subsystem reference)")
-    parser.add_argument("--output", default="BENCH_4.json",
-                        help="output path (default: BENCH_4.json)")
+    parser.add_argument("--rss-workload", default="SDSC",
+                        help="workload for the batch-RSS probe (default: SDSC; "
+                             "empty string skips it)")
+    parser.add_argument("--rss-scale", type=int, default=200000,
+                        help="trace length for the batch-RSS probe (default: 200000)")
+    parser.add_argument("--rss-ratio-min", type=float, default=None, metavar="X",
+                        help="fail (exit 1) if aggregates-only mode cuts batch "
+                             "peak RSS by less than X times")
+    parser.add_argument("--_rss-probe", choices=("full", "aggregates"), default=None,
+                        help=argparse.SUPPRESS)  # internal child mode
+    parser.add_argument("--output", default="BENCH_5.json",
+                        help="output path (default: BENCH_5.json)")
     args = parser.parse_args(argv)
+
+    if getattr(args, "_rss_probe") is not None:
+        return run_rss_probe(getattr(args, "_rss_probe"), args.rss_workload,
+                             args.rss_scale, args.parallel)
 
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
     scales = [int(s) for s in args.scales.split(",") if s.strip()]
@@ -242,6 +316,15 @@ def main(argv: list[str] | None = None) -> int:
             if args.parallel <= 1:
                 break
 
+    batch_rss: list[dict] = []
+    rss_ratio = None
+    if args.rss_workload:
+        batch_rss = measure_batch_rss(args.rss_workload, args.rss_scale, args.parallel)
+        full_row, agg_row = batch_rss
+        rss_ratio = round(full_row["max_rss_mb"] / agg_row["max_rss_mb"], 2)
+        print(f"aggregates-only batch peak RSS: {agg_row['max_rss_mb']:.0f} MiB vs "
+              f"{full_row['max_rss_mb']:.0f} MiB full ({rss_ratio:.1f}x smaller)")
+
     sleep_overhead_pct = None
     if sleep_pair is not None:
         disabled, enabled = sleep_pair
@@ -250,7 +333,7 @@ def main(argv: list[str] | None = None) -> int:
               f"{sleep_overhead_pct:+.1f}% vs the sleep-disabled twin")
 
     record = {
-        "schema": "repro-bench/4",
+        "schema": "repro-bench/5",
         "captured_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "environment": {
             "python": sys.version.split()[0],
@@ -268,6 +351,8 @@ def main(argv: list[str] | None = None) -> int:
         },
         "serial": serial,
         "batch": batch,
+        "batch_rss": batch_rss,
+        "batch_rss_ratio": rss_ratio,
         "sleep_overhead_pct": sleep_overhead_pct,
     }
     with open(args.output, "w", encoding="utf-8") as stream:
@@ -283,6 +368,15 @@ def main(argv: list[str] | None = None) -> int:
               f"{slowest['workload']}x{slowest['n_jobs']} {slowest['policy']} at "
               f"{slowest['jobs_per_sec']:.0f} jobs/s (floor {args.floor:.0f})")
         failed |= verdict == "FAIL"
+    if args.rss_ratio_min is not None:
+        if rss_ratio is None:
+            print("batch RSS check [FAIL]: no batch-RSS probe was run")
+            failed = True
+        else:
+            verdict = "PASS" if rss_ratio >= args.rss_ratio_min else "FAIL"
+            print(f"batch RSS check [{verdict}]: aggregates-only is {rss_ratio:.1f}x "
+                  f"smaller (min {args.rss_ratio_min:.1f}x)")
+            failed |= verdict == "FAIL"
     if args.sleep_overhead_max is not None:
         if sleep_overhead_pct is None:
             print("sleep overhead check [FAIL]: no node-sleep cell was measured")

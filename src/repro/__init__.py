@@ -39,7 +39,7 @@ see README.md for a quickstart and the extension walkthrough.
 """
 
 from repro.api import DEFAULT_N_JOBS, Simulation, normalize_spec
-from repro.batch import BatchRunner
+from repro.batch import BatchReport, BatchRunner, SpecFailure
 from repro.cluster.machine import Machine
 from repro.cluster.power import NodePowerManager, SleepPolicy
 from repro.core.dynamic_boost import DynamicBoostConfig
@@ -84,8 +84,9 @@ from repro.scheduling.conservative import ConservativeBackfilling
 from repro.scheduling.easy import EasyBackfilling
 from repro.scheduling.fcfs import FcfsScheduler
 from repro.scheduling.job import Job, JobOutcome
-from repro.scheduling.result import InstrumentReport, SimulationResult
+from repro.scheduling.result import InstrumentReport, ResultAggregates, SimulationResult
 from repro.session import SimulationSession
+from repro.sweep import SweepManifest, SweepReport, run_sweep
 from repro.workloads.generator import generate_workload, load_workload
 from repro.workloads.models import PAPER_BASELINE_BSLD, TRACE_MODELS, WORKLOAD_NAMES
 from repro.workloads.swf import read_swf, write_swf
@@ -95,6 +96,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ABLATIONS",
     "BSLD_THRESHOLD_SECONDS",
+    "BatchReport",
     "BatchRunner",
     "BetaTimeModel",
     "BsldThresholdPolicy",
@@ -135,6 +137,7 @@ __all__ = [
     "PowerTelemetrySampler",
     "Registry",
     "RegistryError",
+    "ResultAggregates",
     "RunSpec",
     "SCHEDULERS",
     "SLEEP_POLICIES",
@@ -145,6 +148,9 @@ __all__ = [
     "Simulation",
     "SimulationResult",
     "SimulationSession",
+    "SpecFailure",
+    "SweepManifest",
+    "SweepReport",
     "TRACE_MODELS",
     "UtilizationTriggeredPolicy",
     "WORKLOAD_NAMES",
@@ -155,6 +161,7 @@ __all__ = [
     "normalize_spec",
     "predicted_bsld",
     "read_swf",
+    "run_sweep",
     "write_swf",
     "__version__",
 ]

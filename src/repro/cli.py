@@ -110,6 +110,27 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--size-factors", default="1",
                        help="comma-separated machine enlargement factors (default: 1)")
     sweep.add_argument("--scheduler", choices=SCHEDULERS.names(), default="easy")
+    sweep.add_argument(
+        "--aggregates-only", action="store_true",
+        help="keep only headline metrics per run (fleet-scale memory footprint)",
+    )
+    sweep.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="journal per-spec status to this JSONL file (crash-safe sweeps; "
+             "needs --cache-dir)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted --manifest sweep, re-running only unfinished specs",
+    )
+    sweep.add_argument(
+        "--on-error", choices=("raise", "skip", "retry"), default="retry",
+        help="what a failing run does to a --manifest sweep (default: retry)",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=2,
+        help="extra attempts per failing run under --on-error retry (default: 2)",
+    )
     sweep.set_defaults(handler=_cmd_sweep)
 
     table = sub.add_parser("table", help="regenerate a paper table")
@@ -160,12 +181,15 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _runner(args: argparse.Namespace) -> ExperimentRunner:
+def _runner(args: argparse.Namespace, aggregates_only: bool = False) -> ExperimentRunner:
     """The experiment runner honouring the global flags."""
     if args.parallel < 0:
         raise SystemExit(f"--parallel must be >= 0, got {args.parallel}")
     return ExperimentRunner(
-        n_jobs=args.jobs, max_workers=args.parallel or None, cache_dir=args.cache_dir
+        n_jobs=args.jobs,
+        max_workers=args.parallel or None,
+        cache_dir=args.cache_dir,
+        aggregates_only=aggregates_only,
     )
 
 
@@ -370,7 +394,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit("--wq-thresholds must name at least one value")
     wq_thresholds = tuple(_parse_wq(part) for part in wq_parts)
     size_factors = _parse_float_list(args.size_factors, "--size-factors")
-    runner = _runner(args)
+    if args.resume and args.manifest is None:
+        raise SystemExit("--resume needs --manifest PATH")
 
     baselines = {
         workload: RunSpec(workload=workload, scheduler=args.scheduler)
@@ -388,12 +413,51 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for wq in wq_thresholds
         for factor in size_factors
     ]
-    runner.run_many([*baselines.values(), *grid])
+    all_specs = [*baselines.values(), *grid]
+
+    if args.manifest is not None:
+        # The crash-safe path: per-spec status journaled to the
+        # manifest, finished results persisted in the cache, failures
+        # reported instead of aborting the grid.
+        if args.cache_dir is None:
+            raise SystemExit(
+                "--manifest needs --cache-dir (the cache holds the resumable results)"
+            )
+        from repro.sweep import run_sweep
+
+        if args.parallel < 0:
+            raise SystemExit(f"--parallel must be >= 0, got {args.parallel}")
+        try:
+            report = run_sweep(
+                all_specs,
+                manifest_path=args.manifest,
+                cache_dir=args.cache_dir,
+                resume=args.resume,
+                max_workers=args.parallel or 1,
+                default_n_jobs=args.jobs,
+                aggregates_only=args.aggregates_only,
+                on_error=args.on_error,
+                retries=args.retries,
+            )
+        except (FileExistsError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        results = dict(zip(all_specs, report.results, strict=True))
+        print(
+            f"sweep: {report.completed} simulated, {report.skipped} from cache, "
+            f"{len(report.failures)} failed (manifest: {args.manifest})"
+        )
+    else:
+        runner = _runner(args, args.aggregates_only)
+        runner.run_many(all_specs)
+        results = {spec: runner.run(spec) for spec in all_specs}
 
     rows = []
     for spec in grid:
-        run = runner.run(spec)
-        base = runner.run(baselines[spec.workload])
+        run = results[spec]
+        base = results[baselines[spec.workload]]
+        if run is None or base is None:
+            rows.append([spec.label(), "FAILED", "-", "-", "-", "-"])
+            continue
         rows.append(
             [
                 spec.label(),
@@ -414,6 +478,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if args.manifest is not None and report.failures:
+        print()
+        for failure in report.failures:
+            print(
+                f"FAILED after {failure.attempts} attempt(s): "
+                f"{failure.spec.label()} — {failure.error}"
+            )
+        print("resume with the same command plus --resume to retry failed specs")
     return 0
 
 

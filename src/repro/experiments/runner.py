@@ -43,6 +43,12 @@ class ExperimentRunner:
     cache_dir:
         Optional on-disk result cache shared across processes and
         sessions (see :class:`~repro.batch.BatchRunner`).
+    aggregates_only:
+        Keep only headline metrics per result
+        (:meth:`~repro.scheduling.result.SimulationResult.to_aggregates`):
+        parallel workers reduce before returning, so fleet-scale sweeps
+        never hold per-job outcomes in the parent.  Off by default; the
+        full-result mode is unchanged.
     """
 
     def __init__(
@@ -52,11 +58,13 @@ class ExperimentRunner:
         *,
         max_workers: int | None = None,
         cache_dir: str | None = None,
+        aggregates_only: bool = False,
     ) -> None:
         if n_jobs <= 0:
             raise ValueError(f"n_jobs must be positive, got {n_jobs}")
         self.n_jobs = n_jobs
         self.validate = validate
+        self.aggregates_only = aggregates_only
         self._traces: dict[tuple[str, int, int | None], list[Job]] = {}
         self._results: dict[RunSpec, SimulationResult] = {}
         self._batch = None
@@ -72,6 +80,7 @@ class ExperimentRunner:
                 cache_dir=cache_dir,
                 validate=validate,
                 default_n_jobs=n_jobs,
+                aggregates_only=aggregates_only,
             )
 
     # -- workload/machine plumbing ------------------------------------------------
@@ -99,6 +108,8 @@ class ExperimentRunner:
             result = self._batch.cache_load(spec)
         if result is None:
             result = self._simulation(spec).run()
+            if self.aggregates_only:
+                result = result.to_aggregates()
             if self._batch is not None:
                 self._batch.cache_store(spec, result)
         self._results[spec] = result

@@ -27,9 +27,9 @@ from __future__ import annotations
 
 from bisect import insort
 from dataclasses import fields
-from math import ceil
 from typing import TYPE_CHECKING, Any
 
+from repro.metrics.aggregates import nearest_rank
 from repro.metrics.bsld import BSLD_THRESHOLD_SECONDS, bounded_slowdown
 from repro.registry import INSTRUMENTS
 from repro.sim.events import (
@@ -152,10 +152,9 @@ class Instrument:
         return {}
 
 
-def _percentile(sorted_values: list[float], percent: float) -> float:
-    """Nearest-rank percentile of an ascending list (which must be non-empty)."""
-    rank = ceil(percent / 100.0 * len(sorted_values))
-    return sorted_values[max(rank, 1) - 1]
+#: Nearest-rank percentile of an ascending list (which must be non-empty);
+#: shared with aggregates-only results so both report the same definition.
+_percentile = nearest_rank
 
 
 @INSTRUMENTS.register("power_telemetry")
@@ -256,6 +255,7 @@ class BsldMonitor(Instrument):
         self.threshold = threshold
         self._sorted: list[float] = []
         self._sum = 0.0
+        self._last_finish_time = 0.0
         self.series: list[list[float]] = []  # [time, count, mean, p50, p90, p99]
 
     def _bsld(self, event: JobFinished) -> float:
@@ -283,6 +283,7 @@ class BsldMonitor(Instrument):
         bsld = self._bsld(event)
         insort(self._sorted, bsld)
         self._sum += bsld
+        self._last_finish_time = event.time
         if len(self._sorted) % self.sample_every == 0:
             self.series.append(self._snapshot(event.time))
 
@@ -298,6 +299,12 @@ class BsldMonitor(Instrument):
     def report(self) -> dict[str, Any]:
         if not self._sorted:
             return {"count": 0, "series": []}
+        series = [list(point) for point in self.series]
+        # The tail of the run after the last sample_every multiple would
+        # otherwise never appear in the series even though the headline
+        # stats reflect it; close the series at the last finished job.
+        if not series or series[-1][1] != len(self._sorted):
+            series.append(self._snapshot(self._last_finish_time))
         return {
             "count": len(self._sorted),
             "mean": self._sum / len(self._sorted),
@@ -305,7 +312,7 @@ class BsldMonitor(Instrument):
             "p90": _percentile(self._sorted, 90.0),
             "p99": _percentile(self._sorted, 99.0),
             "max": self._sorted[-1],
-            "series": [list(point) for point in self.series],
+            "series": series,
         }
 
 

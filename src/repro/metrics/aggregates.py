@@ -16,7 +16,15 @@ try:  # numpy is an optional accelerator, never a hard dependency
 except ImportError:  # pragma: no cover - exercised only without numpy
     _np = None
 
-__all__ = ["mean", "median", "percentile", "stddev", "Summary", "summarize"]
+__all__ = [
+    "mean",
+    "median",
+    "nearest_rank",
+    "percentile",
+    "stddev",
+    "Summary",
+    "summarize",
+]
 
 #: Below this many values the scalar paths win (and stay bit-identical
 #: with the historical sequential-summation results).
@@ -83,6 +91,20 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 def median(values: Sequence[float]) -> float:
     return percentile(values, 50.0)
+
+
+def nearest_rank(sorted_values: Sequence[float], percent: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (must be non-empty).
+
+    Unlike :func:`percentile` this never interpolates: the result is
+    always a member of ``sorted_values``.  It is the percentile
+    definition :class:`~repro.instruments.BsldMonitor` reports and the
+    one aggregates-only results carry, so the two stay comparable.
+    """
+    if len(sorted_values) == 0:
+        raise ValueError("nearest_rank of an empty sequence")
+    rank = math.ceil(percent / 100.0 * len(sorted_values))
+    return sorted_values[max(rank, 1) - 1]
 
 
 class Summary(dict):

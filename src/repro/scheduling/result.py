@@ -11,12 +11,17 @@ except ImportError:  # pragma: no cover - exercised only without numpy
 
 from repro.cluster.machine import Machine
 from repro.core.gears import Gear
-from repro.metrics.aggregates import mean
+from repro.metrics.aggregates import mean, nearest_rank
 from repro.metrics.bsld import BSLD_THRESHOLD_SECONDS
 from repro.power.energy import EnergyReport
 from repro.scheduling.job import JobOutcome
 
-__all__ = ["SimulationResult", "TimelinePoint", "InstrumentReport"]
+__all__ = [
+    "ResultAggregates",
+    "SimulationResult",
+    "TimelinePoint",
+    "InstrumentReport",
+]
 
 
 @dataclass(frozen=True)
@@ -45,12 +50,49 @@ class InstrumentReport:
 
 
 @dataclass(frozen=True)
+class ResultAggregates:
+    """Reduced per-job statistics carried by an aggregates-only result.
+
+    Everything a sweep table or figure pipeline reads off a result —
+    headline means, the BSLD percentile spread (nearest-rank, matching
+    :class:`~repro.instruments.BsldMonitor`), the gear histogram —
+    without the per-job ``outcomes`` tuple.  A million-run sweep holding
+    only these stays flat in memory where full results grow with trace
+    length.  Built by :meth:`SimulationResult.to_aggregates`.
+    """
+
+    job_count: int
+    bsld_threshold: float
+    average_bsld: float
+    bsld_p50: float
+    bsld_p90: float
+    bsld_p99: float
+    bsld_max: float
+    average_wait: float
+    reduced_jobs: int
+    makespan: float
+    gear_histogram: tuple[tuple[Gear, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.job_count < 0:
+            raise ValueError(f"job_count must be non-negative, got {self.job_count}")
+
+
+@dataclass(frozen=True)
 class SimulationResult:
     """Everything measured during one simulation run.
 
     ``outcomes`` is ordered by job id, so paired runs of the same trace
     under different policies can be compared job-by-job (Figure 6 of
     the paper does exactly this for wait times).
+
+    A result carries either the full per-job ``outcomes`` tuple (the
+    default mode, unchanged) or — after :meth:`to_aggregates` — an
+    ``aggregates`` record and an empty ``outcomes``.  Aggregates-only
+    results answer every headline-metric query (:meth:`average_bsld`,
+    :meth:`average_wait`, :attr:`reduced_jobs`, :meth:`gear_histogram`,
+    :attr:`makespan`, the energy breakdown) but reject per-job series
+    accessors, which would need the discarded outcomes.
     """
 
     machine: Machine
@@ -60,11 +102,93 @@ class SimulationResult:
     events_processed: int
     timeline: tuple[TimelinePoint, ...] = field(default=())
     instruments: tuple[InstrumentReport, ...] = field(default=())
+    aggregates: ResultAggregates | None = field(default=None)
 
     def __post_init__(self) -> None:
+        if self.aggregates is not None and self.outcomes:
+            raise ValueError("a result carries outcomes or aggregates, not both")
         ids = [o.job.job_id for o in self.outcomes]
         if ids != sorted(ids):
             raise ValueError("outcomes must be ordered by job id")
+
+    # -- aggregates-only mode ----------------------------------------------------
+    @property
+    def is_aggregated(self) -> bool:
+        """Whether this result carries aggregates instead of outcomes."""
+        return self.aggregates is not None
+
+    def to_aggregates(
+        self, threshold: float = BSLD_THRESHOLD_SECONDS
+    ) -> "SimulationResult":
+        """This result reduced to headline metrics (no per-job outcomes).
+
+        The returned result keeps the machine, policy, energy breakdown
+        and instrument reports, drops the ``outcomes`` and ``timeline``
+        tuples, and carries a :class:`ResultAggregates` computed at
+        ``threshold``.  Reducing an already-aggregated result is the
+        identity.
+        """
+        if self.is_aggregated:
+            return self
+        if self.outcomes:
+            bslds = sorted(self.bslds(threshold))
+            aggregates = ResultAggregates(
+                job_count=len(self.outcomes),
+                bsld_threshold=threshold,
+                average_bsld=self.average_bsld(threshold),
+                bsld_p50=nearest_rank(bslds, 50.0),
+                bsld_p90=nearest_rank(bslds, 90.0),
+                bsld_p99=nearest_rank(bslds, 99.0),
+                bsld_max=bslds[-1],
+                average_wait=self.average_wait(),
+                reduced_jobs=self.reduced_jobs,
+                makespan=self.makespan,
+                gear_histogram=tuple(sorted(self.gear_histogram().items())),
+            )
+        else:
+            aggregates = ResultAggregates(
+                job_count=0,
+                bsld_threshold=threshold,
+                average_bsld=0.0,
+                bsld_p50=0.0,
+                bsld_p90=0.0,
+                bsld_p99=0.0,
+                bsld_max=0.0,
+                average_wait=0.0,
+                reduced_jobs=0,
+                makespan=0.0,
+                gear_histogram=(),
+            )
+        return SimulationResult(
+            machine=self.machine,
+            policy=self.policy,
+            outcomes=(),
+            energy=self.energy,
+            events_processed=self.events_processed,
+            timeline=(),
+            instruments=self.instruments,
+            aggregates=aggregates,
+        )
+
+    def _require_outcomes(self, what: str) -> None:
+        if self.is_aggregated:
+            raise ValueError(
+                f"{what} needs per-job outcomes, which this aggregates-only "
+                f"result does not carry; re-run without aggregates mode"
+            )
+
+    def _aggregated_bsld(self, threshold: float) -> float | None:
+        """The stored average BSLD, when aggregated at ``threshold``."""
+        if self.aggregates is None:
+            return None
+        if self.aggregates.job_count == 0:
+            raise ValueError("mean of an empty sequence")
+        if threshold != self.aggregates.bsld_threshold:  # det: allow(no-float-eq)
+            raise ValueError(
+                f"aggregates were reduced at BSLD threshold "
+                f"{self.aggregates.bsld_threshold}, not {threshold}"
+            )
+        return self.aggregates.average_bsld
 
     # -- vectorized per-job series ---------------------------------------------
     def _job_arrays(self):
@@ -72,21 +196,34 @@ class SimulationResult:
 
         Memoised on the instance (the frozen dataclass still owns a
         ``__dict__``): figure and table pipelines re-reduce the same
-        result under several thresholds and metrics.
+        result under several thresholds and metrics.  Without numpy the
+        same triple comes back as plain lists, so every caller that does
+        not vectorise further works unchanged on numpy-less installs.
         """
+        self._require_outcomes("per-job series")
         arrays = self.__dict__.get("_arrays")
         if arrays is None:
             outcomes = self.outcomes
-            n = len(outcomes)
-            wait = _np.empty(n)
-            runtime = _np.empty(n)
-            penalized = _np.empty(n)
-            for i, outcome in enumerate(outcomes):
-                job = outcome.job
-                wait[i] = outcome.start_time - job.submit_time
-                runtime[i] = job.runtime
-                penalized[i] = outcome.penalized_runtime
-            arrays = (wait, runtime, penalized)
+            if _np is None:
+                wait: list[float] = []
+                runtime: list[float] = []
+                penalized: list[float] = []
+                for outcome in outcomes:
+                    wait.append(outcome.start_time - outcome.job.submit_time)
+                    runtime.append(outcome.job.runtime)
+                    penalized.append(outcome.penalized_runtime)
+                arrays = (wait, runtime, penalized)
+            else:
+                n = len(outcomes)
+                wait = _np.empty(n)
+                runtime = _np.empty(n)
+                penalized = _np.empty(n)
+                for i, outcome in enumerate(outcomes):
+                    job = outcome.job
+                    wait[i] = outcome.start_time - job.submit_time
+                    runtime[i] = job.runtime
+                    penalized[i] = outcome.penalized_runtime
+                arrays = (wait, runtime, penalized)
             object.__setattr__(self, "_arrays", arrays)
         return arrays
 
@@ -110,10 +247,15 @@ class SimulationResult:
     # -- headline metrics ------------------------------------------------------
     @property
     def job_count(self) -> int:
+        if self.aggregates is not None:
+            return self.aggregates.job_count
         return len(self.outcomes)
 
     def average_bsld(self, threshold: float = BSLD_THRESHOLD_SECONDS) -> float:
         """BSLD averaged over all simulated jobs (the paper's Figure 5 metric)."""
+        aggregated = self._aggregated_bsld(threshold)
+        if aggregated is not None:
+            return aggregated
         bsld = self._bsld_array(threshold)
         if bsld is None:
             return mean([o.bsld(threshold) for o in self.outcomes])
@@ -121,6 +263,10 @@ class SimulationResult:
 
     def average_wait(self) -> float:
         """Mean wait time in seconds (the paper's Table 3 metric)."""
+        if self.aggregates is not None:
+            if self.aggregates.job_count == 0:
+                raise ValueError("mean of an empty sequence")
+            return self.aggregates.average_wait
         if _np is None:
             return mean([o.wait_time for o in self.outcomes])
         return mean(self._job_arrays()[0])
@@ -128,9 +274,13 @@ class SimulationResult:
     @property
     def reduced_jobs(self) -> int:
         """Jobs run at a frequency below Ftop (the paper's Figure 4 metric)."""
+        if self.aggregates is not None:
+            return self.aggregates.reduced_jobs
         return sum(1 for o in self.outcomes if o.was_reduced)
 
     def gear_histogram(self) -> dict[Gear, int]:
+        if self.aggregates is not None:
+            return dict(self.aggregates.gear_histogram)
         histogram: dict[Gear, int] = {}
         for outcome in self.outcomes:
             histogram[outcome.gear] = histogram.get(outcome.gear, 0) + 1
@@ -138,6 +288,8 @@ class SimulationResult:
 
     @property
     def makespan(self) -> float:
+        if self.aggregates is not None:
+            return self.aggregates.makespan
         if not self.outcomes:
             return 0.0
         return max(o.finish_time for o in self.outcomes)
@@ -153,11 +305,13 @@ class SimulationResult:
     # -- per-job series -----------------------------------------------------------
     def wait_times(self) -> list[float]:
         """Per-job wait times ordered by job id (Figure 6's series)."""
+        self._require_outcomes("wait_times()")
         if _np is None:
             return [o.wait_time for o in self.outcomes]
         return self._job_arrays()[0].tolist()
 
     def bslds(self, threshold: float = BSLD_THRESHOLD_SECONDS) -> list[float]:
+        self._require_outcomes("bslds()")
         bsld = self._bsld_array(threshold)
         if bsld is None:
             return [o.bsld(threshold) for o in self.outcomes]
@@ -174,8 +328,9 @@ class SimulationResult:
         )
 
     def describe(self) -> str:
+        mode = " [aggregates]" if self.is_aggregated else ""
         return (
-            f"{self.machine.name}: {self.job_count} jobs under {self.policy}; "
+            f"{self.machine.name}: {self.job_count} jobs under {self.policy}{mode}; "
             f"avg BSLD {self.average_bsld():.2f}, avg wait {self.average_wait():.0f}s, "
             f"{self.reduced_jobs} reduced jobs, utilization {self.utilization:.1%}"
         )

@@ -22,7 +22,12 @@ from repro.core.gears import Gear, GearSet
 from repro.experiments.config import InstrumentSpec, PolicySpec, RunSpec, _tupled
 from repro.power.energy import EnergyReport, SleepEnergyBreakdown
 from repro.scheduling.job import Job, JobOutcome
-from repro.scheduling.result import InstrumentReport, SimulationResult, TimelinePoint
+from repro.scheduling.result import (
+    InstrumentReport,
+    ResultAggregates,
+    SimulationResult,
+    TimelinePoint,
+)
 
 __all__ = [
     "jsonable",
@@ -39,7 +44,9 @@ __all__ = [
 #: v2: specs gained ``instruments``, results gained instrument reports.
 #: v3: specs gained ``sleep`` (in-engine node power-down); energy
 #:     reports gained the ``sleep`` breakdown.
-FORMAT_VERSION = 3
+#: v4: results gained ``aggregates`` (the aggregates-only result mode;
+#:     ``None`` for full results, whose layout is unchanged otherwise).
+FORMAT_VERSION = 4
 
 
 def jsonable(value: Any) -> Any:
@@ -208,8 +215,38 @@ def _outcome_from_dict(data: dict[str, Any]) -> JobOutcome:
     )
 
 
+def _aggregates_to_dict(aggregates: ResultAggregates | None) -> dict[str, Any] | None:
+    if aggregates is None:
+        return None
+    return {
+        "job_count": aggregates.job_count,
+        "bsld_threshold": aggregates.bsld_threshold,
+        "average_bsld": aggregates.average_bsld,
+        "bsld_p50": aggregates.bsld_p50,
+        "bsld_p90": aggregates.bsld_p90,
+        "bsld_p99": aggregates.bsld_p99,
+        "bsld_max": aggregates.bsld_max,
+        "average_wait": aggregates.average_wait,
+        "reduced_jobs": aggregates.reduced_jobs,
+        "makespan": aggregates.makespan,
+        "gear_histogram": [
+            [_gear_to_dict(gear), count] for gear, count in aggregates.gear_histogram
+        ],
+    }
+
+
+def _aggregates_from_dict(data: dict[str, Any] | None) -> ResultAggregates | None:
+    if data is None:
+        return None
+    fields = dict(data)
+    fields["gear_histogram"] = tuple(
+        (_gear_from_dict(gear), count) for gear, count in data["gear_histogram"]
+    )
+    return ResultAggregates(**fields)
+
+
 def result_to_dict(result: SimulationResult) -> dict[str, Any]:
-    """A JSON-ready dict capturing the full result (outcomes included)."""
+    """A JSON-ready dict capturing the result (full or aggregates-only)."""
     return {
         "version": FORMAT_VERSION,
         "machine": {
@@ -249,6 +286,7 @@ def result_to_dict(result: SimulationResult) -> dict[str, Any]:
             {"name": report.name, "summary": report.summary}
             for report in result.instruments
         ],
+        "aggregates": _aggregates_to_dict(result.aggregates),
     }
 
 
@@ -282,4 +320,5 @@ def result_from_dict(data: dict[str, Any]) -> SimulationResult:
             InstrumentReport(name=report["name"], summary=report["summary"])
             for report in data.get("instruments", [])
         ),
+        aggregates=_aggregates_from_dict(data.get("aggregates")),
     )

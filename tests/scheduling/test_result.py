@@ -5,10 +5,11 @@ import pytest
 from repro.cluster.machine import Machine
 from repro.core.frequency_policy import BsldThresholdPolicy, FixedGearPolicy
 from repro.core.gears import PAPER_GEAR_SET
+from repro.metrics.aggregates import nearest_rank
 from repro.power.energy import EnergyReport
 from repro.scheduling.easy import EasyBackfilling
 from repro.scheduling.job import JobOutcome
-from repro.scheduling.result import SimulationResult, TimelinePoint
+from repro.scheduling.result import ResultAggregates, SimulationResult, TimelinePoint
 from tests.conftest import make_job, random_workload
 
 
@@ -115,6 +116,125 @@ class TestValidation:
         assert result.makespan == 0.0
         assert result.utilization == 0.0
         assert result.reduced_jobs == 0
+
+
+class TestAggregatesOnlyMode:
+    def test_reduction_preserves_headline_metrics(self):
+        full = small_result()
+        agg = full.to_aggregates()
+        assert agg.is_aggregated and not full.is_aggregated
+        assert agg.outcomes == () and agg.timeline == ()
+        assert agg.job_count == full.job_count
+        assert agg.average_bsld() == full.average_bsld()
+        assert agg.average_wait() == full.average_wait()
+        assert agg.reduced_jobs == full.reduced_jobs
+        assert agg.makespan == full.makespan
+        assert agg.gear_histogram() == full.gear_histogram()
+        assert agg.utilization == full.utilization
+        assert agg.energy == full.energy
+
+    def test_percentiles_are_nearest_rank_of_bslds(self):
+        full = EasyBackfilling(
+            Machine("m", 8), BsldThresholdPolicy(2.0, 16)
+        ).run(random_workload(seed=41, n_jobs=50, max_cpus=8))
+        agg = full.to_aggregates().aggregates
+        bslds = sorted(full.bslds())
+        assert agg.bsld_p50 == nearest_rank(bslds, 50.0)
+        assert agg.bsld_p90 == nearest_rank(bslds, 90.0)
+        assert agg.bsld_p99 == nearest_rank(bslds, 99.0)
+        assert agg.bsld_max == bslds[-1]
+
+    def test_reduction_is_idempotent(self):
+        agg = small_result().to_aggregates()
+        assert agg.to_aggregates() is agg
+
+    def test_per_job_accessors_rejected(self):
+        agg = small_result().to_aggregates()
+        with pytest.raises(ValueError, match="aggregates-only"):
+            agg.wait_times()
+        with pytest.raises(ValueError, match="aggregates-only"):
+            agg.bslds()
+
+    def test_threshold_mismatch_rejected(self):
+        agg = small_result().to_aggregates(threshold=10.0)
+        assert agg.average_bsld(10.0) == small_result().average_bsld(10.0)
+        with pytest.raises(ValueError, match="threshold"):
+            agg.average_bsld(60.0)
+
+    def test_outcomes_and_aggregates_mutually_exclusive(self):
+        full = small_result()
+        agg = full.to_aggregates()
+        with pytest.raises(ValueError, match="not both"):
+            SimulationResult(
+                machine=full.machine,
+                policy=full.policy,
+                outcomes=full.outcomes,
+                energy=full.energy,
+                events_processed=full.events_processed,
+                aggregates=agg.aggregates,
+            )
+
+    def test_negative_job_count_rejected(self):
+        with pytest.raises(ValueError, match="job_count"):
+            ResultAggregates(
+                job_count=-1, bsld_threshold=1.0, average_bsld=0.0, bsld_p50=0.0,
+                bsld_p90=0.0, bsld_p99=0.0, bsld_max=0.0, average_wait=0.0,
+                reduced_jobs=0, makespan=0.0, gear_histogram=(),
+            )
+
+    def test_empty_result_reduces_to_zeros(self):
+        report = EnergyReport(
+            computational=0.0, idle=0.0, busy_cpu_seconds=0.0, idle_cpu_seconds=0.0, span=0.0
+        )
+        empty = SimulationResult(
+            machine=Machine("m", 4), policy="x", outcomes=(), energy=report, events_processed=0
+        )
+        agg = empty.to_aggregates()
+        assert agg.job_count == 0 and agg.makespan == 0.0
+        with pytest.raises(ValueError, match="empty"):
+            agg.average_bsld()
+        with pytest.raises(ValueError, match="empty"):
+            agg.average_wait()
+
+    def test_serialize_round_trip_exact(self):
+        from repro.serialize import result_from_dict, result_to_dict
+
+        agg = small_result().to_aggregates()
+        assert result_from_dict(result_to_dict(agg)) == agg
+
+    def test_describe_marks_aggregated_results(self):
+        description = small_result().to_aggregates().describe()
+        assert "[aggregates]" in description
+        assert "[aggregates]" not in small_result().describe()
+
+
+class TestNumpylessFallback:
+    """Regression: _job_arrays called np.empty with no `_np is None` guard."""
+
+    @pytest.fixture
+    def no_numpy(self, monkeypatch):
+        import repro.scheduling.result as result_module
+
+        monkeypatch.setattr(result_module, "_np", None)
+
+    def test_job_arrays_fall_back_to_lists(self, no_numpy):
+        wait, runtime, penalized = small_result()._job_arrays()
+        assert isinstance(wait, list)
+        assert wait == [0.0, 0.0, 990.0]
+        assert runtime == [1000.0, 1000.0, 1000.0]
+        assert penalized == [1000.0, 1000.0, 1000.0]
+
+    def test_metrics_match_numpy_path(self, no_numpy):
+        result = small_result()
+        assert result.average_wait() == pytest.approx(990.0 / 3.0)
+        assert result.average_bsld() == pytest.approx((1.0 + 1.0 + 1.99) / 3.0)
+        assert result.wait_times() == [0.0, 0.0, 990.0]
+        assert len(result.bslds()) == 3
+
+    def test_aggregation_works_without_numpy(self, no_numpy):
+        agg = small_result().to_aggregates()
+        assert agg.is_aggregated
+        assert agg.average_bsld() == pytest.approx((1.0 + 1.0 + 1.99) / 3.0)
 
 
 class TestPairedComparisons:

@@ -1,10 +1,16 @@
-"""Tests for the parallel batch runner: determinism, ordering, caching."""
+"""Tests for the parallel batch runner: determinism, ordering, caching,
+fault tolerance (worker exceptions and worker deaths), and the
+aggregates-only / streaming fleet-scale modes."""
 
 import json
+import multiprocessing
+import os
+import time
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+import repro.batch as batch_module
 from repro.batch import BatchRunner
 from repro.experiments.config import PolicySpec, RunSpec
 from repro.experiments.figures import threshold_grid
@@ -12,6 +18,50 @@ from repro.experiments.runner import ExperimentRunner
 from repro.serialize import result_to_dict
 
 N_JOBS = 40
+
+#: Fault-injection tests patch ``repro.batch._build_simulation`` in the
+#: parent and rely on fork inheriting the patch into pool workers.
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fault injection relies on fork sharing the patched module",
+)
+
+CRASH_SEED = 9901  # specs with this seed make the injected builder misbehave
+
+
+def crash_spec() -> RunSpec:
+    return RunSpec(workload="CTC", n_jobs=N_JOBS, seed=CRASH_SEED)
+
+
+def _inject_builder(monkeypatch, misbehave):
+    """Route CRASH_SEED specs through ``misbehave``; others run normally."""
+    real = batch_module._build_simulation
+
+    def patched(spec, validate):
+        if spec.seed == CRASH_SEED:
+            misbehave(spec)
+        return real(spec, validate)
+
+    monkeypatch.setattr(batch_module, "_build_simulation", patched)
+
+
+def _exit_after_cache_fills(cache_dir, expected):
+    """A worker death deferred until ``expected`` results are cached.
+
+    Polling the parent's cache directory makes the crash ordering
+    deterministic: by the time the pool breaks, the sibling results
+    have not just completed but been landed by the parent.
+    """
+
+    def misbehave(spec):
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if len(list(cache_dir.glob("*.json"))) >= expected:
+                break
+            time.sleep(0.01)
+        os._exit(13)
+
+    return misbehave
 
 
 def grid_specs() -> list[RunSpec]:
@@ -177,6 +227,248 @@ class TestDiskCache:
         again = BatchRunner(max_workers=1, cache_dir=tmp_path)
         again.run([spec])
         assert again.cache_misses == 1
+
+
+class TestFaultTolerance:
+    @fork_only
+    def test_worker_death_lands_completed_results_before_raising(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: a dying worker used to abort run() and discard the
+        results that completed in the same wait() batch.  Everything
+        finished must be landed (cached + streamed) before the raise."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        goods = grid_specs()[:3]
+        _inject_builder(monkeypatch, _exit_after_cache_fills(tmp_path, len(goods)))
+        runner = BatchRunner(max_workers=2, cache_dir=tmp_path)
+        landed = []
+        with pytest.raises(BrokenProcessPool):
+            runner.run(
+                [crash_spec(), *goods], progress=lambda spec, result: landed.append(spec)
+            )
+        assert set(landed) == set(goods)
+        assert len(list(tmp_path.glob("*.json"))) == len(goods)
+        # The landed work is real: a fresh runner serves it from disk.
+        rerun = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        rerun.run(goods)
+        assert rerun.cache_hits == len(goods)
+
+    @fork_only
+    def test_worker_death_skip_attributes_failure_and_finishes_batch(
+        self, monkeypatch
+    ):
+        """on_error='skip': the crashing spec is re-run in isolation and
+        failed by identity; every innocent spec still gets its result."""
+        _inject_builder(monkeypatch, lambda spec: os._exit(13))
+        goods = grid_specs()
+        specs = [crash_spec(), *goods]
+        runner = BatchRunner(max_workers=2, on_error="skip")
+        results = runner.run(specs)
+        assert results[0] is None
+        assert all(result is not None for result in results[1:])
+        (failure,) = runner.failures
+        assert failure.spec == crash_spec()
+        assert "BrokenProcessPool" in failure.error
+        # Innocent results are byte-identical to an uninjected serial run.
+        clean = BatchRunner(max_workers=1).run(goods)
+        assert as_bytes(results[1:]) == as_bytes(clean)
+
+    @fork_only
+    def test_worker_death_retry_counts_attempts(self, monkeypatch):
+        _inject_builder(monkeypatch, lambda spec: os._exit(13))
+        runner = BatchRunner(max_workers=2, on_error="retry", retries=1)
+        results = runner.run([crash_spec(), *grid_specs()[:2]])
+        assert results[0] is None
+        (failure,) = runner.failures
+        assert failure.attempts == 2  # the first try plus one retry
+
+    @fork_only
+    def test_worker_exception_raise_is_default(self, monkeypatch):
+        def boom(spec):
+            raise RuntimeError("injected failure")
+
+        _inject_builder(monkeypatch, boom)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            BatchRunner(max_workers=2).run([crash_spec(), *grid_specs()[:2]])
+
+    @fork_only
+    def test_worker_exception_skip_records_failure(self, monkeypatch):
+        def boom(spec):
+            raise RuntimeError("injected failure")
+
+        _inject_builder(monkeypatch, boom)
+        notified = []
+        runner = BatchRunner(max_workers=2, on_error="skip")
+        results = runner.run(
+            [crash_spec(), *grid_specs()[:2]],
+            on_failure=lambda spec, error: notified.append((spec, error)),
+        )
+        assert results[0] is None and None not in results[1:]
+        (failure,) = runner.failures
+        assert failure.spec == crash_spec() and failure.attempts == 1
+        assert "injected failure" in failure.error
+        assert notified == [(crash_spec(), failure.error)]
+
+    @fork_only
+    def test_retry_recovers_from_transient_failure(self, tmp_path, monkeypatch):
+        """A spec that fails twice then succeeds completes under retry
+        and is not recorded as a failure."""
+        counter = tmp_path / "attempts"
+
+        def flaky(spec):
+            tries = len(counter.read_text().splitlines()) if counter.exists() else 0
+            with open(counter, "a") as stream:
+                stream.write("x\n")
+            if tries < 2:
+                raise RuntimeError(f"transient {tries}")
+
+        _inject_builder(monkeypatch, flaky)
+        runner = BatchRunner(max_workers=2, on_error="retry", retries=2)
+        results = runner.run([crash_spec(), *grid_specs()[:2]])
+        assert all(result is not None for result in results)
+        assert runner.failures == ()
+        assert len(counter.read_text().splitlines()) == 3
+
+    def test_serial_path_honours_on_error(self, monkeypatch):
+        """max_workers=1 runs in-process but keeps skip/retry semantics."""
+
+        def boom(spec):
+            raise RuntimeError("injected failure")
+
+        _inject_builder(monkeypatch, boom)
+        runner = BatchRunner(max_workers=1, on_error="skip")
+        results = runner.run([crash_spec(), *grid_specs()[:2]])
+        assert results[0] is None and None not in results[1:]
+        (failure,) = runner.failures
+        assert failure.spec == crash_spec()
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            BatchRunner(on_error="ignore")
+        with pytest.raises(ValueError, match="retries"):
+            BatchRunner(retries=-1)
+
+
+class TestCacheTempFiles:
+    def test_store_temp_names_unique_per_write(self, tmp_path, monkeypatch):
+        """Regression: temp names keyed only by pid collide when one
+        process stores concurrently (threads, or re-stores)."""
+        recorded = []
+        real_replace = os.replace
+
+        def spy(src, dst):
+            recorded.append(str(src))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(batch_module.os, "replace", spy)
+        spec = RunSpec(workload="CTC", n_jobs=N_JOBS)
+        runner = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        (result,) = runner.run([spec])
+        for _ in range(4):
+            runner.cache_store(spec, result)
+        assert len(recorded) == 5
+        assert len(set(recorded)) == 5  # every write used a fresh temp name
+
+    def test_concurrent_stores_do_not_tear(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        spec = RunSpec(workload="CTC", n_jobs=N_JOBS)
+        runner = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        (result,) = runner.run([spec])
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for future in [
+                pool.submit(runner.cache_store, spec, result) for _ in range(32)
+            ]:
+                future.result()
+        # One final file, valid JSON, no leftover temp files.
+        (path,) = tmp_path.glob("*.json")
+        json.loads(path.read_text())
+        assert list(tmp_path.glob("*.tmp.*")) == []
+        fresh = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        assert fresh.run([spec]) == [result]
+        assert fresh.cache_hits == 1
+
+
+class TestAggregatesMode:
+    def test_aggregates_match_full_results(self):
+        specs = grid_specs()
+        full = BatchRunner(max_workers=1).run(specs)
+        reduced = BatchRunner(max_workers=2, aggregates_only=True).run(specs)
+        for full_result, agg in zip(full, reduced, strict=True):
+            assert agg.is_aggregated
+            assert agg.outcomes == ()
+            assert as_bytes([agg]) == as_bytes([full_result.to_aggregates()])
+
+    def test_full_cache_entry_serves_aggregates_request(self, tmp_path):
+        specs = grid_specs()[:2]
+        full = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        full_results = full.run(specs)
+        agg = BatchRunner(max_workers=1, cache_dir=tmp_path, aggregates_only=True)
+        agg_results = agg.run(specs)
+        assert agg.cache_hits == 2 and agg.cache_misses == 0
+        assert as_bytes(agg_results) == as_bytes(
+            [result.to_aggregates() for result in full_results]
+        )
+
+    def test_aggregates_cache_entry_never_serves_full_request(self, tmp_path):
+        specs = grid_specs()[:2]
+        BatchRunner(max_workers=1, cache_dir=tmp_path, aggregates_only=True).run(specs)
+        full = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        results = full.run(specs)
+        assert full.cache_hits == 0 and full.cache_misses == 2
+        assert all(not result.is_aggregated for result in results)
+
+    def test_experiment_runner_plumbs_aggregates(self):
+        runner = ExperimentRunner(n_jobs=N_JOBS, aggregates_only=True)
+        result = runner.run(RunSpec(workload="CTC"))
+        assert result.is_aggregated
+        full = ExperimentRunner(n_jobs=N_JOBS).run(RunSpec(workload="CTC"))
+        assert result.average_bsld() == full.average_bsld()
+        assert result.energy == full.energy
+
+
+class TestStreaming:
+    def test_run_streaming_reduces_without_accumulating(self, tmp_path):
+        specs = grid_specs()
+        reduced: dict[RunSpec, float] = {}
+        runner = BatchRunner(max_workers=2, cache_dir=tmp_path, aggregates_only=True)
+        report = runner.run_streaming(
+            specs, lambda spec, result: reduced.__setitem__(spec, result.average_bsld())
+        )
+        assert report.total == len(specs)
+        assert report.unique == len(set(specs))
+        assert report.completed == len(set(specs))
+        assert report.failures == ()
+        expected = BatchRunner(max_workers=1).run(specs)
+        for spec, result in zip(specs, expected, strict=True):
+            assert reduced[spec] == result.average_bsld()
+
+    def test_run_streaming_includes_cache_hits(self, tmp_path):
+        specs = grid_specs()[:3]
+        runner = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        runner.run(specs)
+        streamed = []
+        rerun = BatchRunner(max_workers=1, cache_dir=tmp_path)
+        report = rerun.run_streaming(specs, lambda spec, result: streamed.append(spec))
+        assert sorted(streamed, key=str) == sorted(set(specs), key=str)
+        assert report.cache_hits == 3 and report.completed == 3
+
+    @fork_only
+    def test_run_streaming_reports_failures(self, monkeypatch):
+        def boom(spec):
+            raise RuntimeError("injected failure")
+
+        _inject_builder(monkeypatch, boom)
+        runner = BatchRunner(max_workers=2, on_error="skip")
+        seen = []
+        report = runner.run_streaming(
+            [crash_spec(), *grid_specs()[:2]], lambda spec, result: seen.append(spec)
+        )
+        assert len(seen) == 2
+        assert report.completed == 2
+        (failure,) = report.failures
+        assert failure.spec == crash_spec()
 
 
 class TestRunnerIntegration:

@@ -143,6 +143,44 @@ class TestSweep:
         with pytest.raises(SystemExit):
             main(["--jobs", "10", "--parallel", "-1", "run", "CTC"])
 
+    def test_sweep_aggregates_only(self, capsys):
+        out = run_cli(
+            capsys, "--jobs", "40", "sweep", "--aggregates-only",
+            "--workloads", "CTC", "--bsld-thresholds", "2", "--wq-thresholds", "NO",
+        )
+        assert "CTC DVFS(2,NO)" in out
+
+    def test_sweep_manifest_then_resume(self, capsys, tmp_path):
+        args = (
+            "--jobs", "40", "--cache-dir", str(tmp_path / "cache"), "sweep",
+            "--workloads", "CTC", "--bsld-thresholds", "2", "--wq-thresholds", "0,NO",
+            "--manifest", str(tmp_path / "sweep.jsonl"),
+        )
+        first = run_cli(capsys, *args)
+        assert "3 simulated, 0 from cache" in first  # 2 grid runs + 1 baseline
+        resumed = run_cli(capsys, *args, "--resume")
+        assert "0 simulated, 3 from cache" in resumed
+        # The rendered tables agree between the fresh and resumed sweep.
+        assert resumed.splitlines()[-1] == first.splitlines()[-1]
+
+    def test_sweep_manifest_requires_cache_dir(self):
+        with pytest.raises(SystemExit, match="cache-dir"):
+            main(["--jobs", "10", "sweep", "--manifest", "m.jsonl"])
+
+    def test_sweep_resume_requires_manifest(self):
+        with pytest.raises(SystemExit, match="manifest"):
+            main(["--jobs", "10", "sweep", "--resume"])
+
+    def test_sweep_existing_manifest_without_resume_rejected(self, capsys, tmp_path):
+        args = (
+            "--jobs", "40", "--cache-dir", str(tmp_path / "cache"), "sweep",
+            "--workloads", "CTC", "--bsld-thresholds", "2", "--wq-thresholds", "NO",
+            "--manifest", str(tmp_path / "sweep.jsonl"),
+        )
+        run_cli(capsys, *args)
+        with pytest.raises(SystemExit, match="resume"):
+            main(list(args))
+
 
 class TestParallelAndCache:
     def test_parallel_figure_matches_serial(self, capsys):

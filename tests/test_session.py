@@ -214,7 +214,37 @@ class TestBundledInstruments:
         assert report["p50"] in bslds
         assert report["max"] == pytest.approx(bslds[-1])
         assert report["p50"] <= report["p90"] <= report["p99"] <= report["max"]
-        assert len(report["series"]) == result.job_count // 25
+        # Periodic snapshots plus the closing one covering the tail
+        # (120 jobs at sample_every=25 -> 4 periodic + 1 closing).
+        assert len(report["series"]) == result.job_count // 25 + 1
+        assert report["series"][-1][1] == result.job_count
+        assert report["series"][-1][2] == pytest.approx(report["mean"])
+
+    def test_bsld_monitor_series_closes_at_the_tail(self):
+        """Regression: jobs finishing after the last sample_every multiple
+        were missing from the series; the closing snapshot must agree
+        with the report's own totals."""
+        spec = SMALL_DVFS.with_instruments(InstrumentSpec.of("bsld_monitor", sample_every=50))
+        report = Simulation(spec).run().instrument("bsld_monitor")
+        # 120 jobs at sample_every=50: snapshots at 50, 100, then the tail.
+        assert len(report["series"]) == 3
+        closing = report["series"][-1]
+        assert closing[1] == report["count"]
+        assert closing[2] == pytest.approx(report["mean"])
+        assert closing[3] == report["p50"]
+        assert closing[4] == report["p90"]
+        assert closing[5] == report["p99"]
+        times = [row[0] for row in report["series"]]
+        assert times == sorted(times)
+
+    def test_bsld_monitor_series_not_doubled_when_divisible(self):
+        """When the job count lands exactly on a sampling boundary the
+        periodic snapshot already covers the tail; no duplicate."""
+        spec = SMALL_DVFS.with_instruments(InstrumentSpec.of("bsld_monitor", sample_every=40))
+        result = Simulation(spec).run()
+        report = result.instrument("bsld_monitor")
+        assert len(report["series"]) == result.job_count // 40
+        assert report["series"][-1][1] == report["count"]
 
     def test_event_trace_records_full_lifecycle(self):
         spec = SMALL_DVFS.with_instruments(InstrumentSpec.of("event_trace"))
