@@ -1,0 +1,75 @@
+"""Simulation as a service: submit, stream telemetry, fetch aggregates.
+
+Run with::
+
+    python examples/serve_client.py
+
+This example starts an in-process :class:`~repro.ReproServer` on an
+ephemeral port (in production you would run ``repro-sim serve`` as its
+own process) and then speaks to it exactly as a remote client would —
+over HTTP via :class:`~repro.ServeClient`:
+
+1. **submit** a :class:`~repro.RunSpec` and get a job id back;
+2. **stream** the run's lifecycle telemetry live (NDJSON rows in the
+   :class:`~repro.EventTraceRecorder` shape, closed by one
+   ``EndOfStream`` sentinel);
+3. **fetch** the result — first the reduced aggregates-only document,
+   then the full one — and verify it equals an in-process run;
+4. **resubmit** the same spec to show single-flight dedup: the second
+   submission attaches to the finished job, runs nothing, and serves
+   the very same bytes.
+"""
+
+from collections import Counter
+
+from repro import ReproServer, RunSpec, ServeClient, Simulation
+
+SPEC = RunSpec(workload="SDSC", n_jobs=800, seed=11)
+
+
+def main() -> None:
+    with ReproServer() as server:  # production: repro-sim serve
+        client = ServeClient(server.address)
+        health = client.health()
+        print(f"server {server.address} up (version {health['version']})")
+
+        # 1. submit
+        job = client.submit(SPEC)
+        job_id = job["job_id"]
+        print(f"submitted {job_id} (state: {job['state']})")
+
+        # 2. stream telemetry while the run is in flight
+        kinds: Counter[str] = Counter()
+        for row in client.stream_events(job_id):
+            if row["event"] == "EndOfStream":
+                print(
+                    f"stream closed: {row['events']} events, "
+                    f"terminal state {row['state']!r}"
+                )
+                break
+            kinds[row["event"]] += 1
+        for kind, count in kinds.most_common():
+            print(f"  {kind:>18}: {count}")
+
+        # 3. fetch — aggregates-only first (headline metrics, tiny), then full
+        slim = client.result(job_id, aggregates_only=True)
+        print(
+            f"aggregates: avg BSLD {slim.average_bsld():.2f}, "
+            f"avg wait {slim.average_wait():.0f}s over {slim.job_count} jobs"
+        )
+        full = client.result(job_id)
+        assert full == Simulation(SPEC).run(), "byte-identity contract broken?!"
+        print("full result verified equal to an in-process Simulation(spec).run()")
+
+        # 4. single-flight: resubmitting attaches to the finished job
+        again = client.submit(SPEC)
+        stats = client.stats()
+        print(
+            f"resubmitted: deduped={again['deduped']}, same job={again['job_id'] == job_id}; "
+            f"server ran {stats['simulations_run']} simulation(s) for "
+            f"{stats['submissions'] + stats['deduped_submissions']} submissions"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""End-to-end smoke test for the ``repro serve`` daemon (CI gate).
+
+Starts the daemon as a real subprocess (``python -m repro.cli serve``)
+on an ephemeral port, submits a small SDSC spec over HTTP, streams its
+telemetry, and asserts the fetched result is **byte-identical** to an
+in-process ``Simulation(spec).run()`` serialised the same way — the
+core simulation-as-a-service contract, exercised through the actual
+process boundary and socket rather than a background thread.
+
+Run with::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+
+Exits 0 on success, 1 with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from typing import NoReturn
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.api import Simulation  # noqa: E402
+from repro.experiments.config import RunSpec  # noqa: E402
+from repro.serialize import result_to_dict  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.serve.protocol import END_OF_STREAM  # noqa: E402
+from repro.serve.server import canonical_result_bytes  # noqa: E402
+
+SPEC = RunSpec(workload="SDSC", n_jobs=120, seed=3)
+STARTUP_TIMEOUT = 30.0
+
+
+def fail(message: str) -> NoReturn:
+    print(f"serve-smoke: FAIL — {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_address(process: subprocess.Popen) -> str:
+    """Parse ``listening on host:port`` from the daemon's stdout."""
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            fail(f"daemon exited during startup (rc={process.poll()})")
+        print(f"serve-smoke: daemon says: {line.rstrip()}")
+        match = re.search(r"listening on (\S+:\d+)", line)
+        if match:
+            return match.group(1)
+    fail(f"no listening line within {STARTUP_TIMEOUT}s")
+    raise AssertionError("unreachable")
+
+
+def main() -> int:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    try:
+        address = wait_for_address(process)
+        client = ServeClient(address, client_id="serve-smoke")
+
+        health = client.health()
+        print(f"serve-smoke: healthz ok (version {health['version']})")
+
+        job = client.submit(SPEC)
+        job_id = job["job_id"]
+        print(f"serve-smoke: submitted {job_id} (state: {job['state']})")
+
+        rows = list(client.stream_events(job_id))
+        sentinel = rows[-1]
+        if sentinel.get("event") != END_OF_STREAM:
+            fail(f"stream did not end with the sentinel: {sentinel!r}")
+        if sentinel["state"] != "done":
+            fail(f"job ended {sentinel['state']!r}, expected 'done'")
+        telemetry = len(rows) - 1
+        if telemetry < 1:
+            fail("streamed zero telemetry events before the sentinel")
+        print(f"serve-smoke: streamed {telemetry} telemetry events + sentinel")
+
+        fetched = client.result_bytes(job_id)
+        expected = canonical_result_bytes(result_to_dict(Simulation(SPEC).run()))
+        if fetched != expected:
+            fail(
+                f"byte-identity broken: HTTP result is {len(fetched)} bytes, "
+                f"in-process run serialises to {len(expected)} bytes"
+            )
+        print(
+            f"serve-smoke: OK — HTTP result byte-identical to the in-process "
+            f"run ({len(fetched)} bytes)"
+        )
+        return 0
+    finally:
+        process.send_signal(signal.SIGINT)
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

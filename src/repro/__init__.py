@@ -85,13 +85,15 @@ from repro.scheduling.easy import EasyBackfilling
 from repro.scheduling.fcfs import FcfsScheduler
 from repro.scheduling.job import Job, JobOutcome
 from repro.scheduling.result import InstrumentReport, ResultAggregates, SimulationResult
-from repro.session import SimulationSession
+from repro.serialize import SpecValidationError
+from repro.serve import QuotaPolicy, ReproServer, ServeClient, ServeError
+from repro.session import SessionCancelled, SimulationSession
 from repro.sweep import SweepManifest, SweepReport, run_sweep
 from repro.workloads.generator import generate_workload, load_workload
 from repro.workloads.models import PAPER_BASELINE_BSLD, TRACE_MODELS, WORKLOAD_NAMES
 from repro.workloads.swf import read_swf, write_swf
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ABLATIONS",
@@ -135,8 +137,10 @@ __all__ = [
     "PowerCapController",
     "PowerModel",
     "PowerTelemetrySampler",
+    "QuotaPolicy",
     "Registry",
     "RegistryError",
+    "ReproServer",
     "ResultAggregates",
     "RunSpec",
     "SCHEDULERS",
@@ -144,11 +148,15 @@ __all__ = [
     "Scheduler",
     "SchedulerConfig",
     "SchedulingContext",
+    "ServeClient",
+    "ServeError",
+    "SessionCancelled",
     "SleepPolicy",
     "Simulation",
     "SimulationResult",
     "SimulationSession",
     "SpecFailure",
+    "SpecValidationError",
     "SweepManifest",
     "SweepReport",
     "TRACE_MODELS",

@@ -25,26 +25,58 @@ across invocations.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+from typing import NoReturn, Sequence
 
 from repro.cluster.power import SleepPolicy
 from repro.experiments.config import PolicySpec, RunSpec
 from repro.experiments.runner import ExperimentRunner
 from repro.registry import ABLATIONS, FIGURES, POWER_MODELS, SCHEDULERS, SLEEP_POLICIES
+from repro.serve.protocol import ServeError, error_json
 from repro.workloads.generator import generate_workload, load_workload
 from repro.workloads.models import WORKLOAD_NAMES, trace_model
 from repro.workloads.stats import workload_stats
 from repro.workloads.swf import read_swf, write_swf
 
+#: Set per-invocation by :func:`main`; parser errors consult it so the
+#: ``--json`` contract covers argparse's own failures too.
+_JSON_MODE = False
+
+
+class _Parser(argparse.ArgumentParser):
+    """ArgumentParser whose errors honour the global ``--json`` mode.
+
+    ``add_subparsers`` instantiates subparsers with ``type(self)``, so
+    every subcommand parser inherits this behaviour automatically.
+    """
+
+    def error(self, message: str) -> NoReturn:
+        if _JSON_MODE:
+            failure = ServeError("invalid_request", message)
+            print(error_json(failure), file=sys.stderr)
+            raise SystemExit(failure.exit_code)
+        super().error(message)
+        raise AssertionError("unreachable")  # argparse's error() always exits
+
 
 def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro-sim",
         description=(
             "Power-aware EASY backfilling on DVFS clusters - reproduction of "
             "Etinski et al., IPDPS Workshops 2010."
         ),
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable errors: one line of JSON on stderr plus a "
+             "stable exit code (the serve daemon's error schema)",
     )
     parser.add_argument(
         "--jobs", type=int, default=5000, help="trace length (default: 5000, as in the paper)"
@@ -177,6 +209,49 @@ def _build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--wq-threshold", default="NO")
     advise.add_argument("--objective", choices=("idle0", "idlelow"), default="idlelow")
     advise.set_defaults(handler=_cmd_advise)
+
+    serve = sub.add_parser(
+        "serve", help="run the simulation-as-a-service daemon (HTTP/JSON)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="TCP port (0 binds an ephemeral port; default: 8642)")
+    serve.add_argument("--max-workers", type=int, default=4,
+                       help="simulation worker threads (default: 4)")
+    serve.add_argument("--slice-events", type=int, default=20_000,
+                       help="events per cooperative run_for slice (default: 20000)")
+    serve.add_argument("--max-inflight", type=int, default=4,
+                       help="per-client concurrent runs (default: 4)")
+    serve.add_argument("--max-events", type=int, default=10_000,
+                       help="per-job telemetry replay-buffer bound (default: 10000)")
+    serve.add_argument("--max-wall-seconds", type=float, default=300.0,
+                       help="per-run wall-clock budget (default: 300)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a RunSpec JSON document to a serve daemon"
+    )
+    submit.add_argument("spec", help="path to a spec JSON document, or - for stdin")
+    submit.add_argument("--server", default="127.0.0.1:8642", metavar="HOST:PORT")
+    submit.add_argument("--client-id", default=None,
+                        help="quota bucket sent as X-Repro-Client")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until done and print the result JSON on stdout")
+    submit.add_argument("--aggregates-only", action="store_true",
+                        help="with --wait, fetch the reduced (headline-metrics) result")
+    submit.add_argument("--stream", action="store_true",
+                        help="stream telemetry rows (NDJSON) to stdout while running")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="client-side wait budget in seconds (default: 300)")
+    submit.set_defaults(handler=_cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="query a serve daemon: job status, or server stats"
+    )
+    status.add_argument("job_id", nargs="?", default=None,
+                        help="job to inspect (omit for server-wide stats)")
+    status.add_argument("--server", default="127.0.0.1:8642", metavar="HOST:PORT")
+    status.set_defaults(handler=_cmd_status)
 
     return parser
 
@@ -572,9 +647,133 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.quotas import QuotaPolicy
+    from repro.serve.server import ReproServer
+
+    try:
+        quota = QuotaPolicy(
+            max_inflight=args.max_inflight,
+            max_events=args.max_events,
+            max_wall_seconds=args.max_wall_seconds,
+        )
+        server = ReproServer(
+            args.host,
+            args.port,
+            cache_dir=args.cache_dir,
+            max_workers=args.max_workers,
+            quota=quota,
+            default_n_jobs=args.jobs,
+            slice_events=args.slice_events,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    server.start_in_thread()
+    print(
+        f"repro serve listening on {server.address} "
+        f"(cache: {args.cache_dir or 'off'}, workers: {args.max_workers})",
+        flush=True,
+    )
+    try:
+        while not server.wait(1.0):
+            pass
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient
+
+    if args.spec == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as stream:
+                text = stream.read()
+        except OSError as exc:
+            raise SystemExit(f"cannot read spec: {exc}") from None
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ServeError("invalid_request", f"spec is not valid JSON: {exc}") from None
+    if not isinstance(document, dict):
+        raise ServeError("invalid_request", "spec must be a JSON object")
+    try:
+        client = ServeClient(args.server, client_id=args.client_id or "cli")
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        job = client.submit(document.get("spec", document))
+        # Progress on stderr so stdout stays pipeable result/telemetry.
+        print(
+            f"submitted {job['job_id']} "
+            f"({'deduped' if job.get('deduped') else 'new'}, state: {job['state']})",
+            file=sys.stderr,
+        )
+        if args.stream:
+            for row in client.stream_events(job["job_id"], timeout=args.timeout):
+                print(json.dumps(row, separators=(",", ":")))
+        if args.wait or args.aggregates_only:
+            data = client.result_bytes(
+                job["job_id"],
+                aggregates_only=args.aggregates_only,
+                timeout=args.timeout,
+            )
+            sys.stdout.write(data.decode("utf-8") + "\n")
+        else:
+            print(job["job_id"])
+    except OSError as exc:
+        raise ServeError(
+            "unavailable", f"cannot reach server at {args.server}: {exc}"
+        ) from None
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient
+
+    try:
+        client = ServeClient(args.server)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        payload = client.status(args.job_id) if args.job_id else client.stats()
+    except OSError as exc:
+        raise ServeError(
+            "unavailable", f"cannot reach server at {args.server}: {exc}"
+        ) from None
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
-    return args.handler(args)
+    arg_list = list(argv) if argv is not None else sys.argv[1:]
+    global _JSON_MODE
+    _JSON_MODE = "--json" in arg_list
+    try:
+        args = _build_parser().parse_args(arg_list)
+        return args.handler(args)
+    except ServeError as exc:
+        # The shared error schema: one JSON line + stable exit code in
+        # --json mode, the familiar message-and-exit otherwise.
+        if _JSON_MODE:
+            print(error_json(exc), file=sys.stderr)
+            return exc.exit_code
+        raise SystemExit(str(exc)) from None
+    except SystemExit as exc:
+        if not _JSON_MODE:
+            raise
+        if isinstance(exc.code, str):
+            failure = ServeError("invalid_request", exc.code)
+            print(error_json(failure), file=sys.stderr)
+            return failure.exit_code
+        # Parser errors in --json mode already printed their JSON line;
+        # hand the stable exit code back as a return value so embedding
+        # callers (and tests) see one consistent contract.
+        return exc.code if isinstance(exc.code, int) else 0
 
 
 if __name__ == "__main__":

@@ -463,6 +463,23 @@ class NodePowerManager:
         # is genuinely asleep.
         self._timer = self._engine.schedule(nextafter(at, inf), EventKind.CONTROL, None)
 
+    def disarm(self) -> None:
+        """Withdraw from the engine: cancel the armed transition timer.
+
+        For runs abandoned mid-flight (session cancel): the engine
+        queue must not keep a live CONTROL handle pointing at this
+        manager.  The emit sink is dropped too, so nothing re-arms —
+        announcements are over for good — while the accounting state is
+        left untouched.  Outside handler execution ``_timer`` is either
+        ``None`` or a pending handle, so the cancel cannot hit a fired
+        event.
+        """
+        if self._timer is not None:
+            if self._engine is not None:
+                self._engine.cancel(self._timer)
+            self._timer = None
+        self._emit = None
+
     # -- the netting core ---------------------------------------------------------
     def _advance(self, now: float) -> None:
         if now <= self._cur_time:

@@ -453,6 +453,23 @@ class Scheduler(ABC):
             timeline=tuple(self._timeline),
         )
 
+    def abort(self) -> None:
+        """Stand down a run abandoned mid-flight (session cancel).
+
+        Cancels every live engine handle this scheduler owns — running
+        jobs' finish events and the sleep manager's transition timer —
+        so nothing in the abandoned engine queue still points back at
+        scheduler state.  Queued arrivals remain (they carry no
+        scheduler references); the run can never be resumed or
+        finalised after this.
+        """
+        for running in self._running.values():
+            if running.finish_handle is not None:
+                self._engine.cancel(running.finish_handle)
+                running.finish_handle = None
+        if self._sleep is not None:
+            self._sleep.disarm()
+
     # -- event handlers ----------------------------------------------------------
     def _on_arrival(self, now: float, job: Job) -> None:
         self._queue.append(job)

@@ -30,6 +30,7 @@ from repro.scheduling.result import (
 )
 
 __all__ = [
+    "SpecValidationError",
     "jsonable",
     "spec_to_dict",
     "spec_from_dict",
@@ -47,6 +48,51 @@ __all__ = [
 #: v4: results gained ``aggregates`` (the aggregates-only result mode;
 #:     ``None`` for full results, whose layout is unchanged otherwise).
 FORMAT_VERSION = 4
+
+
+class SpecValidationError(ValueError):
+    """A submitted document failed to decode.
+
+    ``path`` locates the offending field inside the JSON document —
+    ``"policy.kind"``, ``"instruments[2].name"``, ``"sleep"`` — with
+    ``""`` standing for the document root, and ``reason`` says what is
+    wrong with it.  The decoders below raise this (never a bare
+    ``KeyError``) on malformed input, so callers holding untrusted
+    documents — the serve daemon's 400 responses in particular — can
+    point at the exact field.
+    """
+
+    def __init__(self, path: str, reason: str) -> None:
+        super().__init__(f"{path or 'document root'}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+def _join(path: str, key: str) -> str:
+    return f"{path}.{key}" if path else key
+
+
+def _require_mapping(data: Any, path: str) -> dict[str, Any]:
+    if not isinstance(data, dict):
+        raise SpecValidationError(
+            path, f"expected an object, got {type(data).__name__}"
+        )
+    return data
+
+
+def _require_list(data: Any, path: str) -> list[Any]:
+    if not isinstance(data, list):
+        raise SpecValidationError(path, f"expected an array, got {type(data).__name__}")
+    return data
+
+
+def _get(data: Any, key: str, path: str) -> Any:
+    """Mandatory ``data[key]``, raising a located error on absence."""
+    mapping = _require_mapping(data, path)
+    try:
+        return mapping[key]
+    except KeyError:
+        raise SpecValidationError(_join(path, key), "missing required field") from None
 
 
 def jsonable(value: Any) -> Any:
@@ -89,13 +135,18 @@ def _sleep_to_dict(sleep: SleepPolicy | None) -> dict[str, float | None] | None:
     }
 
 
-def _sleep_from_dict(data: dict[str, Any] | None) -> SleepPolicy | None:
+def _sleep_from_dict(
+    data: dict[str, Any] | None, path: str = "sleep"
+) -> SleepPolicy | None:
     if data is None:
         return None
-    fields = dict(data)
+    fields = dict(_require_mapping(data, path))
     if fields.get("sleep_after_seconds") is None:
         fields["sleep_after_seconds"] = float("inf")
-    return SleepPolicy(**fields)
+    try:
+        return SleepPolicy(**fields)
+    except (TypeError, ValueError) as exc:
+        raise SpecValidationError(path, str(exc)) from exc
 
 
 def spec_to_dict(spec: RunSpec) -> dict[str, Any]:
@@ -127,31 +178,62 @@ def spec_to_dict(spec: RunSpec) -> dict[str, Any]:
 
 
 def spec_from_dict(data: dict[str, Any]) -> RunSpec:
-    policy = data["policy"]
-    return RunSpec(
-        workload=data["workload"],
-        policy=PolicySpec(
-            kind=policy["kind"],
-            bsld_threshold=policy["bsld_threshold"],
-            wq_threshold=policy["wq_threshold"],
-            strict_top_backfill=policy["strict_top_backfill"],
-            fixed_frequency=policy["fixed_frequency"],
-            boost_trigger=policy["boost_trigger"],
-        ),
-        n_jobs=data["n_jobs"],
-        seed=data["seed"],
-        size_factor=data["size_factor"],
-        beta=data["beta"],
-        scheduler=data["scheduler"],
-        power_model=data["power_model"],
-        source=data["source"],
-        record_timeline=data["record_timeline"],
-        instruments=tuple(
-            InstrumentSpec(name=inst["name"], params=_params_from_json(inst["params"]))
-            for inst in data.get("instruments", [])
-        ),
-        sleep=_sleep_from_dict(data.get("sleep")),
-    )
+    """Decode :func:`spec_to_dict` output back into a :class:`RunSpec`.
+
+    Malformed documents raise :class:`SpecValidationError` locating the
+    offending field — never a bare ``KeyError``/``TypeError``.
+    """
+    policy = _require_mapping(_get(data, "policy", ""), "policy")
+    try:
+        decoded_policy = PolicySpec(
+            kind=_get(policy, "kind", "policy"),
+            bsld_threshold=_get(policy, "bsld_threshold", "policy"),
+            wq_threshold=_get(policy, "wq_threshold", "policy"),
+            strict_top_backfill=_get(policy, "strict_top_backfill", "policy"),
+            fixed_frequency=_get(policy, "fixed_frequency", "policy"),
+            boost_trigger=_get(policy, "boost_trigger", "policy"),
+        )
+    except SpecValidationError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise SpecValidationError("policy", str(exc)) from exc
+    instruments: list[InstrumentSpec] = []
+    raw_instruments = _require_list(data.get("instruments", []), "instruments")
+    for index, inst in enumerate(raw_instruments):
+        inst_path = f"instruments[{index}]"
+        params = _require_list(
+            _get(inst, "params", inst_path), _join(inst_path, "params")
+        )
+        try:
+            instruments.append(
+                InstrumentSpec(
+                    name=_get(inst, "name", inst_path),
+                    params=_params_from_json(params),
+                )
+            )
+        except SpecValidationError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise SpecValidationError(inst_path, str(exc)) from exc
+    try:
+        return RunSpec(
+            workload=_get(data, "workload", ""),
+            policy=decoded_policy,
+            n_jobs=_get(data, "n_jobs", ""),
+            seed=_get(data, "seed", ""),
+            size_factor=_get(data, "size_factor", ""),
+            beta=_get(data, "beta", ""),
+            scheduler=_get(data, "scheduler", ""),
+            power_model=_get(data, "power_model", ""),
+            source=_get(data, "source", ""),
+            record_timeline=_get(data, "record_timeline", ""),
+            instruments=tuple(instruments),
+            sleep=_sleep_from_dict(data.get("sleep"), "sleep"),
+        )
+    except SpecValidationError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise SpecValidationError("", str(exc)) from exc
 
 
 def spec_json(spec: RunSpec) -> str:
@@ -169,8 +251,10 @@ def _gear_to_dict(gear: Gear) -> dict[str, float]:
     return {"frequency": gear.frequency, "voltage": gear.voltage}
 
 
-def _gear_from_dict(data: dict[str, float]) -> Gear:
-    return Gear(frequency=data["frequency"], voltage=data["voltage"])
+def _gear_from_dict(data: dict[str, float], path: str = "") -> Gear:
+    return Gear(
+        frequency=_get(data, "frequency", path), voltage=_get(data, "voltage", path)
+    )
 
 
 def _job_to_dict(job: Job) -> dict[str, Any]:
@@ -187,8 +271,11 @@ def _job_to_dict(job: Job) -> dict[str, Any]:
     }
 
 
-def _job_from_dict(data: dict[str, Any]) -> Job:
-    return Job(**data)
+def _job_from_dict(data: dict[str, Any], path: str = "") -> Job:
+    try:
+        return Job(**_require_mapping(data, path))
+    except (TypeError, ValueError) as exc:
+        raise SpecValidationError(path, str(exc)) from exc
 
 
 def _outcome_to_dict(outcome: JobOutcome) -> dict[str, Any]:
@@ -203,15 +290,15 @@ def _outcome_to_dict(outcome: JobOutcome) -> dict[str, Any]:
     }
 
 
-def _outcome_from_dict(data: dict[str, Any]) -> JobOutcome:
+def _outcome_from_dict(data: dict[str, Any], path: str = "") -> JobOutcome:
     return JobOutcome(
-        job=_job_from_dict(data["job"]),
-        start_time=data["start_time"],
-        finish_time=data["finish_time"],
-        gear=_gear_from_dict(data["gear"]),
-        penalized_runtime=data["penalized_runtime"],
-        energy=data["energy"],
-        was_reduced=data["was_reduced"],
+        job=_job_from_dict(_get(data, "job", path), _join(path, "job")),
+        start_time=_get(data, "start_time", path),
+        finish_time=_get(data, "finish_time", path),
+        gear=_gear_from_dict(_get(data, "gear", path), _join(path, "gear")),
+        penalized_runtime=_get(data, "penalized_runtime", path),
+        energy=_get(data, "energy", path),
+        was_reduced=_get(data, "was_reduced", path),
     )
 
 
@@ -235,14 +322,24 @@ def _aggregates_to_dict(aggregates: ResultAggregates | None) -> dict[str, Any] |
     }
 
 
-def _aggregates_from_dict(data: dict[str, Any] | None) -> ResultAggregates | None:
+def _aggregates_from_dict(
+    data: dict[str, Any] | None, path: str = "aggregates"
+) -> ResultAggregates | None:
     if data is None:
         return None
-    fields = dict(data)
-    fields["gear_histogram"] = tuple(
-        (_gear_from_dict(gear), count) for gear, count in data["gear_histogram"]
-    )
-    return ResultAggregates(**fields)
+    fields = dict(_require_mapping(data, path))
+    hist_path = _join(path, "gear_histogram")
+    entries = _require_list(_get(fields, "gear_histogram", path), hist_path)
+    try:
+        fields["gear_histogram"] = tuple(
+            (_gear_from_dict(gear, f"{hist_path}[{index}]"), count)
+            for index, (gear, count) in enumerate(entries)
+        )
+        return ResultAggregates(**fields)
+    except SpecValidationError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise SpecValidationError(path, str(exc)) from exc
 
 
 def result_to_dict(result: SimulationResult) -> dict[str, Any]:
@@ -290,35 +387,87 @@ def result_to_dict(result: SimulationResult) -> dict[str, Any]:
     }
 
 
-def _energy_from_dict(data: dict[str, Any]) -> EnergyReport:
-    sleep = data.get("sleep")
-    return EnergyReport(
-        **{key: value for key, value in data.items() if key != "sleep"},
-        sleep=None if sleep is None else SleepEnergyBreakdown(**sleep),
-    )
+def _energy_from_dict(data: dict[str, Any], path: str = "energy") -> EnergyReport:
+    mapping = _require_mapping(data, path)
+    sleep = mapping.get("sleep")
+    if sleep is not None:
+        _require_mapping(sleep, _join(path, "sleep"))
+    try:
+        return EnergyReport(
+            **{key: value for key, value in mapping.items() if key != "sleep"},
+            sleep=None if sleep is None else SleepEnergyBreakdown(**sleep),
+        )
+    except (TypeError, ValueError) as exc:
+        raise SpecValidationError(path, str(exc)) from exc
+
+
+def _timeline_from_list(data: list[Any]) -> tuple[TimelinePoint, ...]:
+    points = []
+    for index, point in enumerate(data):
+        path = f"timeline[{index}]"
+        try:
+            points.append(TimelinePoint(**_require_mapping(point, path)))
+        except SpecValidationError:
+            raise
+        except TypeError as exc:
+            raise SpecValidationError(path, str(exc)) from exc
+    return tuple(points)
 
 
 def result_from_dict(data: dict[str, Any]) -> SimulationResult:
-    version = data.get("version")
+    """Decode :func:`result_to_dict` output.
+
+    Raises :class:`SpecValidationError` (a ``ValueError``) locating the
+    offending field on malformed documents; a plain ``ValueError`` on a
+    format-version mismatch.
+    """
+    version = _require_mapping(data, "").get("version")
     if version != FORMAT_VERSION:
         raise ValueError(
             f"unsupported result format version {version!r} (expected {FORMAT_VERSION})"
         )
-    machine = data["machine"]
-    return SimulationResult(
-        machine=Machine(
-            name=machine["name"],
-            total_cpus=machine["total_cpus"],
-            gears=GearSet([_gear_from_dict(g) for g in machine["gears"]]),
-        ),
-        policy=data["policy"],
-        outcomes=tuple(_outcome_from_dict(o) for o in data["outcomes"]),
-        energy=_energy_from_dict(data["energy"]),
-        events_processed=data["events_processed"],
-        timeline=tuple(TimelinePoint(**p) for p in data["timeline"]),
-        instruments=tuple(
-            InstrumentReport(name=report["name"], summary=report["summary"])
-            for report in data.get("instruments", [])
-        ),
-        aggregates=_aggregates_from_dict(data.get("aggregates")),
-    )
+    machine = _require_mapping(_get(data, "machine", ""), "machine")
+    gears = _require_list(_get(machine, "gears", "machine"), "machine.gears")
+    outcomes = _require_list(_get(data, "outcomes", ""), "outcomes")
+    reports = _require_list(data.get("instruments", []), "instruments")
+    try:
+        decoded_machine = Machine(
+            name=_get(machine, "name", "machine"),
+            total_cpus=_get(machine, "total_cpus", "machine"),
+            gears=GearSet(
+                [
+                    _gear_from_dict(g, f"machine.gears[{index}]")
+                    for index, g in enumerate(gears)
+                ]
+            ),
+        )
+    except SpecValidationError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise SpecValidationError("machine", str(exc)) from exc
+    try:
+        return SimulationResult(
+            machine=decoded_machine,
+            policy=_get(data, "policy", ""),
+            outcomes=tuple(
+                _outcome_from_dict(o, f"outcomes[{index}]")
+                for index, o in enumerate(outcomes)
+            ),
+            energy=_energy_from_dict(_get(data, "energy", ""), "energy"),
+            events_processed=_get(data, "events_processed", ""),
+            timeline=_timeline_from_list(
+                _require_list(_get(data, "timeline", ""), "timeline")
+            ),
+            instruments=tuple(
+                InstrumentReport(
+                    name=_get(report, "name", f"instruments[{index}]"),
+                    summary=_get(report, "summary", f"instruments[{index}]"),
+                )
+                for index, report in enumerate(reports)
+            ),
+            aggregates=_aggregates_from_dict(data.get("aggregates"), "aggregates"),
+        )
+    except SpecValidationError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise SpecValidationError("", str(exc)) from exc

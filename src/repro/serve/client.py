@@ -1,0 +1,202 @@
+"""A thin blocking client for the serve daemon.
+
+Stdlib-only (:mod:`http.client`), one connection per request — the
+daemon answers every request with ``Connection: close``, so there is
+nothing to pool.  Server-side failures surface as the same
+:class:`~repro.serve.protocol.ServeError` the daemon raised, rebuilt
+from the wire payload.
+
+    >>> client = ServeClient("127.0.0.1:8642")          # doctest: +SKIP
+    >>> job = client.submit(RunSpec(workload="SDSC"))   # doctest: +SKIP
+    >>> for row in client.stream_events(job["job_id"]): # doctest: +SKIP
+    ...     print(row["event"])
+    >>> result = client.result(job["job_id"])           # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator
+
+from repro.experiments.config import RunSpec
+from repro.scheduling.result import SimulationResult
+from repro.serialize import result_from_dict, spec_to_dict
+from repro.serve.protocol import END_OF_STREAM, TERMINAL_STATES, ServeError
+from repro.serve.quotas import DEFAULT_CLIENT
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Blocking HTTP client for one :class:`~repro.serve.server.ReproServer`.
+
+    ``address`` is ``"host:port"`` (an ``http://`` prefix is
+    tolerated); ``client_id`` is sent as ``X-Repro-Client`` and is the
+    bucket quotas are charged to.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        client_id: str = DEFAULT_CLIENT,
+        timeout: float = 60.0,
+    ) -> None:
+        trimmed = address.removeprefix("http://").rstrip("/")
+        host, sep, port_text = trimmed.rpartition(":")
+        if not sep or not port_text.isdigit():
+            raise ValueError(f"address must be 'host:port', got {address!r}")
+        self.host = host
+        self.port = int(port_text)
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------------
+    def _connection(self, timeout: float | None = None) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout if timeout is None else timeout
+        )
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> bytes:
+        connection = self._connection(timeout)
+        try:
+            body = (
+                json.dumps(payload).encode("utf-8") if payload is not None else None
+            )
+            connection.request(
+                method,
+                path,
+                body=body,
+                headers={
+                    "X-Repro-Client": self.client_id,
+                    "Content-Type": "application/json",
+                },
+            )
+            response = connection.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                raise self._decode_error(data)
+            return data
+        finally:
+            connection.close()
+
+    def _request_json(
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        data = json.loads(self._request(method, path, payload, timeout))
+        if not isinstance(data, dict):
+            raise ServeError("server_error", f"expected a JSON object, got {data!r}")
+        return data
+
+    @staticmethod
+    def _decode_error(data: bytes) -> ServeError:
+        try:
+            return ServeError.from_payload(json.loads(data))
+        except (ValueError, UnicodeDecodeError):
+            return ServeError("server_error", f"unparseable error body: {data[:200]!r}")
+
+    # -- endpoints ---------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self._request_json("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request_json("GET", "/stats")
+
+    def submit(self, spec: RunSpec | dict[str, Any]) -> dict[str, Any]:
+        """Submit a run; returns the job status payload (incl. ``job_id``).
+
+        Accepts a built :class:`RunSpec` (serialised through the exact
+        codec) or an already-encoded spec document.
+        """
+        document = spec_to_dict(spec) if isinstance(spec, RunSpec) else spec
+        return self._request_json("POST", "/runs", {"spec": document})
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request_json("GET", f"/runs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request_json("POST", f"/runs/{job_id}/cancel")
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> dict[str, Any]:
+        """Poll until the job is terminal; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    "not_ready", f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            time.sleep(0.05)
+
+    def result_bytes(
+        self,
+        job_id: str,
+        *,
+        aggregates_only: bool = False,
+        wait: bool = True,
+        timeout: float = 300.0,
+    ) -> bytes:
+        """The result document, verbatim as served (byte-identity surface)."""
+        query = f"?aggregates={int(aggregates_only)}&wait={int(wait)}&timeout={timeout}"
+        # The socket must outlive the server-side wait.
+        return self._request(
+            "GET", f"/runs/{job_id}/result{query}", timeout=timeout + self.timeout
+        )
+
+    def result(
+        self,
+        job_id: str,
+        *,
+        aggregates_only: bool = False,
+        wait: bool = True,
+        timeout: float = 300.0,
+    ) -> SimulationResult:
+        """The decoded :class:`SimulationResult` (full or aggregates-only)."""
+        data = self.result_bytes(
+            job_id, aggregates_only=aggregates_only, wait=wait, timeout=timeout
+        )
+        return result_from_dict(json.loads(data))
+
+    def stream_events(
+        self, job_id: str, *, timeout: float = 300.0
+    ) -> Iterator[dict[str, Any]]:
+        """Yield telemetry rows (NDJSON) until the stream's sentinel.
+
+        Every yielded row is a dict with an ``"event"`` type tag; the
+        final row is the ``EndOfStream`` sentinel carrying the job's
+        terminal state.
+        """
+        connection = self._connection(timeout)
+        try:
+            connection.request(
+                "GET",
+                f"/runs/{job_id}/events",
+                headers={"X-Repro-Client": self.client_id},
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                raise self._decode_error(response.read())
+            for raw in response:
+                line = raw.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                yield row
+                if row.get("event") == END_OF_STREAM:
+                    return
+        finally:
+            connection.close()

@@ -1,0 +1,810 @@
+"""The asyncio HTTP/JSON daemon behind ``repro serve``.
+
+One process, two planes:
+
+* the **asyncio plane** (one event loop) parses HTTP/1.1 requests,
+  answers status/stats instantly, and tails telemetry buffers for
+  streaming subscribers;
+* the **worker plane** (a thread pool) drives each accepted run as a
+  :class:`~repro.session.SimulationSession` in budgeted ``run_for``
+  slices, checking the job's cancel flag and wall-clock budget at every
+  slice boundary.
+
+Endpoints (all JSON; errors use the shared
+:mod:`~repro.serve.protocol` payload)::
+
+    GET  /healthz                         liveness + versions
+    GET  /stats                           counters, states, quotas
+    POST /runs                            submit {"spec": {...}} -> job
+    GET  /runs/{id}                       job status
+    GET  /runs/{id}/result[?aggregates=1&wait=1&timeout=S]
+    GET  /runs/{id}/events[?format=sse]   telemetry stream (NDJSON/SSE)
+    POST /runs/{id}/cancel                request cancellation
+    DELETE /runs/{id}                     same as cancel
+
+Submissions are **single-flight** on the spec's cache key: while a run
+for a key is queued, running, or done, further submissions of the same
+key attach to it — they charge no quota, run no simulation, and fetch
+the very same result bytes.  Results are canonical sorted-key compact
+JSON of :func:`repro.serialize.result_to_dict`, so an HTTP-fetched
+result is byte-identical to an in-process ``Simulation(spec).run()``
+serialized the same way; the shared on-disk cache
+(:class:`repro.batch.BatchRunner`'s format) extends that identity
+across server restarts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.api import DEFAULT_N_JOBS, Simulation, normalize_spec
+from repro.batch import BatchRunner
+from repro.experiments.config import RunSpec
+from repro.instruments import Instrument
+from repro.serialize import (
+    SpecValidationError,
+    result_to_dict,
+    spec_from_dict,
+    spec_key,
+)
+from repro.serve import protocol
+from repro.serve.protocol import (
+    END_OF_STREAM,
+    PROTOCOL_VERSION,
+    TERMINAL_STATES,
+    ServeError,
+    event_to_wire,
+    ndjson_line,
+    sse_line,
+)
+from repro.serve.quotas import DEFAULT_CLIENT, QuotaLedger, QuotaPolicy
+from repro.sim.events import LifecycleEvent
+
+__all__ = ["ReproServer", "ServeJob", "canonical_result_bytes"]
+
+_MAX_BODY_BYTES = 16 << 20
+_MAX_HEADERS = 100
+_READ_TIMEOUT = 30.0
+#: Poll interval for the async plane tailing worker-plane state.
+_TICK = 0.02
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def canonical_result_bytes(payload: dict[str, Any]) -> bytes:
+    """The wire encoding of a result document: sorted-key compact JSON.
+
+    Both sides of the byte-identity contract use this — the daemon when
+    it serialises a finished run, and any client comparing against an
+    in-process ``result_to_dict(Simulation(spec).run())``.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+class _TelemetryForwarder(Instrument):
+    """Session instrument copying lifecycle events into the job buffer.
+
+    Deliberately *not* registry-registered: it is server plumbing, not
+    a user instrument, and its report is stripped from the result so
+    the served bytes match an un-instrumented in-process run.
+    """
+
+    name = "_serve_telemetry"
+
+    def __init__(self, job: "ServeJob") -> None:
+        super().__init__()
+        self._job = job
+
+    def on_event(self, event: LifecycleEvent) -> None:
+        self._job.record_event(event_to_wire(event))
+
+
+class ServeJob:
+    """One submitted run and everything the endpoints serve about it."""
+
+    def __init__(
+        self, job_id: str, spec: RunSpec, key: str, client: str, max_events: int
+    ) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self.key = key
+        self.client = client
+        self.state = protocol.QUEUED
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.submissions = 1  # total submits attached to this job (single-flight)
+        self.from_cache = False
+        self.error: dict[str, Any] | None = None
+        self.result_bytes: bytes | None = None
+        self.result_obj: Any = None  # SimulationResult, kept for aggregates
+        self.cancel_event = threading.Event()
+        self.max_events = max_events
+        # Telemetry replay buffer: appended by the worker thread,
+        # sliced by streaming handlers; ``lock`` covers both plus the
+        # lazily-built aggregates encoding.
+        self.lock = threading.Lock()
+        self.events: list[dict[str, Any]] = []
+        self.events_dropped = 0
+        self._aggregates_bytes: bytes | None = None
+
+    def record_event(self, row: dict[str, Any]) -> None:
+        with self.lock:
+            if len(self.events) < self.max_events:
+                self.events.append(row)
+            else:
+                self.events_dropped += 1
+
+    def aggregates_bytes(self) -> bytes:
+        """The aggregates-only encoding of the finished result (cached)."""
+        with self.lock:
+            if self._aggregates_bytes is None:
+                result = self.result_obj
+                if not result.is_aggregated:
+                    result = result.to_aggregates()
+                self._aggregates_bytes = canonical_result_bytes(result_to_dict(result))
+            return self._aggregates_bytes
+
+    def status_payload(self) -> dict[str, Any]:
+        with self.lock:
+            recorded = len(self.events)
+            dropped = self.events_dropped
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "spec_key": self.key,
+            "client": self.client,
+            "submissions": self.submissions,
+            "from_cache": self.from_cache,
+            "error": self.error,
+            "events_recorded": recorded,
+            "events_dropped": dropped,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class ReproServer:
+    """The daemon.  Three ways to run it:
+
+    * ``run_blocking()`` — the ``repro serve`` CLI entry point;
+    * ``start_in_thread()`` / ``stop()`` (or ``with ReproServer(...)``)
+      — a background instance for tests and examples;
+    * ``await start()`` inside an existing event loop.
+
+    ``port=0`` binds an ephemeral port; read ``server.port`` after
+    start.  ``cache_dir`` enables the shared on-disk result cache (the
+    exact :class:`~repro.batch.BatchRunner` format, so sweeps and the
+    daemon interchange entries).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        cache_dir: str | None = None,
+        max_workers: int = 4,
+        quota: QuotaPolicy | None = None,
+        default_n_jobs: int = DEFAULT_N_JOBS,
+        slice_events: int = 20_000,
+        validate: bool = False,
+    ) -> None:
+        if max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if slice_events <= 0:
+            raise ValueError(f"slice_events must be positive, got {slice_events}")
+        self.host = host
+        self.port = port
+        self.quota = quota if quota is not None else QuotaPolicy()
+        self.max_workers = max_workers
+        self.default_n_jobs = default_n_jobs
+        self.slice_events = slice_events
+        self.validate = validate
+        # max_workers=0: the runner is used purely for its cache codec
+        # (load/store under _cache_lock), never for its own pooling.
+        self._runner = BatchRunner(
+            max_workers=0, cache_dir=cache_dir, default_n_jobs=default_n_jobs
+        )
+        self._ledger = QuotaLedger(self.quota)
+        self._state_lock = threading.Lock()
+        self._cache_lock = threading.Lock()
+        self._jobs: dict[str, ServeJob] = {}
+        self._by_key: dict[str, ServeJob] = {}
+        self._ids = itertools.count(1)
+        self._accepting = True
+        self._submissions = 0
+        self._deduped = 0
+        self._simulations_run = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._stopping: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    async def start(self) -> "ReproServer":
+        """Bind and begin accepting connections (inside a running loop)."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-serve"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def _serve(self) -> None:
+        try:
+            await self.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            raise
+        self._ready.set()
+        try:
+            await self._stopping.wait()
+        finally:
+            await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        with self._state_lock:
+            self._accepting = False
+            jobs = list(self._jobs.values())
+        assert self._server is not None and self._loop is not None
+        self._server.close()
+        await self._server.wait_closed()
+        for job in jobs:
+            if job.state not in TERMINAL_STATES:
+                job.cancel_event.set()
+        executor = self._executor
+        if executor is not None:
+            await self._loop.run_in_executor(
+                None, lambda: executor.shutdown(wait=True, cancel_futures=True)
+            )
+        # Queued jobs whose futures were cancelled never reached a
+        # worker: close them out here (running ones closed themselves).
+        for job in jobs:
+            if job.state not in TERMINAL_STATES:
+                self._finish(
+                    job,
+                    protocol.CANCELLED,
+                    error={
+                        "code": "unavailable",
+                        "message": "server shut down",
+                        "field": None,
+                    },
+                )
+
+    def run_blocking(self) -> None:
+        """Serve until interrupted — the ``repro serve`` entry point."""
+        try:
+            asyncio.run(self._serve())
+        except KeyboardInterrupt:
+            pass
+
+    def start_in_thread(self) -> "ReproServer":
+        """Run the loop in a daemon thread; returns once the port is bound."""
+        if self._thread is not None:
+            raise RuntimeError("server thread already running")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server did not start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        return self
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException:
+            # Startup failures are re-raised to the starting thread via
+            # _startup_error; anything else here means we were stopped.
+            if self._startup_error is None:
+                raise
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the background server thread exits; True once it has."""
+        thread = self._thread
+        if thread is None:
+            return True
+        thread.join(timeout)
+        return not thread.is_alive()
+
+    def stop(self) -> None:
+        """Stop a ``start_in_thread`` server: drain workers, join the thread."""
+        thread = self._thread
+        if thread is None:
+            return
+        if self._loop is not None and self._stopping is not None:
+            stopping = self._stopping
+            self._loop.call_soon_threadsafe(stopping.set)
+        thread.join(timeout=60)
+        self._thread = None
+
+    def __enter__(self) -> "ReproServer":
+        return self.start_in_thread()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- submission & execution (worker plane) -----------------------------------
+    def submit(self, spec: RunSpec, client: str = DEFAULT_CLIENT) -> tuple[ServeJob, bool]:
+        """Admit ``spec``; returns ``(job, deduped)``.
+
+        Single-flight: if a job for the same cache key is queued,
+        running, or done, the submission attaches to it (no quota
+        charge, no new simulation).  Failed or cancelled keys retry
+        with a fresh job.
+        """
+        key = spec_key(spec)
+        with self._state_lock:
+            if not self._accepting:
+                raise ServeError("unavailable", "server is shutting down")
+            existing = self._by_key.get(key)
+            if existing is not None and existing.state not in (
+                protocol.FAILED,
+                protocol.CANCELLED,
+            ):
+                existing.submissions += 1
+                self._deduped += 1
+                return existing, True
+            self._ledger.acquire(client)  # raises QuotaExceeded
+            job = ServeJob(
+                f"job-{next(self._ids):06d}", spec, key, client, self.quota.max_events
+            )
+            self._jobs[job.job_id] = job
+            self._by_key[key] = job
+            self._submissions += 1
+            executor = self._executor
+        assert executor is not None, "server not started"
+        executor.submit(self._execute, job)
+        return job, False
+
+    def _execute(self, job: ServeJob) -> None:
+        try:
+            if job.cancel_event.is_set():
+                self._finish(
+                    job,
+                    protocol.CANCELLED,
+                    error={
+                        "code": "cancelled",
+                        "message": "cancelled before start",
+                        "field": None,
+                    },
+                )
+                return
+            with self._state_lock:
+                job.state = protocol.RUNNING
+                job.started_at = time.time()
+            with self._cache_lock:
+                cached = self._runner.cache_load(job.spec)
+            if cached is not None:
+                # A cache hit streams no telemetry (the run happened in
+                # some earlier life); subscribers get the sentinel only.
+                job.from_cache = True
+                job.result_obj = cached
+                job.result_bytes = canonical_result_bytes(result_to_dict(cached))
+                self._finish(job, protocol.DONE)
+                return
+            result = self._simulate(job)
+            if result is None:
+                return  # cancelled or over budget; _finish already ran
+            with self._cache_lock:
+                self._runner.cache_store(job.spec, result)
+            job.result_obj = result
+            job.result_bytes = canonical_result_bytes(result_to_dict(result))
+            self._finish(job, protocol.DONE)
+        except Exception as exc:
+            self._finish(
+                job,
+                protocol.FAILED,
+                error={
+                    "code": "simulation_failed",
+                    "message": f"{type(exc).__name__}: {exc}",
+                    "field": None,
+                },
+            )
+
+    def _simulate(self, job: ServeJob) -> Any:
+        """Drive one session in slices; ``None`` if it did not finish."""
+        forwarder = _TelemetryForwarder(job)
+        session = Simulation(job.spec, validate=self.validate).session(
+            instruments=[forwarder]
+        )
+        deadline = time.monotonic() + self.quota.max_wall_seconds
+        while not session.done:
+            if job.cancel_event.is_set():
+                session.cancel("client request")
+                self._finish(
+                    job,
+                    protocol.CANCELLED,
+                    error={
+                        "code": "cancelled",
+                        "message": "cancelled by client",
+                        "field": None,
+                    },
+                )
+                return None
+            if time.monotonic() >= deadline:
+                session.cancel("wall-clock budget exhausted")
+                self._finish(
+                    job,
+                    protocol.FAILED,
+                    error={
+                        "code": "quota_exceeded",
+                        "message": (
+                            f"run exceeded the {self.quota.max_wall_seconds}s "
+                            f"wall-clock budget"
+                        ),
+                        "field": None,
+                    },
+                )
+                return None
+            session.run_for(self.slice_events)
+        result = session.result()
+        with self._state_lock:
+            self._simulations_run += 1
+        # Strip the forwarder's report: it is server plumbing, and the
+        # served bytes must equal a plain in-process run of the spec.
+        reports = tuple(
+            r for r in result.instruments if r.name != _TelemetryForwarder.name
+        )
+        return replace(result, instruments=reports)
+
+    def _finish(
+        self, job: ServeJob, state: str, error: dict[str, Any] | None = None
+    ) -> None:
+        with self._state_lock:
+            if job.state in TERMINAL_STATES:
+                return
+            job.state = state
+            job.error = error
+            job.finished_at = time.time()
+            if (
+                state in (protocol.FAILED, protocol.CANCELLED)
+                and self._by_key.get(job.key) is job
+            ):
+                # Let a later submission of the same spec start afresh.
+                del self._by_key[job.key]
+        self._ledger.release(job.client)
+
+    # -- HTTP plumbing (asyncio plane) -------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    self._read_request(reader), _READ_TIMEOUT
+                )
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError, ConnectionError):
+                return
+            if request is None:
+                return
+            method, target, headers, body = request
+            try:
+                await self._dispatch(method, target, headers, body, writer)
+            except ServeError as err:
+                await self._send_json(writer, err.status, err.payload())
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as exc:
+                fallback = ServeError("server_error", f"{type(exc).__name__}: {exc}")
+                await self._send_json(writer, fallback.status, fallback.payload())
+        except (ConnectionError, OSError):
+            pass  # peer went away mid-response; nothing left to tell it
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise ServeError("invalid_request", "malformed HTTP request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+            if len(headers) > _MAX_HEADERS:
+                raise ServeError("invalid_request", "too many headers")
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise ServeError(
+                "invalid_request", f"bad Content-Length: {length_text!r}"
+            ) from None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise ServeError(
+                "invalid_request",
+                f"Content-Length {length} outside [0, {_MAX_BODY_BYTES}]",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    async def _dispatch(
+        self,
+        method: str,
+        target: str,
+        headers: dict[str, str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        query = {key: values[-1] for key, values in parse_qs(url.query).items()}
+        client = headers.get("x-repro-client", DEFAULT_CLIENT)
+        if path == "/healthz" and method == "GET":
+            import repro
+
+            await self._send_json(
+                writer,
+                200,
+                {
+                    "status": "ok",
+                    "protocol": PROTOCOL_VERSION,
+                    "version": repro.__version__,
+                },
+            )
+        elif path == "/stats" and method == "GET":
+            await self._send_json(writer, 200, self.stats())
+        elif path == "/runs" and method == "POST":
+            await self._handle_submit(body, client, writer)
+        elif path.startswith("/runs/"):
+            job_id, _, action = path[len("/runs/") :].partition("/")
+            with self._state_lock:
+                job = self._jobs.get(job_id)
+            if job is None:
+                raise ServeError("not_found", f"no such job: {job_id!r}")
+            if action == "" and method == "GET":
+                await self._send_json(writer, 200, job.status_payload())
+            elif (action == "cancel" and method == "POST") or (
+                action == "" and method == "DELETE"
+            ):
+                await self._handle_cancel(job, writer)
+            elif action == "result" and method == "GET":
+                await self._handle_result(job, query, writer)
+            elif action == "events" and method == "GET":
+                await self._handle_events(job, query, headers, writer)
+            else:
+                raise ServeError("not_found", f"no route for {method} {path}")
+        else:
+            raise ServeError("not_found", f"no route for {method} {path}")
+
+    async def _handle_submit(
+        self, body: bytes, client: str, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            document = json.loads(body.decode("utf-8")) if body else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(
+                "invalid_request", f"request body is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(document, dict):
+            raise ServeError("invalid_request", "request body must be a JSON object")
+        raw_spec = document.get("spec", document)  # envelope optional
+        try:
+            spec = normalize_spec(spec_from_dict(raw_spec), self.default_n_jobs)
+        except SpecValidationError as exc:
+            raise ServeError("invalid_spec", exc.reason, exc.path or None) from exc
+        except (TypeError, ValueError) as exc:
+            raise ServeError("invalid_spec", str(exc)) from exc
+        job, deduped = self.submit(spec, client)
+        payload = job.status_payload()
+        payload["deduped"] = deduped
+        await self._send_json(writer, 202, payload)
+
+    async def _handle_cancel(
+        self, job: ServeJob, writer: asyncio.StreamWriter
+    ) -> None:
+        terminal = job.state in TERMINAL_STATES
+        if not terminal:
+            job.cancel_event.set()
+        payload = job.status_payload()
+        payload["cancel_requested"] = not terminal
+        await self._send_json(writer, 202, payload)
+
+    async def _handle_result(
+        self, job: ServeJob, query: dict[str, str], writer: asyncio.StreamWriter
+    ) -> None:
+        wait = _truthy(query.get("wait"))
+        try:
+            timeout = float(query.get("timeout", "60"))
+        except ValueError:
+            raise ServeError(
+                "invalid_request", f"bad timeout: {query.get('timeout')!r}"
+            ) from None
+        assert self._loop is not None
+        deadline = self._loop.time() + timeout
+        while job.state not in TERMINAL_STATES:
+            if not wait or self._loop.time() >= deadline:
+                raise ServeError(
+                    "not_ready", f"job {job.job_id} is {job.state}; retry or ?wait=1"
+                )
+            await asyncio.sleep(_TICK)
+        if job.state == protocol.CANCELLED:
+            raise ServeError("cancelled", f"job {job.job_id} was cancelled")
+        if job.state == protocol.FAILED:
+            error = job.error or {}
+            raise ServeError(
+                error.get("code", "simulation_failed"),
+                error.get("message", "simulation failed"),
+                error.get("field"),
+            )
+        if _truthy(query.get("aggregates")):
+            assert self._loop is not None
+            body = await self._loop.run_in_executor(None, job.aggregates_bytes)
+        else:
+            assert job.result_bytes is not None
+            body = job.result_bytes
+        await self._send_bytes(writer, 200, body, "application/json")
+
+    async def _handle_events(
+        self,
+        job: ServeJob,
+        query: dict[str, str],
+        headers: dict[str, str],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        sse = query.get("format") == "sse" or "text/event-stream" in headers.get(
+            "accept", ""
+        )
+        encode = sse_line if sse else ndjson_line
+        content_type = "text/event-stream" if sse else "application/x-ndjson"
+        await self._send_stream_head(writer, content_type)
+        sent = 0
+        while True:
+            with job.lock:
+                rows = job.events[sent:]
+                dropped = job.events_dropped
+            # Terminal state is only set after the run stopped emitting,
+            # so a terminal snapshot taken *after* slicing the buffer
+            # guarantees the slice already held every row.
+            terminal = job.state in TERMINAL_STATES
+            for row in rows:
+                writer.write(encode(row))
+            sent += len(rows)
+            if rows:
+                await writer.drain()
+            if terminal:
+                with job.lock:
+                    rows = job.events[sent:]
+                    dropped = job.events_dropped
+                for row in rows:
+                    writer.write(encode(row))
+                sent += len(rows)
+                writer.write(
+                    encode(
+                        {
+                            "event": END_OF_STREAM,
+                            "state": job.state,
+                            "events": sent,
+                            "events_dropped": dropped,
+                        }
+                    )
+                )
+                await writer.drain()
+                return
+            await asyncio.sleep(_TICK)
+
+    # -- responses ---------------------------------------------------------------
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict[str, Any]
+    ) -> None:
+        if writer.is_closing():
+            return
+        body = (
+            json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        await self._send_bytes(writer, status, body, "application/json")
+
+    async def _send_bytes(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str,
+    ) -> None:
+        if writer.is_closing():
+            return
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _send_stream_head(
+        self, writer: asyncio.StreamWriter, content_type: str
+    ) -> None:
+        # No Content-Length: the stream is close-delimited (we answer
+        # HTTP/1.1 with Connection: close on every response).
+        head = (
+            f"HTTP/1.1 200 OK\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Cache-Control: no-store\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+
+    # -- introspection -----------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """The ``/stats`` payload (also handy in-process, e.g. in tests)."""
+        with self._state_lock:
+            states = Counter(job.state for job in self._jobs.values())
+            payload: dict[str, Any] = {
+                "protocol": PROTOCOL_VERSION,
+                "accepting": self._accepting,
+                "jobs": {state: states.get(state, 0) for state in protocol.JOB_STATES},
+                "submissions": self._submissions,
+                "deduped_submissions": self._deduped,
+                "simulations_run": self._simulations_run,
+                "cache_hits": self._runner.cache_hits,
+                "cache_misses": self._runner.cache_misses,
+                "quota": {
+                    "max_inflight": self.quota.max_inflight,
+                    "max_events": self.quota.max_events,
+                    "max_wall_seconds": self.quota.max_wall_seconds,
+                },
+            }
+        payload["inflight"] = self._ledger.snapshot()
+        return payload
+
+    @property
+    def simulations_run(self) -> int:
+        """Execution counter: simulations actually driven to completion."""
+        with self._state_lock:
+            return self._simulations_run
+
+
+def _truthy(value: str | None) -> bool:
+    return value is not None and value.lower() not in ("", "0", "false", "no")

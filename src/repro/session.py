@@ -37,7 +37,17 @@ if TYPE_CHECKING:  # imported for annotations only; avoids package cycles
     from repro.core.frequency_policy import FrequencyPolicy
     from repro.experiments.config import PolicySpec
 
-__all__ = ["SimulationSession"]
+__all__ = ["SessionCancelled", "SimulationSession"]
+
+
+class SessionCancelled(RuntimeError):
+    """The session was cancelled; no result will ever be produced.
+
+    Raised by every driving method and by
+    :meth:`SimulationSession.result` after
+    :meth:`SimulationSession.cancel`.  Carries the cancel reason (if
+    one was given) in its message.
+    """
 
 
 class SimulationSession:
@@ -67,6 +77,7 @@ class SimulationSession:
             self._scheduler.attach_observer(instrument.on_event)
         self._engine = self._scheduler.prepare(simulation.jobs)
         self._result: SimulationResult | None = None
+        self._cancelled: str | None = None
 
     # -- introspection -----------------------------------------------------------
     @property
@@ -147,6 +158,8 @@ class SimulationSession:
         self._engine.run(max_events=self._scheduler.event_budget)
 
     def _check_live(self) -> None:
+        if self._cancelled is not None:
+            raise SessionCancelled(self._cancelled)
         if self._result is not None:
             raise RuntimeError("session already finalised; build a new one to re-run")
 
@@ -160,6 +173,33 @@ class SimulationSession:
                 f"exceeded the {self._scheduler.event_budget}-event budget "
                 f"at t={self._engine.now}"
             )
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled is not None
+
+    def cancel(self, reason: str = "") -> None:
+        """Abandon the run: no further driving, no result, ever.
+
+        Safe to call between (not during) driving calls — e.g. from the
+        loop that slices the run with :meth:`run_for`.  The scheduler
+        stands down its live engine handles (running jobs' finish
+        events, the sleep manager's transition timer), so nothing in
+        the dropped engine queue still points at scheduler state.
+        Afterwards every driving method and :meth:`result` raise
+        :class:`SessionCancelled` carrying ``reason``.  Idempotent;
+        cancelling a session that already finalised is rejected — the
+        result exists and stays retrievable.
+        """
+        if self._cancelled is not None:
+            return
+        if self._result is not None:
+            raise RuntimeError("session already finalised; nothing to cancel")
+        self._cancelled = (
+            f"session cancelled: {reason}" if reason else "session cancelled"
+        )
+        self._scheduler.abort()
 
     # -- runtime control ----------------------------------------------------------
     def set_policy(self, policy: FrequencyPolicy | PolicySpec) -> None:
@@ -188,8 +228,11 @@ class SimulationSession:
         """Drain remaining events, close the books, collect instrument reports.
 
         Idempotent: the finalised result is cached and further driving
-        is rejected.
+        is rejected.  Raises :class:`SessionCancelled` after
+        :meth:`cancel` — a cancelled run has no books to close.
         """
+        if self._cancelled is not None:
+            raise SessionCancelled(self._cancelled)
         if self._result is None:
             self._engine.run(max_events=self._scheduler.event_budget)
             result = self._scheduler.finalize()

@@ -62,8 +62,8 @@ def test_dropped_decoder_field_is_caught(tmp_path):
     root = _mirror(tmp_path)
     serialize = root / "serialize.py"
     text = serialize.read_text()
-    assert 'seed=data["seed"],' in text
-    serialize.write_text(text.replace('seed=data["seed"],', ""))
+    assert 'seed=_get(data, "seed", ""),' in text
+    serialize.write_text(text.replace('seed=_get(data, "seed", ""),', ""))
     findings = run_consistency(root)
     assert any(
         f.rule == "codec-field" and "RunSpec.seed" in f.message and "spec_from_dict" in f.message

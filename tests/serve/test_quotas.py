@@ -1,0 +1,98 @@
+"""Tests for per-client admission control (QuotaPolicy / QuotaLedger)."""
+
+import threading
+
+import pytest
+
+from repro.serve.quotas import DEFAULT_CLIENT, QuotaExceeded, QuotaLedger, QuotaPolicy
+from repro.serve.protocol import ServeError
+
+
+class TestQuotaPolicy:
+    def test_defaults_are_positive(self):
+        policy = QuotaPolicy()
+        assert policy.max_inflight > 0
+        assert policy.max_events > 0
+        assert policy.max_wall_seconds > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_inflight": 0},
+            {"max_inflight": -1},
+            {"max_events": 0},
+            {"max_wall_seconds": 0.0},
+            {"max_wall_seconds": -5.0},
+        ],
+    )
+    def test_non_positive_limits_rejected(self, kwargs):
+        (field,) = kwargs
+        with pytest.raises(ValueError, match=field):
+            QuotaPolicy(**kwargs)
+
+
+class TestQuotaLedger:
+    def test_acquire_up_to_limit_then_refused(self):
+        ledger = QuotaLedger(QuotaPolicy(max_inflight=2))
+        ledger.acquire("alice")
+        ledger.acquire("alice")
+        with pytest.raises(QuotaExceeded, match="alice"):
+            ledger.acquire("alice")
+        # QuotaExceeded is the shared protocol error with the 429 slot.
+        try:
+            ledger.acquire("alice")
+        except ServeError as err:
+            assert err.code == "quota_exceeded"
+            assert err.status == 429
+            assert err.exit_code == 5
+
+    def test_clients_are_independent_buckets(self):
+        ledger = QuotaLedger(QuotaPolicy(max_inflight=1))
+        ledger.acquire("alice")
+        ledger.acquire("bob")
+        ledger.acquire(DEFAULT_CLIENT)
+        with pytest.raises(QuotaExceeded):
+            ledger.acquire("bob")
+
+    def test_release_frees_the_slot(self):
+        ledger = QuotaLedger(QuotaPolicy(max_inflight=1))
+        ledger.acquire("alice")
+        ledger.release("alice")
+        ledger.acquire("alice")  # no raise
+        assert ledger.snapshot() == {"alice": 1}
+
+    def test_release_without_acquire_is_a_programming_error(self):
+        ledger = QuotaLedger(QuotaPolicy())
+        with pytest.raises(RuntimeError, match="release without acquire"):
+            ledger.release("ghost")
+
+    def test_snapshot_drops_emptied_clients(self):
+        ledger = QuotaLedger(QuotaPolicy(max_inflight=4))
+        ledger.acquire("alice")
+        ledger.acquire("alice")
+        ledger.acquire("bob")
+        ledger.release("bob")
+        assert ledger.snapshot() == {"alice": 2}
+
+    def test_concurrent_acquire_never_oversubscribes(self):
+        limit = 5
+        ledger = QuotaLedger(QuotaPolicy(max_inflight=limit))
+        admitted = []
+        start = threading.Barrier(16)
+
+        def contend():
+            start.wait()
+            try:
+                ledger.acquire("shared")
+            except QuotaExceeded:
+                pass
+            else:
+                admitted.append(1)
+
+        threads = [threading.Thread(target=contend) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == limit
+        assert ledger.snapshot() == {"shared": limit}

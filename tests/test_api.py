@@ -8,6 +8,7 @@ from repro.api import DEFAULT_N_JOBS, Simulation, normalize_spec, run
 from repro.experiments.config import PolicySpec, RunSpec
 from repro.experiments.runner import ExperimentRunner
 from repro.serialize import (
+    SpecValidationError,
     result_from_dict,
     result_to_dict,
     spec_from_dict,
@@ -105,6 +106,169 @@ class TestSpecRoundTrip:
         c = RunSpec(workload="CTC", policy=PolicySpec.power_aware(2.0, 16))
         assert spec_key(a) == spec_key(b)
         assert spec_key(a) != spec_key(c)
+
+
+class TestSpecValidationErrors:
+    """Malformed documents are rejected with a precise field path."""
+
+    def _doc(self):
+        return spec_to_dict(RunSpec(workload="CTC", n_jobs=30))
+
+    def test_error_is_a_value_error_with_path_and_reason(self):
+        with pytest.raises(SpecValidationError) as info:
+            spec_from_dict({"policy": {}})
+        assert isinstance(info.value, ValueError)
+        assert info.value.path == "policy.kind"
+        assert info.value.reason == "missing required field"
+        assert "policy.kind" in str(info.value)
+
+    def test_non_mapping_document(self):
+        with pytest.raises(SpecValidationError) as info:
+            spec_from_dict([1, 2, 3])
+        assert info.value.path == ""
+        assert "expected an object" in info.value.reason
+        assert "document root" in str(info.value)
+
+    @pytest.mark.parametrize(
+        "field", ["workload", "n_jobs", "seed", "scheduler", "record_timeline"]
+    )
+    def test_missing_top_level_field(self, field):
+        doc = self._doc()
+        del doc[field]
+        with pytest.raises(SpecValidationError) as info:
+            spec_from_dict(doc)
+        assert info.value.path == field
+
+    def test_missing_policy_field(self):
+        doc = self._doc()
+        del doc["policy"]["wq_threshold"]
+        with pytest.raises(SpecValidationError) as info:
+            spec_from_dict(doc)
+        assert info.value.path == "policy.wq_threshold"
+
+    def test_policy_wrong_type(self):
+        doc = self._doc()
+        doc["policy"] = "power-aware"
+        with pytest.raises(SpecValidationError) as info:
+            spec_from_dict(doc)
+        assert info.value.path == "policy"
+        assert "expected an object, got str" in info.value.reason
+
+    def test_bad_policy_value_wrapped_with_path(self):
+        doc = self._doc()
+        doc["policy"]["kind"] = "telepathy"
+        with pytest.raises(SpecValidationError) as info:
+            spec_from_dict(doc)
+        assert info.value.path == "policy"
+        assert "telepathy" in info.value.reason
+
+    def test_instruments_not_an_array(self):
+        doc = self._doc()
+        doc["instruments"] = {"name": "event_trace"}
+        with pytest.raises(SpecValidationError) as info:
+            spec_from_dict(doc)
+        assert info.value.path == "instruments"
+        assert "expected an array" in info.value.reason
+
+    def test_instrument_missing_name_carries_index(self):
+        doc = self._doc()
+        doc["instruments"] = [
+            {"name": "event_trace", "params": []},
+            {"params": []},
+        ]
+        with pytest.raises(SpecValidationError) as info:
+            spec_from_dict(doc)
+        assert info.value.path == "instruments[1].name"
+
+    def test_instrument_params_wrong_type(self):
+        doc = self._doc()
+        doc["instruments"] = [{"name": "event_trace", "params": "none"}]
+        with pytest.raises(SpecValidationError) as info:
+            spec_from_dict(doc)
+        assert info.value.path == "instruments[0].params"
+
+    def test_sleep_wrong_type(self):
+        doc = self._doc()
+        doc["sleep"] = 60.0
+        with pytest.raises(SpecValidationError) as info:
+            spec_from_dict(doc)
+        assert info.value.path == "sleep"
+
+    def test_sleep_bad_field_wrapped_with_path(self):
+        doc = self._doc()
+        doc["sleep"] = {"sleep_after_seconds": 60.0, "nap_quality": "excellent"}
+        with pytest.raises(SpecValidationError) as info:
+            spec_from_dict(doc)
+        assert info.value.path == "sleep"
+        assert "nap_quality" in info.value.reason
+
+    def test_bad_top_level_value_wrapped_at_root(self):
+        doc = self._doc()
+        doc["scheduler"] = "sjf"
+        with pytest.raises(SpecValidationError) as info:
+            spec_from_dict(doc)
+        assert info.value.path == ""
+        assert "scheduler" in info.value.reason
+
+
+class TestResultValidationErrors:
+    @pytest.fixture(scope="class")
+    def result_doc(self):
+        result = Simulation(RunSpec(workload="CTC", n_jobs=20)).run()
+        return result_to_dict(result)
+
+    def _copy(self, doc):
+        return json.loads(json.dumps(doc))
+
+    def test_missing_machine(self, result_doc):
+        doc = self._copy(result_doc)
+        del doc["machine"]
+        with pytest.raises(SpecValidationError) as info:
+            result_from_dict(doc)
+        assert info.value.path == "machine"
+
+    def test_bad_gear_carries_index(self, result_doc):
+        doc = self._copy(result_doc)
+        doc["machine"]["gears"][1] = {"frequency": 2.0}
+        with pytest.raises(SpecValidationError) as info:
+            result_from_dict(doc)
+        assert info.value.path == "machine.gears[1].voltage"
+
+    def test_bad_outcome_job_carries_index(self, result_doc):
+        doc = self._copy(result_doc)
+        doc["outcomes"][3]["job"]["wings"] = 2
+        with pytest.raises(SpecValidationError) as info:
+            result_from_dict(doc)
+        assert info.value.path == "outcomes[3].job"
+        assert "wings" in info.value.reason
+
+    def test_outcome_missing_field(self, result_doc):
+        doc = self._copy(result_doc)
+        del doc["outcomes"][0]["finish_time"]
+        with pytest.raises(SpecValidationError) as info:
+            result_from_dict(doc)
+        assert info.value.path == "outcomes[0].finish_time"
+
+    def test_energy_bad_field(self, result_doc):
+        doc = self._copy(result_doc)
+        doc["energy"]["perpetual_motion"] = True
+        with pytest.raises(SpecValidationError) as info:
+            result_from_dict(doc)
+        assert info.value.path == "energy"
+
+    def test_timeline_entry_located(self, result_doc):
+        doc = self._copy(result_doc)
+        doc["timeline"] = [{"time": 0.0, "queued_jobs": 1}]
+        with pytest.raises(SpecValidationError) as info:
+            result_from_dict(doc)
+        assert info.value.path == "timeline[0]"
+
+    def test_instrument_report_located(self, result_doc):
+        doc = self._copy(result_doc)
+        doc["instruments"] = [{"summary": {}}]
+        with pytest.raises(SpecValidationError) as info:
+            result_from_dict(doc)
+        assert info.value.path == "instruments[0].name"
 
 
 class TestResultRoundTrip:

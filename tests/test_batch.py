@@ -228,6 +228,46 @@ class TestDiskCache:
         again.run([spec])
         assert again.cache_misses == 1
 
+    def test_concurrent_store_and_load_same_key(self, tmp_path):
+        """Satellite: many threads hammering one cache key never observe
+        a torn entry — every load is None (pre-store) or the exact
+        result.  Write-then-rename makes each entry appear atomically."""
+        import threading
+
+        spec = RunSpec(workload="CTC", n_jobs=N_JOBS)
+        result = ExperimentRunner(n_jobs=N_JOBS).run(spec)
+        expected = result_to_dict(result)
+        runner = BatchRunner(max_workers=0, cache_dir=tmp_path)
+        start = threading.Barrier(8)
+        failures: list[str] = []
+
+        def store():
+            start.wait()
+            for _ in range(20):
+                runner.cache_store(spec, result)
+
+        def load():
+            start.wait()
+            for _ in range(40):
+                loaded = runner.cache_load(spec)
+                if loaded is not None and result_to_dict(loaded) != expected:
+                    failures.append("torn or foreign cache entry observed")
+
+        threads = [threading.Thread(target=store) for _ in range(4)] + [
+            threading.Thread(target=load) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        # Settled state: exactly one entry, loadable, byte-exact.
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        final = runner.cache_load(spec)
+        assert final is not None and result_to_dict(final) == expected
+        # No abandoned temp files from the concurrent writers.
+        assert not list(tmp_path.glob("*.tmp.*"))
+
 
 class TestFaultTolerance:
     @fork_only

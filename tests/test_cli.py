@@ -254,3 +254,140 @@ class TestGenerateAndStats:
         out = run_cli(capsys, "stats", str(path))
         assert "from SWF" in out
         assert "jobs: 25" in out
+
+
+class TestVersionAndJsonMode:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro-sim {repro.__version__}"
+
+    def test_json_mode_parser_error_emits_one_json_line(self, capsys):
+        code = main(["--json", "run", "NotAWorkload"])
+        captured = capsys.readouterr()
+        assert code == 2  # invalid_request's stable exit code
+        assert captured.out == ""
+        import json as json_module
+
+        payload = json_module.loads(captured.err)
+        assert payload["error"]["code"] == "invalid_request"
+        assert "NotAWorkload" in payload["error"]["message"]
+
+    def test_json_mode_wraps_handler_system_exit(self, capsys):
+        code = main(["--json", "--jobs", "10", "run", "CTC",
+                     "--bsld-threshold", "2", "--wq-threshold", "x"])
+        captured = capsys.readouterr()
+        assert code == 2
+        import json as json_module
+
+        payload = json_module.loads(captured.err)
+        assert payload["error"]["code"] == "invalid_request"
+        assert "--wq-threshold" in payload["error"]["message"]
+
+    def test_json_mode_serve_error_uses_its_exit_code(self, capsys):
+        # No server on this port: submit surfaces "unavailable" (exit 8).
+        code = main(["--json", "status", "--server", "127.0.0.1:1"])
+        captured = capsys.readouterr()
+        assert code == 8
+        import json as json_module
+
+        payload = json_module.loads(captured.err)
+        assert payload["error"]["code"] == "unavailable"
+
+    def test_without_json_flag_errors_still_raise_system_exit(self):
+        with pytest.raises(SystemExit):
+            main(["status", "--server", "127.0.0.1:1"])
+
+
+class TestServeVerbs:
+    @pytest.fixture
+    def server(self, tmp_path):
+        from repro.serve.server import ReproServer
+
+        with ReproServer(cache_dir=str(tmp_path / "cache")) as srv:
+            yield srv
+
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        import json as json_module
+
+        from repro.experiments.config import RunSpec
+        from repro.serialize import spec_to_dict
+
+        path = tmp_path / "spec.json"
+        spec = RunSpec(workload="SDSC", n_jobs=30, seed=9)
+        path.write_text(json_module.dumps({"spec": spec_to_dict(spec)}))
+        return path
+
+    def test_submit_wait_prints_byte_identical_result(self, capsys, server, spec_path):
+        import json as json_module
+
+        from repro.api import Simulation
+        from repro.experiments.config import RunSpec
+        from repro.serialize import result_to_dict
+        from repro.serve.server import canonical_result_bytes
+
+        code = main(["submit", str(spec_path), "--server", server.address, "--wait"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "submitted job-" in captured.err
+        expected = canonical_result_bytes(
+            result_to_dict(Simulation(RunSpec(workload="SDSC", n_jobs=30, seed=9)).run())
+        )
+        assert captured.out.encode("utf-8") == expected + b"\n"
+        json_module.loads(captured.out)  # stdout is pure JSON
+
+    def test_submit_without_wait_prints_job_id(self, capsys, server, spec_path):
+        code = main(["submit", str(spec_path), "--server", server.address])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.strip().startswith("job-")
+
+    def test_submit_stream_prints_ndjson_rows(self, capsys, server, spec_path):
+        import json as json_module
+
+        code = main(["submit", str(spec_path), "--server", server.address, "--stream"])
+        captured = capsys.readouterr()
+        assert code == 0
+        rows = [json_module.loads(line) for line in captured.out.splitlines()
+                if line.startswith("{")]
+        assert rows and rows[-1]["event"] == "EndOfStream"
+        assert len(rows) > 1  # genuine telemetry, not just the sentinel
+
+    def test_status_round_trip(self, capsys, server, spec_path):
+        import json as json_module
+
+        main(["submit", str(spec_path), "--server", server.address, "--wait"])
+        job_id = None
+        for line in capsys.readouterr().err.splitlines():
+            if line.startswith("submitted "):
+                job_id = line.split()[1]
+        assert job_id is not None
+        code = main(["status", job_id, "--server", server.address])
+        payload = json_module.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["job_id"] == job_id
+        assert payload["state"] == "done"
+        code = main(["status", "--server", server.address])
+        stats = json_module.loads(capsys.readouterr().out)
+        assert code == 0
+        assert stats["simulations_run"] == 1
+
+    def test_submit_missing_file_rejected(self):
+        with pytest.raises(SystemExit, match="cannot read spec"):
+            main(["submit", "/nonexistent/spec.json", "--server", "127.0.0.1:1"])
+
+    def test_submit_invalid_json_spec(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        code = main(["--json", "submit", str(path), "--server", "127.0.0.1:1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert '"invalid_request"' in captured.err
+
+    def test_serve_flag_validation(self):
+        with pytest.raises(SystemExit, match="max_wall_seconds"):
+            main(["serve", "--max-wall-seconds", "0"])

@@ -18,11 +18,13 @@ from hypothesis import given, settings, strategies as st
 
 from repro.api import Simulation
 from repro.batch import BatchRunner
+from repro.cluster.power import SleepPolicy
 from repro.experiments.config import InstrumentSpec, PolicySpec, RunSpec
 from repro.instruments import Instrument, PowerCapController, PowerTelemetrySampler
 from repro.registry import INSTRUMENTS, RegistryError
 from repro.scheduling.export import event_trace_to_csv
 from repro.serialize import result_to_dict, spec_from_dict, spec_json, spec_to_dict
+from repro.session import SessionCancelled
 from repro.sim.events import (
     ClockTick,
     GearSelected,
@@ -351,6 +353,62 @@ class TestPowerCapScenario:
             PowerCapController(cap=1.0, release=0.0)
         with pytest.raises(ValueError, match="scheduled caps"):
             PowerCapController(cap=1.0, schedule=((0.0, -5.0),))
+
+
+class TestSessionCancel:
+    """Satellite: cancel mid-slice is pinned — scheduler handles stood
+    down, no dangling engine timers, result() raises a clear error."""
+
+    SLEEPY = dataclasses.replace(SMALL, sleep=SleepPolicy(sleep_after_seconds=10.0))
+
+    def test_cancel_mid_run_stands_down_engine_handles(self):
+        session = Simulation(self.SLEEPY).session()
+        session.run_for(40)  # mid-flight: running jobs + armed sleep timer
+        scheduler = session._scheduler
+        assert scheduler._running  # jobs genuinely in flight
+        assert not session.cancelled
+        session.cancel("test teardown")
+        assert session.cancelled
+        for running in scheduler._running.values():
+            assert running.finish_handle is None
+        assert scheduler._sleep._timer is None
+        assert scheduler._sleep._emit is None  # nothing can re-arm it
+
+    def test_cancelled_session_refuses_everything(self):
+        session = Simulation(SMALL).session()
+        session.run_for(10)
+        session.cancel("client went away")
+        for drive in (session.step, lambda: session.run_for(1),
+                      lambda: session.run_until(1.0), session.run_to_completion,
+                      session.result):
+            with pytest.raises(SessionCancelled, match="client went away"):
+                drive()
+
+    def test_cancel_without_reason_has_generic_message(self):
+        session = Simulation(SMALL).session()
+        session.cancel()
+        with pytest.raises(SessionCancelled, match="session cancelled"):
+            session.result()
+
+    def test_cancel_is_idempotent(self):
+        session = Simulation(SMALL).session()
+        session.cancel("first")
+        session.cancel("second")  # no-op, keeps the original reason
+        with pytest.raises(SessionCancelled, match="first"):
+            session.result()
+
+    def test_cancel_after_result_is_rejected(self):
+        session = Simulation(SMALL).session()
+        result = session.result()
+        with pytest.raises(RuntimeError, match="already finalised"):
+            session.cancel()
+        assert session.result() is result  # result stays retrievable
+
+    def test_cancel_before_any_driving(self):
+        session = Simulation(self.SLEEPY).session()
+        session.cancel("never started")
+        with pytest.raises(SessionCancelled, match="never started"):
+            session.step()
 
 
 class TestRuntimeControl:
