@@ -1,11 +1,19 @@
 """End-to-end smoke test for the ``repro serve`` daemon (CI gate).
 
-Starts the daemon as a real subprocess (``python -m repro.cli serve``)
-on an ephemeral port, submits a small SDSC spec over HTTP, streams its
-telemetry, and asserts the fetched result is **byte-identical** to an
-in-process ``Simulation(spec).run()`` serialised the same way — the
-core simulation-as-a-service contract, exercised through the actual
-process boundary and socket rather than a background thread.
+Two phases, both against real subprocesses (``python -m repro.cli
+serve``) on ephemeral ports:
+
+1. **Byte-identity**: submit a small SDSC spec over HTTP, stream its
+   telemetry, and assert the fetched result is byte-identical to an
+   in-process ``Simulation(spec).run()`` serialised the same way — the
+   core simulation-as-a-service contract, exercised through the actual
+   process boundary and socket rather than a background thread.
+
+2. **SIGKILL drill**: start a daemon over a ``--cache-dir``, submit a
+   long run, ``SIGKILL -9`` the daemon mid-simulation (no shutdown
+   hooks, no drain — the journal gets no goodbye), restart a fresh
+   daemon over the same directory, and assert the job is recovered
+   under its **original id** and completes **byte-identically**.
 
 Run with::
 
@@ -21,6 +29,7 @@ import re
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 from typing import NoReturn
 
@@ -30,10 +39,13 @@ from repro.api import Simulation  # noqa: E402
 from repro.experiments.config import RunSpec  # noqa: E402
 from repro.serialize import result_to_dict  # noqa: E402
 from repro.serve.client import ServeClient  # noqa: E402
-from repro.serve.protocol import END_OF_STREAM  # noqa: E402
+from repro.serve.protocol import END_OF_STREAM, ServeError  # noqa: E402
 from repro.serve.server import canonical_result_bytes  # noqa: E402
 
 SPEC = RunSpec(workload="SDSC", n_jobs=120, seed=3)
+#: Long enough (with --slice-events 500) that SIGKILL reliably lands
+#: mid-simulation.
+KILL_SPEC = RunSpec(workload="SDSC", n_jobs=4000, seed=1)
 STARTUP_TIMEOUT = 30.0
 
 
@@ -56,6 +68,69 @@ def wait_for_address(process: subprocess.Popen) -> str:
             return match.group(1)
     fail(f"no listening line within {STARTUP_TIMEOUT}s")
     raise AssertionError("unreachable")
+
+
+def spawn_daemon(*extra_args: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *extra_args, "serve", "--port", "0",
+         "--slice-events", "500"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+
+
+def sigkill_drill() -> None:
+    """Kill a daemon mid-run; a restart must recover the journalled job."""
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as cache_dir:
+        first = spawn_daemon("--cache-dir", cache_dir)
+        address = wait_for_address(first)
+        client = ServeClient(address, client_id="serve-smoke")
+        job_id = client.submit(KILL_SPEC)["job_id"]
+        # Give the worker a moment to be genuinely mid-simulation.
+        deadline = time.monotonic() + 10.0
+        while client.status(job_id)["state"] == "queued":
+            if time.monotonic() >= deadline:
+                fail("kill-drill job never started running")
+            time.sleep(0.05)
+        first.kill()  # SIGKILL: no drain, no journal goodbye
+        first.wait()
+        print(f"serve-smoke: SIGKILLed daemon with {job_id} mid-run")
+
+        second = spawn_daemon("--cache-dir", cache_dir)
+        try:
+            address = wait_for_address(second)
+            client = ServeClient(address, client_id="serve-smoke")
+            try:
+                status = client.status(job_id)
+            except ServeError as err:
+                fail(f"restarted daemon does not know {job_id}: {err}")
+            if not status["recovered"]:
+                fail(f"{job_id} present but not flagged recovered: {status}")
+            final = client.wait(job_id, timeout=120.0)
+            if final["state"] != "done":
+                fail(f"recovered job ended {final['state']!r}: {final['error']}")
+            fetched = client.result_bytes(job_id)
+            expected = canonical_result_bytes(
+                result_to_dict(Simulation(KILL_SPEC).run())
+            )
+            if fetched != expected:
+                fail(
+                    f"recovery byte-identity broken: recovered result is "
+                    f"{len(fetched)} bytes, in-process {len(expected)} bytes"
+                )
+            print(
+                f"serve-smoke: OK — restart recovered {job_id} byte-identically "
+                f"({len(fetched)} bytes)"
+            )
+        finally:
+            second.send_signal(signal.SIGINT)
+            try:
+                second.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                second.kill()
+                second.wait()
 
 
 def main() -> int:
@@ -99,7 +174,6 @@ def main() -> int:
             f"serve-smoke: OK — HTTP result byte-identical to the in-process "
             f"run ({len(fetched)} bytes)"
         )
-        return 0
     finally:
         process.send_signal(signal.SIGINT)
         try:
@@ -107,6 +181,8 @@ def main() -> int:
         except subprocess.TimeoutExpired:
             process.kill()
             process.wait()
+    sigkill_drill()
+    return 0
 
 
 if __name__ == "__main__":

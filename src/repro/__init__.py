@@ -93,7 +93,7 @@ from repro.workloads.generator import generate_workload, load_workload
 from repro.workloads.models import PAPER_BASELINE_BSLD, TRACE_MODELS, WORKLOAD_NAMES
 from repro.workloads.swf import read_swf, write_swf
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ABLATIONS",

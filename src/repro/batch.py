@@ -56,6 +56,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.api import Simulation, normalize_spec
+from repro.faults import InjectedCrash, fire as fault_fire, torn_write as fault_torn_write
 from repro.registry import WORKLOAD_SOURCES
 from repro.serialize import (
     FORMAT_VERSION,
@@ -237,6 +238,11 @@ class BatchRunner:
     def _cache_read(self, spec: RunSpec) -> SimulationResult | None:
         if self.cache_dir is None:
             return None
+        # Chaos site: a scripted fault here emulates a dying/stalling
+        # read of the result store.  Outside the try below on purpose —
+        # an injected ConnectionResetError must not be swallowed by the
+        # OSError arm that forgives genuinely missing entries.
+        fault_fire("cache.load")
         path = self._cache_path(spec)
         try:
             with open(path, "r", encoding="utf-8") as stream:
@@ -265,13 +271,24 @@ class BatchRunner:
             "spec": spec_to_dict(spec),
             "result": result_to_dict(result),
         }
+        data = json.dumps(payload).encode("utf-8")
+        # Chaos site: crash/delay/reset rules fire here (before any
+        # bytes land); a torn_write rule hands back a truncated payload
+        # that must reach the *final* path — emulating a writer that
+        # died without the temp-and-rename discipline, the corruption
+        # _cache_read's recompute-on-corrupt arm exists to absorb.
+        kept, torn = fault_torn_write("cache.store", data)
+        if torn:
+            with open(path, "wb") as stream:
+                stream.write(kept)
+            raise InjectedCrash(f"torn cache write for {path.name}")
         # Write-then-rename so concurrent sweeps never read a torn file.
         # The temp name carries a per-process monotonic token on top of
         # the pid: unique per write, even across threads of one process.
         temp = path.with_suffix(f".tmp.{os.getpid()}.{next(_TEMP_TOKENS)}")
         try:
-            with open(temp, "w", encoding="utf-8") as stream:
-                json.dump(payload, stream)
+            with open(temp, "wb") as stream:
+                stream.write(data)
             os.replace(temp, path)
         except BaseException:
             try:

@@ -226,6 +226,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-job telemetry replay-buffer bound (default: 10000)")
     serve.add_argument("--max-wall-seconds", type=float, default=300.0,
                        help="per-run wall-clock budget (default: 300)")
+    serve.add_argument("--lease-seconds", type=float, default=60.0,
+                       help="per-slice progress lease before the watchdog "
+                            "cancels a wedged run (default: 60)")
+    serve.add_argument("--shed-inflight", type=int, default=None,
+                       help="load-shedding high-water mark: refuse new "
+                            "submissions with 503 + Retry-After once this "
+                            "many jobs are non-terminal (default: off)")
+    serve.add_argument("--drain-grace", type=float, default=30.0,
+                       help="seconds SIGTERM lets in-flight jobs finish "
+                            "before the daemon exits (default: 30)")
     serve.set_defaults(handler=_cmd_serve)
 
     submit = sub.add_parser(
@@ -648,6 +658,8 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.serve.quotas import QuotaPolicy
     from repro.serve.server import ReproServer
 
@@ -656,6 +668,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             max_events=args.max_events,
             max_wall_seconds=args.max_wall_seconds,
+            lease_seconds=args.lease_seconds,
         )
         server = ReproServer(
             args.host,
@@ -665,10 +678,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             quota=quota,
             default_n_jobs=args.jobs,
             slice_events=args.slice_events,
+            shed_inflight=args.shed_inflight,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     server.start_in_thread()
+
+    # SIGTERM drains gracefully: stop accepting, let in-flight jobs
+    # finish for --drain-grace seconds, journal whatever remains, exit.
+    # (SIGINT keeps its abrupt-but-clean KeyboardInterrupt path below.)
+    def _on_sigterm(_signum: int, _frame: object) -> None:
+        print(
+            f"SIGTERM: draining (grace {args.drain_grace}s)", flush=True
+        )
+        server.request_drain(args.drain_grace)
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not on the main thread (embedded use); drain via API only
     print(
         f"repro serve listening on {server.address} "
         f"(cache: {args.cache_dir or 'off'}, workers: {args.max_workers})",

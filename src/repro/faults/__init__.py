@@ -1,0 +1,69 @@
+"""Deterministic, seeded fault injection for the serve/batch stack.
+
+Chaos testing is only useful when a failing run can be *replayed*: a
+fault that fires "sometimes" produces flaky tests, not confidence.  This
+package makes every injected fault a deterministic function of a
+serializable :class:`~repro.faults.plan.FaultPlan`:
+
+* **sites** are named places in the real code that volunteer for
+  injection (:data:`~repro.faults.injector.SITES`): the worker slice
+  loop, the result-cache store/load, the daemon's HTTP read/write, and
+  the run-journal append;
+* **kinds** are the four failure shapes production actually exhibits
+  (:class:`~repro.faults.plan.FaultKind`): a crash, a stall, a torn
+  write, and a reset connection;
+* a **plan** is an ordered set of :class:`~repro.faults.plan.FaultRule`
+  entries — "the Nth arming of site S suffers kind K" — that round-trips
+  through JSON, so the exact chaos scenario a CI job ran is an artifact
+  you can re-run locally;
+* the **injector** (:class:`~repro.faults.injector.FaultInjector`)
+  counts arrivals per site, fires matching rules, and records every
+  fault it delivered for the test to assert against.
+
+Instrumented code pays one ``None`` check per site when no plan is
+installed (:func:`~repro.faults.injector.fire` reads a module global),
+so production runs are unaffected.
+
+    >>> from repro import faults
+    >>> plan = faults.FaultPlan.of(faults.FaultRule("cache.store", "crash"))
+    >>> with faults.injected(plan) as injector:
+    ...     ...  # the first cache store in this block raises InjectedCrash
+"""
+
+from repro.faults.injector import (
+    SITES,
+    FaultInjector,
+    FiredFault,
+    active_injector,
+    fire,
+    injected,
+    install,
+    torn_write,
+    uninstall,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    InjectedFault,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "SITES",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "FiredFault",
+    "InjectedCrash",
+    "InjectedFault",
+    "active_injector",
+    "fire",
+    "injected",
+    "install",
+    "torn_write",
+    "uninstall",
+]

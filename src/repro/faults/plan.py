@@ -1,0 +1,239 @@
+"""Fault vocabulary and the serializable, replayable :class:`FaultPlan`.
+
+A plan is *data*, not behaviour: an ordered tuple of
+:class:`FaultRule` entries, each saying "the Nth arming of site S
+suffers fault kind K (for C consecutive armings)".  Because the trigger
+is an arrival *count* — never wall-clock time or an unseeded coin flip —
+replaying the same plan against the same workload injects the same
+faults at the same points, which is what makes the chaos matrix a
+regression suite instead of a dice roll.
+
+Plans round-trip exactly through :meth:`FaultPlan.to_dict` /
+:meth:`FaultPlan.from_dict` (and the JSON convenience wrappers), so a
+failing CI chaos run is reproducible from its logged plan alone.
+:meth:`FaultPlan.random` derives a plan from a seed via a private
+``random.Random`` — seeded chaos sweeps explore the matrix without ever
+sacrificing replayability.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from random import Random
+from typing import Any, Iterator, Sequence
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedCrash",
+    "InjectedFault",
+]
+
+
+class FaultKind:
+    """The four failure shapes the injector can deliver at a site.
+
+    ``CRASH``
+        Raise :class:`InjectedCrash` — the operation dies mid-flight
+        (an OOM kill, a segfault, an unhandled error in a worker).
+    ``DELAY``
+        Stall for ``delay_seconds`` before proceeding — a wedged disk,
+        a GC pause, a network hiccup.  The operation then succeeds.
+    ``TORN_WRITE``
+        Persist only the first ``fraction`` of the bytes, then raise
+        :class:`InjectedCrash` — a crash between ``write`` and
+        ``fsync`` leaving a truncated file behind.
+    ``CONNECTION_RESET``
+        Raise :class:`ConnectionResetError` — the peer vanished.
+    """
+
+    CRASH = "crash"
+    DELAY = "delay"
+    TORN_WRITE = "torn_write"
+    CONNECTION_RESET = "connection_reset"
+
+
+FAULT_KINDS = (
+    FaultKind.CRASH,
+    FaultKind.DELAY,
+    FaultKind.TORN_WRITE,
+    FaultKind.CONNECTION_RESET,
+)
+
+
+class InjectedFault(Exception):
+    """Base of every injector-raised failure (never raised bare).
+
+    Deliberately an :class:`Exception`, not a :class:`BaseException`:
+    the point of the chaos matrix is to prove the *ordinary* error
+    handling — worker exception capture, structured error payloads,
+    quota release — absorbs these, exactly as it would a real fault.
+    True process death is exercised separately (the SIGKILL drills).
+    """
+
+
+class InjectedCrash(InjectedFault):
+    """The injected operation died (``crash`` / ``torn_write`` kinds)."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic trigger: site + kind + arrival window.
+
+    ``at`` is the 1-based arming index at which the rule starts firing;
+    ``count`` is how many consecutive armings it covers (so a rule with
+    ``at=1, count=2`` fails the first two arrivals and lets the third
+    through — the shape retry tests want).  ``delay_seconds`` applies to
+    ``delay`` rules; ``fraction`` (of bytes kept) to ``torn_write``.
+    """
+
+    site: str
+    kind: str
+    at: int = 1
+    count: int = 1
+    delay_seconds: float = 0.05
+    fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        from repro.faults.injector import SITES  # deferred: sibling import
+
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; registered sites: "
+                f"{', '.join(sorted(SITES))}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; kinds: {', '.join(FAULT_KINDS)}"
+            )
+        if self.at < 1:
+            raise ValueError(f"at is a 1-based arming index, got {self.at}")
+        if self.count < 1:
+            raise ValueError(f"count must be positive, got {self.count}")
+        if self.delay_seconds < 0:
+            raise ValueError(f"delay_seconds must be >= 0, got {self.delay_seconds}")
+        if not 0.0 <= self.fraction < 1.0:
+            raise ValueError(f"fraction must be in [0, 1), got {self.fraction}")
+
+    def covers(self, hit: int) -> bool:
+        """Whether this rule fires on the ``hit``-th arming (1-based)."""
+        return self.at <= hit < self.at + self.count
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "at": self.at,
+            "count": self.count,
+            "delay_seconds": self.delay_seconds,
+            "fraction": self.fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultRule":
+        unknown = set(data) - {"site", "kind", "at", "count", "delay_seconds", "fraction"}
+        if unknown:
+            raise ValueError(f"unknown fault-rule fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, serializable set of fault rules — one chaos scenario.
+
+    ``seed`` is carried (not consumed) so a plan built by
+    :meth:`random` remembers where it came from; two plans with the
+    same rules and seed compare equal, and ``to_dict``/``from_dict``
+    round-trip exactly.
+    """
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    @classmethod
+    def of(cls, *rules: FaultRule) -> "FaultPlan":
+        """A plan from rule literals: ``FaultPlan.of(FaultRule(...))``."""
+        return cls(rules=rules)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        sites: Sequence[str] | None = None,
+        kinds: Sequence[str] = FAULT_KINDS,
+        n_rules: int = 3,
+        max_at: int = 4,
+    ) -> "FaultPlan":
+        """A seed-derived plan: deterministic chaos exploration.
+
+        Uses a private :class:`random.Random` so the draw never touches
+        (or perturbs) global RNG state; the same seed always yields the
+        same plan, and the plan serializes like any hand-written one.
+        """
+        from repro.faults.injector import SITES  # deferred: sibling import
+
+        if n_rules < 1:
+            raise ValueError(f"n_rules must be positive, got {n_rules}")
+        rng = Random(seed)
+        pool = sorted(SITES) if sites is None else list(sites)
+        rules = tuple(
+            FaultRule(
+                site=rng.choice(pool),
+                kind=rng.choice(list(kinds)),
+                at=rng.randint(1, max_at),
+                delay_seconds=round(rng.uniform(0.0, 0.1), 3),
+                fraction=round(rng.uniform(0.0, 0.9), 3),
+            )
+            for _ in range(n_rules)
+        )
+        return cls(rules=rules, seed=seed)
+
+    # -- queries ------------------------------------------------------------------
+    def rules_for(self, site: str) -> Iterator[FaultRule]:
+        return (rule for rule in self.rules if rule.site == site)
+
+    @property
+    def sites(self) -> frozenset[str]:
+        return frozenset(rule.site for rule in self.rules)
+
+    # -- serialization ------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "repro-fault-plan",
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        if data.get("kind") != "repro-fault-plan":
+            raise ValueError(
+                f"not a fault-plan document (kind={data.get('kind')!r})"
+            )
+        rules = tuple(FaultRule.from_dict(entry) for entry in data.get("rules", ()))
+        return cls(rules=rules, seed=data.get("seed"))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | os.PathLike[str]) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as stream:
+            return cls.from_json(stream.read())
+

@@ -6,6 +6,13 @@ nothing to pool.  Server-side failures surface as the same
 :class:`~repro.serve.protocol.ServeError` the daemon raised, rebuilt
 from the wire payload.
 
+Transient failures — refused/reset connections, torn reads, and
+load-shedding 503s — are retried with jittered exponential backoff
+(``retries`` attempts; a 503's ``Retry-After`` overrides the computed
+delay).  Retrying a submit is safe because the daemon is single-flight
+on the spec's cache key: a resubmission of a spec whose first submit
+actually landed just attaches to the in-flight job.
+
     >>> client = ServeClient("127.0.0.1:8642")          # doctest: +SKIP
     >>> job = client.submit(RunSpec(workload="SDSC"))   # doctest: +SKIP
     >>> for row in client.stream_events(job["job_id"]): # doctest: +SKIP
@@ -17,6 +24,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Any, Iterator
 
@@ -28,6 +36,14 @@ from repro.serve.quotas import DEFAULT_CLIENT
 
 __all__ = ["ServeClient"]
 
+#: ``wait`` starts polling this often ...
+_POLL_MIN = 0.02
+#: ... and backs off exponentially to at most this.
+_POLL_MAX = 1.0
+#: A server-sent Retry-After longer than this is clamped (a client
+#: should re-probe rather than trust one stale hint for minutes).
+_RETRY_AFTER_CAP = 30.0
+
 
 class ServeClient:
     """Blocking HTTP client for one :class:`~repro.serve.server.ReproServer`.
@@ -35,6 +51,14 @@ class ServeClient:
     ``address`` is ``"host:port"`` (an ``http://`` prefix is
     tolerated); ``client_id`` is sent as ``X-Repro-Client`` and is the
     bucket quotas are charged to.
+
+    ``retries`` bounds the *extra* attempts made after a transient
+    failure (connect/read errors and 503s); ``0`` disables retrying.
+    Delays grow as ``backoff_base * 2**attempt`` capped at
+    ``backoff_max``, jittered into ``[delay/2, delay]`` so a fleet of
+    clients released by the same outage does not stampede back in
+    lockstep.  ``backoff_seed`` pins the jitter stream for
+    deterministic tests.
     """
 
     def __init__(
@@ -43,15 +67,30 @@ class ServeClient:
         *,
         client_id: str = DEFAULT_CLIENT,
         timeout: float = 60.0,
+        retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        backoff_seed: int | None = None,
     ) -> None:
         trimmed = address.removeprefix("http://").rstrip("/")
         host, sep, port_text = trimmed.rpartition(":")
         if not sep or not port_text.isdigit():
             raise ValueError(f"address must be 'host:port', got {address!r}")
+        if retries < 0:
+            raise ValueError(f"retries must be non-negative, got {retries}")
+        if backoff_base <= 0 or backoff_max < backoff_base:
+            raise ValueError(
+                f"need 0 < backoff_base <= backoff_max, "
+                f"got {backoff_base} / {backoff_max}"
+            )
         self.host = host
         self.port = int(port_text)
         self.client_id = client_id
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self._rng = random.Random(backoff_seed)
 
     # -- transport ---------------------------------------------------------------
     def _connection(self, timeout: float | None = None) -> http.client.HTTPConnection:
@@ -59,7 +98,41 @@ class ServeClient:
             self.host, self.port, timeout=self.timeout if timeout is None else timeout
         )
 
+    def _backoff_delay(self, attempt: int, retry_after: float | None) -> float:
+        """Seconds to sleep before retry ``attempt`` (0-based)."""
+        if retry_after is not None:
+            return min(max(retry_after, 0.0), _RETRY_AFTER_CAP)
+        cap = min(self.backoff_max, self.backoff_base * (2.0**attempt))
+        return cap * (0.5 + 0.5 * self._rng.random())
+
     def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> bytes:
+        """One request with transient-failure retries (see class docs)."""
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload, timeout)
+            except ServeError as err:
+                # Only load shedding / shutdown (503) is transient; every
+                # other code is a real answer and must surface at once.
+                if err.code != "unavailable" or attempt >= self.retries:
+                    raise
+                delay = self._backoff_delay(attempt, err.retry_after)
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # Connect refused, reset mid-read, torn response: the
+                # daemon may be restarting — resubmission is idempotent.
+                if attempt >= self.retries:
+                    raise
+                delay = self._backoff_delay(attempt, None)
+            time.sleep(delay)
+            attempt += 1
+
+    def _request_once(
         self,
         method: str,
         path: str,
@@ -130,17 +203,25 @@ class ServeClient:
         return self._request_json("POST", f"/runs/{job_id}/cancel")
 
     def wait(self, job_id: str, timeout: float = 300.0) -> dict[str, Any]:
-        """Poll until the job is terminal; returns its final status."""
+        """Poll until the job is terminal; returns its final status.
+
+        The poll interval backs off exponentially from 20 ms to 1 s:
+        short jobs still return promptly, long ones cost the daemon a
+        status request per second instead of twenty.
+        """
         deadline = time.monotonic() + timeout
+        interval = _POLL_MIN
         while True:
             status = self.status(job_id)
             if status["state"] in TERMINAL_STATES:
                 return status
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise ServeError(
                     "not_ready", f"job {job_id} still {status['state']} after {timeout}s"
                 )
-            time.sleep(0.05)
+            time.sleep(min(interval, deadline - now))
+            interval = min(interval * 2.0, _POLL_MAX)
 
     def result_bytes(
         self,
@@ -179,17 +260,14 @@ class ServeClient:
         Every yielded row is a dict with an ``"event"`` type tag; the
         final row is the ``EndOfStream`` sentinel carrying the job's
         terminal state.
+
+        Only the *subscribe* (connect + response head) is retried:
+        once rows have been yielded, a mid-stream failure propagates —
+        silently resubscribing would replay the buffer and hand the
+        caller duplicate rows.
         """
-        connection = self._connection(timeout)
+        connection, response = self._subscribe_events(job_id, timeout)
         try:
-            connection.request(
-                "GET",
-                f"/runs/{job_id}/events",
-                headers={"X-Repro-Client": self.client_id},
-            )
-            response = connection.getresponse()
-            if response.status >= 400:
-                raise self._decode_error(response.read())
             for raw in response:
                 line = raw.strip()
                 if not line:
@@ -200,3 +278,33 @@ class ServeClient:
                     return
         finally:
             connection.close()
+
+    def _subscribe_events(
+        self, job_id: str, timeout: float
+    ) -> tuple[http.client.HTTPConnection, http.client.HTTPResponse]:
+        """Open the telemetry stream, retrying transient connect failures."""
+        attempt = 0
+        while True:
+            connection = self._connection(timeout)
+            try:
+                connection.request(
+                    "GET",
+                    f"/runs/{job_id}/events",
+                    headers={"X-Repro-Client": self.client_id},
+                )
+                response = connection.getresponse()
+                if response.status >= 400:
+                    raise self._decode_error(response.read())
+                return connection, response
+            except ServeError as err:
+                connection.close()
+                if err.code != "unavailable" or attempt >= self.retries:
+                    raise
+                delay = self._backoff_delay(attempt, err.retry_after)
+            except (ConnectionError, http.client.HTTPException, OSError):
+                connection.close()
+                if attempt >= self.retries:
+                    raise
+                delay = self._backoff_delay(attempt, None)
+            time.sleep(delay)
+            attempt += 1

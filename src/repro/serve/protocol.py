@@ -54,9 +54,10 @@ _ERROR_TABLE: dict[str, tuple[int, int]] = {
     "quota_exceeded": (429, 5),  # per-client admission control refused
     "cancelled": (409, 6),  # the job was cancelled; no result exists
     "not_ready": (409, 7),  # result requested before the run finished
-    "unavailable": (503, 8),  # server shutting down / cannot serve
+    "unavailable": (503, 8),  # server shutting down / shedding load
     "simulation_failed": (500, 9),  # the run itself raised
     "server_error": (500, 1),  # anything else
+    "lease_expired": (500, 10),  # worker slice outlived its lease; watchdog killed it
 }
 
 ERROR_CODES = frozenset(_ERROR_TABLE)
@@ -70,16 +71,27 @@ class ServeError(Exception):
     Raised server-side (rendered as the HTTP error payload) and
     re-raised client-side after decoding that payload, so callers on
     both ends handle one exception type.  ``field`` locates the
-    offending spec field for validation failures.
+    offending spec field for validation failures.  ``retry_after``
+    (seconds) rides along on load-shedding 503s — the server renders it
+    as a ``Retry-After`` header and embeds it in the payload, and the
+    client's backoff honours it.
     """
 
-    def __init__(self, code: str, message: str, field: str | None = None) -> None:
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        field: str | None = None,
+        *,
+        retry_after: float | None = None,
+    ) -> None:
         if code not in ERROR_CODES:
             raise ValueError(f"unknown error code {code!r}")
         super().__init__(f"[{code}] {message}" + (f" (field: {field})" if field else ""))
         self.code = code
         self.message = message
         self.field = field
+        self.retry_after = retry_after
 
     @property
     def status(self) -> int:
@@ -92,10 +104,19 @@ class ServeError(Exception):
         return EXIT_CODES[self.code]
 
     def payload(self) -> dict[str, Any]:
-        """The JSON body: ``{"error": {"code", "message", "field"}}``."""
-        return {
-            "error": {"code": self.code, "message": self.message, "field": self.field}
+        """The JSON body: ``{"error": {"code", "message", "field"}}``.
+
+        ``retry_after`` is embedded only when set, so payloads without
+        one keep the exact historical shape.
+        """
+        error: dict[str, Any] = {
+            "code": self.code,
+            "message": self.message,
+            "field": self.field,
         }
+        if self.retry_after is not None:
+            error["retry_after"] = self.retry_after
+        return {"error": error}
 
     @classmethod
     def from_payload(cls, data: dict[str, Any]) -> "ServeError":
@@ -106,7 +127,15 @@ class ServeError(Exception):
         code = error["code"]
         if code not in ERROR_CODES:
             code = "server_error"
-        return cls(code, str(error.get("message", "")), error.get("field"))
+        retry_after = error.get("retry_after")
+        if not isinstance(retry_after, (int, float)):
+            retry_after = None
+        return cls(
+            code,
+            str(error.get("message", "")),
+            error.get("field"),
+            retry_after=retry_after,
+        )
 
 
 def error_json(error: ServeError) -> str:

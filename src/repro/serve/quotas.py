@@ -42,11 +42,19 @@ class QuotaPolicy:
         Wall-clock budget per run; checked between ``run_for`` slices,
         so a run over budget fails with ``quota_exceeded`` at the next
         slice boundary.
+    ``lease_seconds``
+        Per-slice progress lease.  The worker renews the lease at every
+        slice boundary; a slice that outlives it is presumed wedged —
+        the watchdog cancels the session, fails the job with a
+        structured ``lease_expired`` error, and releases the quota slot
+        instead of letting a stuck worker pin it forever.  ``inf``
+        disables the watchdog.
     """
 
     max_inflight: int = 4
     max_events: int = 10_000
     max_wall_seconds: float = 300.0
+    lease_seconds: float = 60.0
 
     def __post_init__(self) -> None:
         if self.max_inflight <= 0:
@@ -56,6 +64,10 @@ class QuotaPolicy:
         if self.max_wall_seconds <= 0:
             raise ValueError(
                 f"max_wall_seconds must be positive, got {self.max_wall_seconds}"
+            )
+        if self.lease_seconds <= 0:
+            raise ValueError(
+                f"lease_seconds must be positive, got {self.lease_seconds}"
             )
 
 
@@ -67,11 +79,18 @@ class QuotaLedger:
         self._lock = threading.Lock()
         self._inflight: dict[str, int] = {}
 
-    def acquire(self, client: str) -> None:
-        """Claim one in-flight slot for ``client`` or raise :class:`QuotaExceeded`."""
+    def acquire(self, client: str, *, force: bool = False) -> None:
+        """Claim one in-flight slot for ``client`` or raise :class:`QuotaExceeded`.
+
+        ``force`` claims the slot regardless of the limit — used for
+        journal-recovered jobs, which were already admitted in the
+        daemon's previous life and must not be dropped at restart just
+        because they all arrive at once.  The slot is still counted (and
+        released), so fresh submissions see honest pressure.
+        """
         with self._lock:
             held = self._inflight.get(client, 0)
-            if held >= self.policy.max_inflight:
+            if held >= self.policy.max_inflight and not force:
                 raise QuotaExceeded(
                     f"client {client!r} already has {held} runs in flight "
                     f"(limit {self.policy.max_inflight})"

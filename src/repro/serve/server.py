@@ -38,25 +38,31 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import math
+import signal as signal_module
 import threading
 import time
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
+from pathlib import Path
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.api import DEFAULT_N_JOBS, Simulation, normalize_spec
 from repro.batch import BatchRunner
 from repro.experiments.config import RunSpec
+from repro.faults import InjectedFault, fire as fault_fire
 from repro.instruments import Instrument
 from repro.serialize import (
     SpecValidationError,
     result_to_dict,
     spec_from_dict,
     spec_key,
+    spec_to_dict,
 )
 from repro.serve import protocol
+from repro.serve.journal import RunJournal
 from repro.serve.protocol import (
     END_OF_STREAM,
     PROTOCOL_VERSION,
@@ -67,6 +73,7 @@ from repro.serve.protocol import (
     sse_line,
 )
 from repro.serve.quotas import DEFAULT_CLIENT, QuotaLedger, QuotaPolicy
+from repro.session import SessionCancelled, SimulationSession
 from repro.sim.events import LifecycleEvent
 
 __all__ = ["ReproServer", "ServeJob", "canonical_result_bytes"]
@@ -121,7 +128,14 @@ class ServeJob:
     """One submitted run and everything the endpoints serve about it."""
 
     def __init__(
-        self, job_id: str, spec: RunSpec, key: str, client: str, max_events: int
+        self,
+        job_id: str,
+        spec: RunSpec,
+        key: str,
+        client: str,
+        max_events: int,
+        *,
+        recovered: bool = False,
     ) -> None:
         self.job_id = job_id
         self.spec = spec
@@ -133,11 +147,17 @@ class ServeJob:
         self.finished_at: float | None = None
         self.submissions = 1  # total submits attached to this job (single-flight)
         self.from_cache = False
+        self.recovered = recovered  # re-admitted from the journal at startup
         self.error: dict[str, Any] | None = None
         self.result_bytes: bytes | None = None
         self.result_obj: Any = None  # SimulationResult, kept for aggregates
         self.cancel_event = threading.Event()
         self.max_events = max_events
+        # Watchdog surface: the live session (for cooperative cancel)
+        # and the monotonic deadline its current slice must renew by.
+        # GIL-atomic attribute hand-offs; None means "not running".
+        self.session: SimulationSession | None = None
+        self.lease_deadline: float | None = None
         # Telemetry replay buffer: appended by the worker thread,
         # sliced by streaming handlers; ``lock`` covers both plus the
         # lazily-built aggregates encoding.
@@ -174,6 +194,7 @@ class ServeJob:
             "client": self.client,
             "submissions": self.submissions,
             "from_cache": self.from_cache,
+            "recovered": self.recovered,
             "error": self.error,
             "events_recorded": recorded,
             "events_dropped": dropped,
@@ -194,7 +215,17 @@ class ReproServer:
     ``port=0`` binds an ephemeral port; read ``server.port`` after
     start.  ``cache_dir`` enables the shared on-disk result cache (the
     exact :class:`~repro.batch.BatchRunner` format, so sweeps and the
-    daemon interchange entries).
+    daemon interchange entries) **and** the crash-consistent run
+    journal: a daemon restarted over the same ``cache_dir`` re-admits
+    every job that was submitted but not yet terminal, under its
+    original job id, and re-runs it byte-identically (or serves it
+    straight from the cache when the result landed before the crash).
+
+    ``shed_inflight`` is the load-shedding high-water mark: once that
+    many jobs are non-terminal, further *new* submissions are refused
+    with a 503 carrying ``Retry-After`` instead of being accepted into
+    a queue the worker pool cannot drain in time (single-flight dedup
+    hits still attach for free).  ``None`` disables shedding.
     """
 
     def __init__(
@@ -208,11 +239,17 @@ class ReproServer:
         default_n_jobs: int = DEFAULT_N_JOBS,
         slice_events: int = 20_000,
         validate: bool = False,
+        shed_inflight: int | None = None,
     ) -> None:
         if max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
         if slice_events <= 0:
             raise ValueError(f"slice_events must be positive, got {slice_events}")
+        if shed_inflight is not None and shed_inflight <= 0:
+            raise ValueError(
+                f"shed_inflight must be positive (or None to disable), "
+                f"got {shed_inflight}"
+            )
         self.host = host
         self.port = port
         self.quota = quota if quota is not None else QuotaPolicy()
@@ -220,10 +257,16 @@ class ReproServer:
         self.default_n_jobs = default_n_jobs
         self.slice_events = slice_events
         self.validate = validate
+        self.shed_inflight = shed_inflight
         # max_workers=0: the runner is used purely for its cache codec
         # (load/store under _cache_lock), never for its own pooling.
         self._runner = BatchRunner(
             max_workers=0, cache_dir=cache_dir, default_n_jobs=default_n_jobs
+        )
+        self._journal = (
+            RunJournal(Path(cache_dir) / "serve-journal.jsonl")
+            if cache_dir is not None
+            else None
         )
         self._ledger = QuotaLedger(self.quota)
         self._state_lock = threading.Lock()
@@ -232,9 +275,17 @@ class ReproServer:
         self._by_key: dict[str, ServeJob] = {}
         self._ids = itertools.count(1)
         self._accepting = True
+        self._draining = False
+        # Set at shutdown, checked by workers before the client-cancel
+        # path: a job dying with the daemon must NOT journal a terminal
+        # record (the next life re-admits it), unlike a client cancel.
+        self._closing = threading.Event()
         self._submissions = 0
         self._deduped = 0
         self._simulations_run = 0
+        self._recovered_jobs = 0
+        self._shed_submissions = 0
+        self._lease_expirations = 0
         self._loop: asyncio.AbstractEventLoop | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -242,6 +293,8 @@ class ReproServer:
         self._ready = threading.Event()
         self._startup_error: BaseException | None = None
         self._thread: threading.Thread | None = None
+        self._watchdog: threading.Thread | None = None
+        self._watchdog_stop = threading.Event()
 
     # -- lifecycle ---------------------------------------------------------------
     @property
@@ -257,11 +310,51 @@ class ReproServer:
         self._executor = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="repro-serve"
         )
+        # Replay the journal *before* the port binds: recovered jobs are
+        # queued (and their ids reserved) by the time the first request
+        # can possibly arrive.
+        self._recover_journal()
+        self._watchdog_stop.clear()
+        self._watchdog = threading.Thread(
+            target=self._watchdog_main, name="repro-serve-watchdog", daemon=True
+        )
+        self._watchdog.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         return self
+
+    def _recover_journal(self) -> None:
+        """Re-admit every submitted-but-unfinished job from a prior life."""
+        if self._journal is None:
+            return
+        pending, next_id = self._journal.recover()
+        if next_id > 1:
+            self._ids = itertools.count(next_id)
+        executor = self._executor
+        assert executor is not None
+        for entry in pending:
+            try:
+                spec = normalize_spec(spec_from_dict(entry.spec), self.default_n_jobs)
+            except (SpecValidationError, TypeError, ValueError):
+                continue  # journaled by an incompatible writer; skip
+            # Recovered jobs were admitted in the previous life: they
+            # bypass the admission *check* but still hold a counted slot.
+            self._ledger.acquire(entry.client, force=True)
+            job = ServeJob(
+                entry.job_id,
+                spec,
+                entry.key,
+                entry.client,
+                self.quota.max_events,
+                recovered=True,
+            )
+            with self._state_lock:
+                self._jobs[job.job_id] = job
+                self._by_key[entry.key] = job
+                self._recovered_jobs += 1
+            executor.submit(self._execute, job)
 
     async def _serve(self) -> None:
         try:
@@ -271,28 +364,60 @@ class ReproServer:
             self._ready.set()
             raise
         self._ready.set()
+        self._install_signal_handlers()
         try:
             await self._stopping.wait()
         finally:
             await self._shutdown()
 
+    def _install_signal_handlers(self) -> None:
+        """Route SIGTERM through the graceful drain (main thread only).
+
+        ``loop.add_signal_handler`` requires the loop to live on the
+        main thread; background (``start_in_thread``) instances skip
+        this and are stopped via :meth:`stop` instead.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return
+        assert self._loop is not None
+        try:
+            self._loop.add_signal_handler(
+                signal_module.SIGTERM, self._begin_drain, 30.0
+            )
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # platform without loop signal support
+
     async def _shutdown(self) -> None:
+        self._closing.set()
         with self._state_lock:
             self._accepting = False
             jobs = list(self._jobs.values())
         assert self._server is not None and self._loop is not None
         self._server.close()
         await self._server.wait_closed()
+        self._watchdog_stop.set()
         for job in jobs:
             if job.state not in TERMINAL_STATES:
                 job.cancel_event.set()
+                session = job.session
+                if session is not None:
+                    # Interrupt the slice in flight, not just the next
+                    # boundary check — shutdown should not wait out a
+                    # full slice.
+                    session.request_cancel("server shutting down")
         executor = self._executor
         if executor is not None:
             await self._loop.run_in_executor(
                 None, lambda: executor.shutdown(wait=True, cancel_futures=True)
             )
+        watchdog = self._watchdog
+        if watchdog is not None:
+            await self._loop.run_in_executor(None, lambda: watchdog.join(timeout=5))
         # Queued jobs whose futures were cancelled never reached a
         # worker: close them out here (running ones closed themselves).
+        # ``journal=False``: these jobs die with the daemon, not on
+        # their merits — the journal keeps them pending so a restart
+        # over the same cache_dir re-admits and re-runs them.
         for job in jobs:
             if job.state not in TERMINAL_STATES:
                 self._finish(
@@ -303,6 +428,7 @@ class ReproServer:
                         "message": "server shut down",
                         "field": None,
                     },
+                    journal=False,
                 )
 
     def run_blocking(self) -> None:
@@ -343,15 +469,37 @@ class ReproServer:
         thread.join(timeout)
         return not thread.is_alive()
 
-    def stop(self) -> None:
-        """Stop a ``start_in_thread`` server: drain workers, join the thread."""
+    def stop(self, timeout: float = 60.0) -> None:
+        """Stop a ``start_in_thread`` server: drain workers, join the thread.
+
+        Raises :class:`RuntimeError` if the server thread is still alive
+        after ``timeout`` seconds — a silent return here would leave a
+        zombie loop holding the port and the worker pool, and the
+        caller's next move (rebind, re-start) would fail mysteriously.
+        """
         thread = self._thread
         if thread is None:
             return
         if self._loop is not None and self._stopping is not None:
             stopping = self._stopping
-            self._loop.call_soon_threadsafe(stopping.set)
-        thread.join(timeout=60)
+            try:
+                self._loop.call_soon_threadsafe(stopping.set)
+            except RuntimeError:
+                pass  # loop already closed (a drain beat us to shutdown)
+        thread.join(timeout=timeout)
+        if thread.is_alive():
+            with self._state_lock:
+                busy = sum(
+                    1
+                    for job in self._jobs.values()
+                    if job.state not in TERMINAL_STATES
+                )
+            raise RuntimeError(
+                f"server thread failed to stop within {timeout}s "
+                f"({busy} jobs still non-terminal on {self.address}); "
+                f"the loop is still running — the port and worker pool "
+                f"are not released"
+            )
         self._thread = None
 
     def __enter__(self) -> "ReproServer":
@@ -381,6 +529,24 @@ class ReproServer:
                 existing.submissions += 1
                 self._deduped += 1
                 return existing, True
+            # Load shedding: refuse *new* work (dedup hits above stay
+            # free) once the non-terminal backlog reaches the high-water
+            # mark.  Retry-After is sized to the backlog, not a fixed
+            # constant, so clients back off harder under deeper queues.
+            if self.shed_inflight is not None:
+                backlog = sum(
+                    1
+                    for job in self._jobs.values()
+                    if job.state not in TERMINAL_STATES
+                )
+                if backlog >= self.shed_inflight:
+                    self._shed_submissions += 1
+                    raise ServeError(
+                        "unavailable",
+                        f"server is shedding load: {backlog} jobs in flight "
+                        f"(high-water mark {self.shed_inflight})",
+                        retry_after=min(30.0, 0.5 * backlog),
+                    )
             self._ledger.acquire(client)  # raises QuotaExceeded
             job = ServeJob(
                 f"job-{next(self._ids):06d}", spec, key, client, self.quota.max_events
@@ -390,11 +556,35 @@ class ReproServer:
             self._submissions += 1
             executor = self._executor
         assert executor is not None, "server not started"
+        if self._journal is not None:
+            try:
+                self._journal.record_submitted(
+                    job.job_id, key, client, spec_to_dict(spec)
+                )
+            except Exception as exc:
+                # An admission we cannot journal is an admission a crash
+                # would silently lose: refuse it and undo the bookkeeping.
+                with self._state_lock:
+                    self._jobs.pop(job.job_id, None)
+                    if self._by_key.get(key) is job:
+                        del self._by_key[key]
+                    self._submissions -= 1
+                self._ledger.release(client)
+                raise ServeError(
+                    "unavailable",
+                    f"run journal rejected the submission: "
+                    f"{type(exc).__name__}: {exc}",
+                ) from exc
         executor.submit(self._execute, job)
         return job, False
 
     def _execute(self, job: ServeJob) -> None:
         try:
+            if self._closing.is_set():
+                # Dying with the daemon: leave the job non-terminal so
+                # the shutdown close-out (journal=False) handles it and
+                # the journal keeps it pending for the next life.
+                return
             if job.cancel_event.is_set():
                 self._finish(
                     job,
@@ -444,37 +634,55 @@ class ReproServer:
         session = Simulation(job.spec, validate=self.validate).session(
             instruments=[forwarder]
         )
+        job.session = session
         deadline = time.monotonic() + self.quota.max_wall_seconds
-        while not session.done:
-            if job.cancel_event.is_set():
-                session.cancel("client request")
-                self._finish(
-                    job,
-                    protocol.CANCELLED,
-                    error={
-                        "code": "cancelled",
-                        "message": "cancelled by client",
-                        "field": None,
-                    },
-                )
-                return None
-            if time.monotonic() >= deadline:
-                session.cancel("wall-clock budget exhausted")
-                self._finish(
-                    job,
-                    protocol.FAILED,
-                    error={
-                        "code": "quota_exceeded",
-                        "message": (
-                            f"run exceeded the {self.quota.max_wall_seconds}s "
-                            f"wall-clock budget"
-                        ),
-                        "field": None,
-                    },
-                )
-                return None
-            session.run_for(self.slice_events)
-        result = session.result()
+        try:
+            while not session.done:
+                if self._closing.is_set():
+                    session.cancel("server shutting down")
+                    return None  # shutdown close-out finishes the job
+                if job.cancel_event.is_set():
+                    session.cancel("client request")
+                    self._finish(
+                        job,
+                        protocol.CANCELLED,
+                        error={
+                            "code": "cancelled",
+                            "message": "cancelled by client",
+                            "field": None,
+                        },
+                    )
+                    return None
+                if time.monotonic() >= deadline:
+                    session.cancel("wall-clock budget exhausted")
+                    self._finish(
+                        job,
+                        protocol.FAILED,
+                        error={
+                            "code": "quota_exceeded",
+                            "message": (
+                                f"run exceeded the {self.quota.max_wall_seconds}s "
+                                f"wall-clock budget"
+                            ),
+                            "field": None,
+                        },
+                    )
+                    return None
+                # Renew the progress lease, then run one slice.  A slice
+                # that wedges misses the renewal; the watchdog observes
+                # the stale deadline and cancels the session from outside.
+                job.lease_deadline = time.monotonic() + self.quota.lease_seconds
+                fault_fire("worker.slice")
+                try:
+                    session.run_for(self.slice_events)
+                except SessionCancelled:
+                    # The watchdog (or another thread) cancelled us
+                    # mid-slice and already closed the job out.
+                    return None
+            result = session.result()
+        finally:
+            job.session = None
+            job.lease_deadline = None
         with self._state_lock:
             self._simulations_run += 1
         # Strip the forwarder's report: it is server plumbing, and the
@@ -485,7 +693,12 @@ class ReproServer:
         return replace(result, instruments=reports)
 
     def _finish(
-        self, job: ServeJob, state: str, error: dict[str, Any] | None = None
+        self,
+        job: ServeJob,
+        state: str,
+        error: dict[str, Any] | None = None,
+        *,
+        journal: bool = True,
     ) -> None:
         with self._state_lock:
             if job.state in TERMINAL_STATES:
@@ -500,6 +713,99 @@ class ReproServer:
                 # Let a later submission of the same spec start afresh.
                 del self._by_key[job.key]
         self._ledger.release(job.client)
+        # ``journal=False`` is for shutdown close-outs: a job cancelled
+        # only because the daemon is exiting must stay journalled as
+        # pending so the next life re-admits it.
+        if journal and self._journal is not None:
+            try:
+                self._journal.record_terminal(job.job_id, state)
+            except Exception:
+                # Best effort: a lost terminal record merely means the
+                # next restart re-runs (or cache-hits) this job.
+                pass
+
+    # -- watchdog (lease enforcement) ---------------------------------------------
+    def _watchdog_main(self) -> None:
+        """Fail any job whose running slice outlived its progress lease."""
+        lease = self.quota.lease_seconds
+        if math.isinf(lease):
+            return
+        interval = max(0.05, min(1.0, lease / 4))
+        while not self._watchdog_stop.wait(interval):
+            now = time.monotonic()
+            with self._state_lock:
+                expired = [
+                    job
+                    for job in self._jobs.values()
+                    if job.state == protocol.RUNNING
+                    and job.lease_deadline is not None
+                    and now >= job.lease_deadline
+                ]
+            for job in expired:
+                self._expire_lease(job)
+
+    def _expire_lease(self, job: ServeJob) -> None:
+        """Cancel a wedged job from outside its worker thread."""
+        if self._closing.is_set():
+            return  # shutdown owns close-outs now; don't journal terminals
+        job.cancel_event.set()
+        session = job.session
+        if session is not None:
+            # Cooperative: posts a flag the driving thread materialises
+            # at its next event boundary, raising SessionCancelled out
+            # of the wedged run_for call.
+            session.request_cancel("progress lease expired")
+        with self._state_lock:
+            self._lease_expirations += 1
+        self._finish(
+            job,
+            protocol.FAILED,
+            error={
+                "code": "lease_expired",
+                "message": (
+                    f"worker slice made no progress within the "
+                    f"{self.quota.lease_seconds}s lease; job cancelled"
+                ),
+                "field": None,
+            },
+        )
+
+    # -- graceful drain -----------------------------------------------------------
+    def request_drain(self, grace_seconds: float = 30.0) -> None:
+        """Begin a graceful drain (thread- and signal-safe).
+
+        Stops accepting new submissions immediately, lets in-flight
+        jobs finish for up to ``grace_seconds``, then stops the loop —
+        whatever is still running at that point is closed out by
+        shutdown *without* a terminal journal record, so a restart
+        picks it back up.  Idempotent.
+        """
+        loop = self._loop
+        if loop is None or self._stopping is None:
+            return
+        loop.call_soon_threadsafe(self._begin_drain, grace_seconds)
+
+    def _begin_drain(self, grace_seconds: float) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        with self._state_lock:
+            self._accepting = False
+        assert self._loop is not None
+        self._loop.create_task(self._drain(grace_seconds))
+
+    async def _drain(self, grace_seconds: float) -> None:
+        assert self._loop is not None and self._stopping is not None
+        deadline = self._loop.time() + grace_seconds
+        while self._loop.time() < deadline:
+            with self._state_lock:
+                busy = any(
+                    job.state not in TERMINAL_STATES for job in self._jobs.values()
+                )
+            if not busy:
+                break
+            await asyncio.sleep(_TICK)
+        self._stopping.set()
 
     # -- HTTP plumbing (asyncio plane) -------------------------------------------
     async def _handle_connection(
@@ -518,14 +824,18 @@ class ReproServer:
             try:
                 await self._dispatch(method, target, headers, body, writer)
             except ServeError as err:
-                await self._send_json(writer, err.status, err.payload())
+                await self._send_json(
+                    writer, err.status, err.payload(), retry_after=err.retry_after
+                )
             except (ConnectionError, asyncio.CancelledError):
                 raise
             except Exception as exc:
                 fallback = ServeError("server_error", f"{type(exc).__name__}: {exc}")
                 await self._send_json(writer, fallback.status, fallback.payload())
-        except (ConnectionError, OSError):
-            pass  # peer went away mid-response; nothing left to tell it
+        except (ConnectionError, OSError, InjectedFault):
+            # Peer went away mid-response (or chaos testing severed the
+            # connection for us); nothing left to tell it.
+            pass
         finally:
             try:
                 writer.close()
@@ -536,6 +846,7 @@ class ReproServer:
     async def _read_request(
         self, reader: asyncio.StreamReader
     ) -> tuple[str, str, dict[str, str], bytes] | None:
+        fault_fire("http.read")
         line = await reader.readline()
         if not line:
             return None
@@ -735,14 +1046,21 @@ class ReproServer:
 
     # -- responses ---------------------------------------------------------------
     async def _send_json(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict[str, Any]
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        *,
+        retry_after: float | None = None,
     ) -> None:
         if writer.is_closing():
             return
         body = (
             json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
         ).encode("utf-8")
-        await self._send_bytes(writer, status, body, "application/json")
+        await self._send_bytes(
+            writer, status, body, "application/json", retry_after=retry_after
+        )
 
     async def _send_bytes(
         self,
@@ -750,13 +1068,22 @@ class ReproServer:
         status: int,
         body: bytes,
         content_type: str,
+        *,
+        retry_after: float | None = None,
     ) -> None:
         if writer.is_closing():
             return
+        fault_fire("http.write")
+        extra = ""
+        if retry_after is not None:
+            # Retry-After is delay-seconds; HTTP wants an integer, so
+            # round up — never tell a client to come back too early.
+            extra = f"Retry-After: {max(1, math.ceil(retry_after))}\r\n"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n"
         ).encode("latin-1")
         writer.write(head + body)
@@ -767,6 +1094,7 @@ class ReproServer:
     ) -> None:
         # No Content-Length: the stream is close-delimited (we answer
         # HTTP/1.1 with Connection: close on every response).
+        fault_fire("http.write")
         head = (
             f"HTTP/1.1 200 OK\r\n"
             f"Content-Type: {content_type}\r\n"
@@ -784,16 +1112,22 @@ class ReproServer:
             payload: dict[str, Any] = {
                 "protocol": PROTOCOL_VERSION,
                 "accepting": self._accepting,
+                "draining": self._draining,
                 "jobs": {state: states.get(state, 0) for state in protocol.JOB_STATES},
                 "submissions": self._submissions,
                 "deduped_submissions": self._deduped,
                 "simulations_run": self._simulations_run,
+                "recovered_jobs": self._recovered_jobs,
+                "shed_submissions": self._shed_submissions,
+                "shed_inflight": self.shed_inflight,
+                "lease_expirations": self._lease_expirations,
                 "cache_hits": self._runner.cache_hits,
                 "cache_misses": self._runner.cache_misses,
                 "quota": {
                     "max_inflight": self.quota.max_inflight,
                     "max_events": self.quota.max_events,
                     "max_wall_seconds": self.quota.max_wall_seconds,
+                    "lease_seconds": self.quota.lease_seconds,
                 },
             }
         payload["inflight"] = self._ledger.snapshot()

@@ -1,0 +1,251 @@
+"""Unit tests for :mod:`repro.faults` — plans, the injector, ambience.
+
+Everything here is deterministic by construction: triggers are arrival
+counts, randomness is seeded, and the only clock involved (``delay``
+faults) is asserted as "at least", never "exactly".
+"""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    FiredFault,
+    InjectedCrash,
+    InjectedFault,
+    active_injector,
+    fire,
+    injected,
+    install,
+    torn_write,
+    uninstall,
+)
+
+
+class TestFaultRule:
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultRule("no.such.site", "crash")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule("worker.slice", "meteor_strike")
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultRule("worker.slice", "crash", at=0)
+        with pytest.raises(ValueError, match="count"):
+            FaultRule("worker.slice", "crash", count=0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="fraction"):
+            FaultRule("cache.store", "torn_write", fraction=1.0)
+
+    def test_covers_window(self):
+        rule = FaultRule("worker.slice", "crash", at=2, count=2)
+        assert [rule.covers(hit) for hit in (1, 2, 3, 4)] == [
+            False,
+            True,
+            True,
+            False,
+        ]
+
+    def test_round_trip(self):
+        rule = FaultRule("journal.append", "torn_write", at=3, fraction=0.25)
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault-rule fields"):
+            FaultRule.from_dict({"site": "worker.slice", "kind": "crash", "x": 1})
+
+
+class TestFaultPlan:
+    def test_round_trip_json(self):
+        plan = FaultPlan.of(
+            FaultRule("cache.store", "torn_write", fraction=0.3),
+            FaultRule("worker.slice", "delay", at=2, delay_seconds=0.01),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_save_load(self, tmp_path):
+        plan = FaultPlan.of(FaultRule("http.read", "connection_reset"))
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_from_dict_rejects_wrong_kind(self):
+        with pytest.raises(ValueError, match="not a fault-plan document"):
+            FaultPlan.from_dict({"kind": "something-else"})
+
+    def test_random_is_deterministic_in_seed(self):
+        assert FaultPlan.random(7) == FaultPlan.random(7)
+        assert FaultPlan.random(7) != FaultPlan.random(8)
+
+    def test_random_respects_site_and_kind_pools(self):
+        plan = FaultPlan.random(3, sites=["cache.load"], kinds=["crash"], n_rules=5)
+        assert all(rule.site == "cache.load" for rule in plan.rules)
+        assert all(rule.kind == "crash" for rule in plan.rules)
+
+    def test_random_does_not_touch_global_rng(self):
+        import random
+
+        random.seed(123)
+        before = random.random()
+        random.seed(123)
+        FaultPlan.random(99)
+        assert random.random() == before
+
+    def test_rules_for_filters_by_site(self):
+        plan = FaultPlan.of(
+            FaultRule("cache.store", "crash"),
+            FaultRule("cache.load", "crash"),
+            FaultRule("cache.store", "delay", at=2),
+        )
+        assert len(list(plan.rules_for("cache.store"))) == 2
+        assert plan.sites == frozenset({"cache.store", "cache.load"})
+
+
+class TestFaultInjector:
+    def test_fire_crash_on_scripted_hit_only(self):
+        injector = FaultInjector(FaultPlan.of(FaultRule("worker.slice", "crash", at=2)))
+        injector.fire("worker.slice")  # hit 1: clean
+        with pytest.raises(InjectedCrash):
+            injector.fire("worker.slice")  # hit 2: boom
+        injector.fire("worker.slice")  # hit 3: clean again
+        assert injector.fired == (
+            FiredFault(site="worker.slice", kind="crash", hit=2),
+        )
+
+    def test_fire_connection_reset(self):
+        injector = FaultInjector(
+            FaultPlan.of(FaultRule("http.read", "connection_reset"))
+        )
+        with pytest.raises(ConnectionResetError):
+            injector.fire("http.read")
+
+    def test_injected_faults_are_ordinary_exceptions(self):
+        # The whole point: normal error handling absorbs them.
+        assert issubclass(InjectedCrash, InjectedFault)
+        assert issubclass(InjectedFault, Exception)
+        assert not issubclass(InjectedFault, (KeyboardInterrupt, SystemExit))
+
+    def test_fire_delay_then_succeeds(self):
+        import time
+
+        injector = FaultInjector(
+            FaultPlan.of(FaultRule("cache.load", "delay", delay_seconds=0.02))
+        )
+        start = time.monotonic()
+        injector.fire("cache.load")  # must not raise
+        assert time.monotonic() - start >= 0.02
+        assert injector.fired[0].kind == "delay"
+
+    def test_torn_write_returns_prefix(self):
+        injector = FaultInjector(
+            FaultPlan.of(FaultRule("journal.append", "torn_write", fraction=0.5))
+        )
+        kept = injector.torn_write("journal.append", b"0123456789")
+        assert kept == b"01234"
+        assert injector.torn_write("journal.append", b"0123456789") == b"0123456789"
+
+    def test_count_window_covers_consecutive_hits(self):
+        injector = FaultInjector(
+            FaultPlan.of(FaultRule("cache.store", "crash", at=1, count=2))
+        )
+        for _ in range(2):
+            with pytest.raises(InjectedCrash):
+                injector.fire("cache.store")
+        injector.fire("cache.store")  # third arming passes
+        assert injector.hits("cache.store") == 3
+
+    def test_unregistered_site_is_loud(self):
+        injector = FaultInjector(FaultPlan())
+        with pytest.raises(ValueError, match="unregistered fault site"):
+            injector.fire("typo.site")
+
+    def test_replay_is_identical(self):
+        plan = FaultPlan.random(42, n_rules=4)
+        logs = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            log = []
+            for site in sorted(SITES):
+                for _hit in range(5):
+                    try:
+                        injector.fire(site)
+                        log.append((site, "ok"))
+                    except InjectedFault:
+                        log.append((site, "crash"))
+                    except ConnectionResetError:
+                        log.append((site, "reset"))
+            logs.append(log)
+        assert logs[0] == logs[1]
+
+
+class TestAmbientInjector:
+    def test_module_helpers_are_noops_without_plan(self):
+        assert active_injector() is None
+        fire("worker.slice")  # must not raise
+        data, torn = torn_write("cache.store", b"abc")
+        assert (data, torn) == (b"abc", False)
+
+    def test_injected_scopes_installation(self):
+        plan = FaultPlan.of(FaultRule("worker.slice", "crash"))
+        with injected(plan) as injector:
+            assert active_injector() is injector
+            with pytest.raises(InjectedCrash):
+                fire("worker.slice")
+        assert active_injector() is None
+
+    def test_install_refuses_to_stack(self):
+        install(FaultPlan())
+        try:
+            with pytest.raises(RuntimeError, match="already installed"):
+                install(FaultPlan())
+        finally:
+            uninstall()
+
+    def test_uninstall_is_idempotent(self):
+        uninstall()
+        uninstall()
+
+    def test_ambient_torn_write_reports_flag(self):
+        plan = FaultPlan.of(
+            FaultRule("journal.append", "torn_write", fraction=0.25)
+        )
+        with injected(plan):
+            kept, torn = torn_write("journal.append", b"abcdefgh")
+            assert torn and kept == b"ab"
+            kept, torn = torn_write("journal.append", b"abcdefgh")
+            assert not torn and kept == b"abcdefgh"
+
+    def test_plan_survives_json_logging(self):
+        # A failing CI chaos cell logs its plan; the log must rebuild it.
+        plan = FaultPlan.random(1234)
+        logged = json.dumps(plan.to_dict())
+        assert FaultPlan.from_dict(json.loads(logged)) == plan
+
+
+class TestSiteRegistry:
+    def test_every_fault_kind_is_in_the_vocabulary(self):
+        assert set(FAULT_KINDS) == {"crash", "delay", "torn_write", "connection_reset"}
+
+    def test_registered_sites_are_armed_in_real_code(self):
+        """Every registered site must appear in a fire()/torn_write() call
+        somewhere under src/ — a site with no arming is dead weight that
+        silently never fires."""
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        corpus = "\n".join(
+            path.read_text(encoding="utf-8")
+            for path in src.rglob("*.py")
+            if "faults" not in path.parts
+        )
+        for site in SITES:
+            assert f'"{site}"' in corpus, f"site {site!r} is never armed"

@@ -1,0 +1,141 @@
+"""Unit tests for the daemon's crash-consistent run journal."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan, FaultRule, InjectedCrash, injected
+from repro.serialize import FORMAT_VERSION
+from repro.serve.journal import JOURNAL_VERSION, RunJournal
+
+SPEC_DOC = {"workload": "SDSC", "n_jobs": 5, "seed": 1}
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return RunJournal(tmp_path / "serve-journal.jsonl")
+
+
+class TestAppends:
+    def test_header_written_once(self, journal):
+        journal.record_submitted("job-000001", "k1", "alice", SPEC_DOC)
+        journal.record_terminal("job-000001", "done")
+        lines = journal.path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header == {
+            "kind": "repro-serve-journal",
+            "version": JOURNAL_VERSION,
+            "format": FORMAT_VERSION,
+        }
+        assert len(lines) == 3
+
+    def test_submitted_then_terminal_leaves_nothing_pending(self, journal):
+        journal.record_submitted("job-000001", "k1", "alice", SPEC_DOC)
+        journal.record_terminal("job-000001", "done")
+        pending, next_number = journal.recover()
+        assert pending == []
+        assert next_number == 2  # id counter still advances past used ids
+
+    def test_unfinished_job_is_recovered_in_order(self, journal):
+        journal.record_submitted("job-000001", "k1", "alice", SPEC_DOC)
+        journal.record_submitted("job-000002", "k2", "bob", SPEC_DOC)
+        journal.record_terminal("job-000001", "failed")
+        pending, next_number = journal.recover()
+        assert [job.job_id for job in pending] == ["job-000002"]
+        assert pending[0].client == "bob"
+        assert pending[0].key == "k2"
+        assert pending[0].spec == SPEC_DOC
+        assert next_number == 3
+
+
+class TestRecovery:
+    def test_missing_file_recovers_empty(self, journal):
+        assert journal.recover() == ([], 1)
+
+    def test_recover_compacts_to_pending_only(self, journal):
+        for n in range(1, 6):
+            journal.record_submitted(f"job-{n:06d}", f"k{n}", "c", SPEC_DOC)
+            if n != 3:
+                journal.record_terminal(f"job-{n:06d}", "done")
+        journal.recover()
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 2  # header + the one pending entry
+        assert json.loads(lines[1])["job_id"] == "job-000003"
+        # A second recovery over the compacted file agrees.
+        pending, next_number = journal.recover()
+        assert [job.job_id for job in pending] == ["job-000003"]
+        # Compaction keeps only pending entries, so the highest *terminal*
+        # id is forgotten — but pending ids still reserve their numbers.
+        assert next_number == 4
+
+    def test_corrupt_trailing_line_is_skipped(self, journal):
+        journal.record_submitted("job-000001", "k1", "c", SPEC_DOC)
+        with open(journal.path, "ab") as stream:
+            stream.write(b'{"op": "submitted", "job_id": "job-0000')  # torn
+        pending, _ = journal.recover()
+        assert [job.job_id for job in pending] == ["job-000001"]
+        assert journal.corrupt_lines == 1
+
+    def test_corrupt_middle_lines_are_counted_not_fatal(self, journal):
+        journal.record_submitted("job-000001", "k1", "c", SPEC_DOC)
+        with open(journal.path, "ab") as stream:
+            stream.write(b"not json at all\n")
+            stream.write(b'[1, 2, 3]\n')  # json, wrong shape
+        journal.record_submitted("job-000002", "k2", "c", SPEC_DOC)
+        pending, _ = journal.recover()
+        assert [job.job_id for job in pending] == ["job-000001", "job-000002"]
+        assert journal.corrupt_lines == 2
+
+    def test_stale_format_journal_is_rotated_aside(self, journal):
+        header = {
+            "kind": "repro-serve-journal",
+            "version": JOURNAL_VERSION,
+            "format": FORMAT_VERSION - 1,
+        }
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        journal.path.write_text(json.dumps(header) + "\n")
+        assert journal.recover() == ([], 1)
+        assert not journal.path.exists()
+        assert journal.path.with_suffix(".stale").exists()
+
+    def test_foreign_file_is_rotated_aside(self, journal):
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        journal.path.write_text("this is not a journal\n")
+        assert journal.recover() == ([], 1)
+        assert journal.path.with_suffix(".stale").exists()
+
+
+class TestTornAppends:
+    def test_torn_append_raises_and_leaves_prefix(self, journal):
+        journal.record_submitted("job-000001", "k1", "c", SPEC_DOC)
+        plan = FaultPlan.of(FaultRule("journal.append", "torn_write", fraction=0.5))
+        with injected(plan):
+            with pytest.raises(InjectedCrash):
+                journal.record_submitted("job-000002", "k2", "c", SPEC_DOC)
+        # The torn fragment must not corrupt earlier records...
+        pending, _ = journal.recover()
+        assert [job.job_id for job in pending] == ["job-000001"]
+        # ...and it counts as exactly one corrupt line.
+        assert journal.corrupt_lines == 1
+
+    def test_append_after_torn_append_terminates_fragment(self, journal):
+        plan = FaultPlan.of(FaultRule("journal.append", "torn_write", fraction=0.5))
+        with injected(plan):
+            with pytest.raises(InjectedCrash):
+                journal.record_submitted("job-000001", "k1", "c", SPEC_DOC)
+            # In-process continuation: the next append must newline-
+            # terminate the fragment so it stays one skippable line.
+            journal.record_submitted("job-000002", "k2", "c", SPEC_DOC)
+        pending, _ = journal.recover()
+        assert [job.job_id for job in pending] == ["job-000002"]
+
+    def test_torn_fraction_zero_loses_only_that_record(self, journal):
+        journal.record_submitted("job-000001", "k1", "c", SPEC_DOC)
+        plan = FaultPlan.of(FaultRule("journal.append", "torn_write", fraction=0.0))
+        with injected(plan):
+            with pytest.raises(InjectedCrash):
+                journal.record_terminal("job-000001", "done")
+        # The terminal record vanished entirely: the job stays pending,
+        # which is the safe direction (it re-runs deterministically).
+        pending, _ = journal.recover()
+        assert [job.job_id for job in pending] == ["job-000001"]
