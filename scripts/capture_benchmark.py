@@ -52,6 +52,8 @@ from repro.api import Simulation
 from repro.batch import BatchRunner
 from repro.cluster.power import SleepPolicy
 from repro.experiments.config import PolicySpec, RunSpec
+from repro.serialize import SpecValidationError
+from repro.sim.lanes import check_engine_name
 
 POLICIES: tuple[tuple[str, PolicySpec], ...] = (
     ("nodvfs", PolicySpec.baseline()),
@@ -63,12 +65,26 @@ SLEEP_POLICY = SleepPolicy()
 
 
 def max_rss_mb() -> float:
-    """Process high-water RSS in MiB (Linux reports KiB)."""
+    """Process high-water RSS in MiB.
+
+    Prefers ``VmHWM`` from ``/proc/self/status`` over ``ru_maxrss``:
+    Linux carries ``ru_maxrss`` across ``execve`` (it lives outside the
+    replaced address space), so a child spawned from a large parent —
+    exactly what the batch-RSS probe children are — would report the
+    parent's peak instead of its own.  ``VmHWM`` is reset at exec.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 class SerialCell:
-    """One (workload, scale, policy) measurement, repeated best-of.
+    """One (workload, scale, policy, engine) measurement, repeated best-of.
 
     Cells are timed in *interleaved rounds* — round 1 of every cell,
     then round 2, and so on — so each cell's best-of window spans the
@@ -76,35 +92,43 @@ class SerialCell:
     shared/virtualised hardware that makes the per-cell best far less
     hostage to which host-load phase its slot happened to land in.
     One extra untimed run under ``tracemalloc`` records the peak
-    Python-heap footprint of the simulation structures.
+    Python-heap footprint of the simulation structures, per cell — so
+    per *lane*: the columnar core's array-backed result store shows up
+    here as a much smaller peak than the reference's per-job
+    dataclasses at the same scale.
+
+    Execution goes through the named engine lane
+    (:meth:`repro.api.Simulation.run`), so each lane's row measures the
+    code path users of that lane actually get; trace materialisation
+    stays outside the timed region.
     """
 
     def __init__(self, workload: str, n_jobs: int, label: str, policy: PolicySpec,
                  repeat: int, source: str = "synthetic",
-                 sleep: SleepPolicy | None = None) -> None:
+                 sleep: SleepPolicy | None = None, engine: str = "reference") -> None:
         self.workload = workload
         self.n_jobs = n_jobs
         self.label = label
         self.repeat = repeat
         self.source = source
+        self.engine = engine
         self.best = float("inf")
         spec = RunSpec(workload=workload, n_jobs=n_jobs, policy=policy, source=source,
-                       sleep=sleep)
+                       sleep=sleep, engine=engine)
         self.simulation = Simulation(spec)
         load_start = time.perf_counter()
         self.jobs = self.simulation.jobs  # materialise outside the timed region
         self.load_seconds = time.perf_counter() - load_start
 
     def run_once(self) -> None:
-        scheduler = self.simulation.build_scheduler()
+        simulation = self.simulation
         start = time.perf_counter()
-        scheduler.run(self.jobs)
+        simulation.run()
         self.best = min(self.best, time.perf_counter() - start)
 
     def finish(self) -> dict:
-        scheduler = self.simulation.build_scheduler()
         tracemalloc.start()
-        scheduler.run(self.jobs)
+        self.simulation.run()
         _, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
         return {
@@ -112,6 +136,7 @@ class SerialCell:
             "source": self.source,
             "n_jobs": self.n_jobs,
             "policy": self.label,
+            "engine": self.engine,
             "mode": "serial",
             "seconds": round(self.best, 4),
             "jobs_per_sec": round(self.n_jobs / self.best, 1),
@@ -214,7 +239,7 @@ def measure_batch_rss(workload: str, n_jobs: int, workers: int) -> list[dict]:
 
 def print_cell(cell: dict) -> None:
     print(f"{cell['workload']:>12} x {cell['n_jobs']:>7} {cell['policy']:<12} "
-          f"[{cell['source']}] {cell['seconds']:>8.3f}s  "
+          f"[{cell['source']}/{cell['engine']}] {cell['seconds']:>8.3f}s  "
           f"{cell['jobs_per_sec']:>10.0f} jobs/s  "
           f"peak {cell['peak_mem_mb']:>7.1f} MiB")
 
@@ -234,6 +259,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="timing repeats for scale-out cells (default: 1)")
     parser.add_argument("--repeat", type=int, default=3,
                         help="serial timing repeats, best-of (default: 3)")
+    parser.add_argument("--engines", default="reference,columnar",
+                        help="engine lanes to measure per serial cell "
+                             "(default: reference,columnar; lanes that are "
+                             "unavailable here are skipped with a notice)")
+    parser.add_argument("--columnar-floor", type=float, default=None, metavar="JOBS_PER_SEC",
+                        help="fail (exit 1) if the fastest columnar-lane serial "
+                             "cell is below this jobs/s")
     parser.add_argument("--parallel", type=int, default=min(4, os.cpu_count() or 1),
                         help="worker processes for the parallel batch cell")
     parser.add_argument("--batch-scales", default="5000,50000",
@@ -276,16 +308,31 @@ def main(argv: list[str] | None = None) -> int:
     xl_workloads = [w.strip() for w in args.xl_workloads.split(",") if w.strip()]
     xl_scales = [int(s) for s in args.xl_scales.split(",") if s.strip()]
 
+    engines = []
+    for name in (e.strip() for e in args.engines.split(",") if e.strip()):
+        try:
+            check_engine_name(name)
+        except SpecValidationError as exc:
+            print(f"skipping engine {name!r}: {exc.reason}")
+            continue
+        engines.append(name)
+    if not engines:
+        print("no requested engine lane is available here", file=sys.stderr)
+        return 1
+
     cells = [
-        SerialCell(workload, n_jobs, label, policy, args.repeat)
+        SerialCell(workload, n_jobs, label, policy, args.repeat, engine=engine)
         for workload in workloads
         for n_jobs in scales
         for label, policy in POLICIES
+        for engine in engines
     ] + [
-        SerialCell(workload, n_jobs, label, policy, args.xl_repeat, source="synthetic-xl")
+        SerialCell(workload, n_jobs, label, policy, args.xl_repeat,
+                   source="synthetic-xl", engine=engine)
         for workload in xl_workloads
         for n_jobs in xl_scales
         for label, policy in POLICIES
+        for engine in engines
     ]
     sleep_pair: tuple[SerialCell, SerialCell] | None = None
     if args.sleep_workload:
@@ -348,6 +395,7 @@ def main(argv: list[str] | None = None) -> int:
             "repeat": args.repeat,
             "xl_repeat": args.xl_repeat,
             "policies": [label for label, _ in POLICIES],
+            "engines": engines,
         },
         "serial": serial,
         "batch": batch,
@@ -368,6 +416,19 @@ def main(argv: list[str] | None = None) -> int:
               f"{slowest['workload']}x{slowest['n_jobs']} {slowest['policy']} at "
               f"{slowest['jobs_per_sec']:.0f} jobs/s (floor {args.floor:.0f})")
         failed |= verdict == "FAIL"
+    if args.columnar_floor is not None:
+        columnar_rows = [cell for cell in serial if cell["engine"] == "columnar"]
+        if not columnar_rows:
+            print("columnar floor check [FAIL]: no columnar-lane cell was measured")
+            failed = True
+        else:
+            fastest = max(columnar_rows, key=lambda cell: cell["jobs_per_sec"])
+            verdict = "PASS" if fastest["jobs_per_sec"] >= args.columnar_floor else "FAIL"
+            print(f"columnar floor check [{verdict}]: fastest columnar cell "
+                  f"{fastest['workload']}x{fastest['n_jobs']} {fastest['policy']} at "
+                  f"{fastest['jobs_per_sec']:.0f} jobs/s "
+                  f"(floor {args.columnar_floor:.0f})")
+            failed |= verdict == "FAIL"
     if args.rss_ratio_min is not None:
         if rss_ratio is None:
             print("batch RSS check [FAIL]: no batch-RSS probe was run")

@@ -68,6 +68,7 @@ from repro.power.energy import EnergyReport
 from repro.power.model import PowerModel
 from repro.registry import (
     ABLATIONS,
+    ENGINES,
     FIGURES,
     INSTRUMENTS,
     POLICIES,
@@ -106,6 +107,7 @@ __all__ = [
     "DEFAULT_BETA",
     "DEFAULT_N_JOBS",
     "DynamicBoostConfig",
+    "ENGINES",
     "EasyBackfilling",
     "EnergyReport",
     "ExperimentRunner",

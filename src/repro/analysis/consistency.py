@@ -14,7 +14,8 @@ This module closes the loop statically, by parsing the source with
 ``ast`` (never importing or instantiating anything):
 
 * every field of each tracked dataclass appears as a key in its encoder
-  function in ``serialize.py``;
+  function in ``serialize.py`` (fields declared ``compare=False`` are
+  execution metadata outside spec identity and are exempt);
 * every field is reconstructed by its decoder (keyword arguments of the
   class constructor call, or a ``**``-expansion which covers all
   fields);
@@ -61,8 +62,38 @@ def _parse(path: Path) -> ast.Module:
     return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
 
 
+def _is_identity_free(statement: ast.AnnAssign) -> bool:
+    """True for ``name: T = field(..., compare=False)`` declarations.
+
+    ``compare=False`` is how a spec dataclass marks a field as execution
+    metadata rather than spec identity (e.g. ``RunSpec.engine``, the
+    lane selector): two specs differing only in such a field are equal,
+    hash alike, and must share one cache entry — so the field is
+    deliberately *outside* the serialized surface and the codec checks
+    must not demand it be encoded.
+    """
+    value = statement.value
+    if not (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "field"
+    ):
+        return False
+    return any(
+        keyword.arg == "compare"
+        and isinstance(keyword.value, ast.Constant)
+        and keyword.value.value is False
+        for keyword in value.keywords
+    )
+
+
 def _dataclass_fields(tree: ast.Module, class_name: str) -> tuple[str, ...]:
-    """Field names of a dataclass, in declaration order."""
+    """Identity field names of a dataclass, in declaration order.
+
+    Fields declared ``compare=False`` (see :func:`_is_identity_free`)
+    are excluded: they are not part of spec identity, so neither the
+    codecs nor the schema snapshot track them.
+    """
     for node in ast.walk(tree):
         if isinstance(node, ast.ClassDef) and node.name == class_name:
             fields = []
@@ -72,6 +103,8 @@ def _dataclass_fields(tree: ast.Module, class_name: str) -> tuple[str, ...]:
                 ):
                     annotation = ast.unparse(statement.annotation)
                     if annotation.startswith("ClassVar"):
+                        continue
+                    if _is_identity_free(statement):
                         continue
                     fields.append(statement.target.id)
             return tuple(fields)

@@ -141,16 +141,36 @@ class Simulation:
         )
 
     # -- execution --------------------------------------------------------------
+    @property
+    def validate(self) -> bool:
+        """Whether per-pass invariant checking is on for this run."""
+        return self._validate
+
+    @property
+    def sanitize(self) -> bool:
+        """Whether the deep structural sanitizer is on for this run."""
+        return self._sanitize
+
     def run(self) -> SimulationResult:
         """Simulate the spec to completion.
 
-        With no instruments on the spec this is the scheduler's tight
-        run-to-completion loop, byte-identical to the committed golden
-        traces; with instruments it is ``session().result()``.
+        Execution goes through the engine lane the spec resolves to
+        (``spec.engine`` → ``REPRO_ENGINE`` → ``"reference"``; see
+        :mod:`repro.sim.lanes`) — every lane is byte-identical to the
+        committed golden traces, so the choice affects speed only.
+        Instrumented specs run as ``session().result()`` on the
+        reference core (sessions are steppable by construction).
+        Resolving to an unavailable lane (``columnar`` without numpy)
+        raises :class:`~repro.serialize.SpecValidationError` with field
+        ``engine``.
         """
+        from repro.sim.lanes import resolve_lane  # deferred: avoids a cycle
+
+        lane = resolve_lane(self.spec)
         if self.spec.instruments:
             return self.session().result()
-        return self.build_scheduler().run(self.jobs)
+        result: SimulationResult = lane.run(self)
+        return result
 
     def session(self, *, instruments: Sequence[Instrument] = ()) -> SimulationSession:
         """Arm a steppable :class:`~repro.session.SimulationSession`.

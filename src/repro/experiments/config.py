@@ -20,6 +20,7 @@ from repro.core.frequency_policy import (
 from repro.core.util_policy import UtilizationTriggeredPolicy
 from repro.power.time_model import DEFAULT_BETA
 from repro.registry import (
+    ENGINES,
     INSTRUMENTS,
     POLICIES,
     POWER_MODELS,
@@ -209,6 +210,14 @@ class RunSpec:
     power-down (:class:`~repro.cluster.power.SleepPolicy`, presets on
     :data:`~repro.registry.SLEEP_POLICIES`); like instruments it is
     serialized and cache-keyed.
+
+    ``engine`` selects the simulation core on
+    :data:`~repro.registry.ENGINES` (``None`` = the process default:
+    ``REPRO_ENGINE`` or ``"reference"``).  Lanes are pinned
+    byte-identical, so the field is *execution metadata*, not run
+    identity: it is excluded from equality/hashing and from the
+    canonical spec JSON, and two specs differing only in ``engine``
+    share one cache entry.
     """
 
     workload: str
@@ -223,6 +232,7 @@ class RunSpec:
     record_timeline: bool = False
     instruments: tuple[InstrumentSpec, ...] = ()
     sleep: SleepPolicy | None = None
+    engine: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.n_jobs is not None and self.n_jobs <= 0:
@@ -252,6 +262,10 @@ class RunSpec:
             raise ValueError(
                 f"unknown workload source {self.source!r}; available: {WORKLOAD_SOURCES.names()}"
             )
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; available: {ENGINES.names()}"
+            )
 
     def with_policy(self, policy: PolicySpec) -> "RunSpec":
         return replace(self, policy=policy)
@@ -270,6 +284,14 @@ class RunSpec:
     def with_sleep(self, sleep: SleepPolicy | None) -> "RunSpec":
         """Copy with in-engine node power management set to ``sleep``."""
         return replace(self, sleep=sleep)
+
+    def with_engine(self, engine: str | None) -> "RunSpec":
+        """Copy running on the named engine lane (``None`` = process default).
+
+        Results and cache keys are unchanged: lanes are pinned
+        byte-identical, and ``engine`` is excluded from spec identity.
+        """
+        return replace(self, engine=engine)
 
     def label(self) -> str:
         scale = "" if self.size_factor == 1.0 else f" x{self.size_factor:g}"

@@ -32,6 +32,7 @@ __all__ = [
     "WORKLOAD_SOURCES",
     "INSTRUMENTS",
     "SLEEP_POLICIES",
+    "ENGINES",
     "FIGURES",
     "ABLATIONS",
 ]
@@ -187,6 +188,12 @@ INSTRUMENTS: Registry[type[Any]] = Registry(
 SLEEP_POLICIES: Registry[Callable[..., Any]] = Registry(
     "sleep policy", modules=("repro.cluster.power",)
 )
+
+#: Engine lanes (``EngineLane`` instances): alternative simulation cores
+#: a :class:`~repro.experiments.config.RunSpec` can select via its
+#: ``engine`` field.  Lane choice never changes results or cache keys —
+#: every lane is pinned byte-identical to the reference core.
+ENGINES: Registry[Any] = Registry("engine", modules=("repro.sim.lanes",))
 
 #: Paper-figure builders ``(ExperimentRunner) -> figure``, keyed by number.
 FIGURES: Registry[Callable[..., Any]] = Registry(

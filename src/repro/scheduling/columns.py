@@ -1,0 +1,215 @@
+"""Columnar per-job outcome store: array-backed, lazily materialised.
+
+The reference core records one :class:`~repro.scheduling.job.JobOutcome`
+dataclass per job; at a million jobs that tuple dominates a result's
+memory (five boxed floats, a bool and two object pointers per job).
+:class:`OutcomeColumns` keeps the same information in six parallel
+numpy arrays plus the (already materialised) trace jobs, and presents
+it through the ``Sequence[JobOutcome]`` surface the rest of the code
+reads — iteration and indexing materialise outcome objects on demand,
+so every existing consumer (CSV export, serialisation, equality tests)
+works unchanged, while the vectorised fast paths in
+:class:`~repro.scheduling.result.SimulationResult` reduce straight off
+the columns without ever building a per-job object.
+
+Bit-exactness: the stored columns are the exact float64 values the
+reference core would have put in the dataclasses (the columnar engine
+computes them with the same scalar expressions), and materialisation
+converts with ``float()``/``bool()``, so a materialised outcome — and
+anything serialised from it — is byte-identical to the reference's.
+
+This module only requires numpy at construction time (the columnar
+engine is the sole producer); importing it without numpy is fine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Sequence, overload
+
+if TYPE_CHECKING:  # imported for annotations only; avoids package cycles
+    from repro.core.gears import Gear
+
+from repro.scheduling.job import Job, JobOutcome
+
+__all__ = ["OutcomeColumns"]
+
+
+class OutcomeColumns(Sequence[JobOutcome]):
+    """Job outcomes ordered by job id, backed by parallel numpy arrays.
+
+    Parameters
+    ----------
+    jobs:
+        The trace jobs sorted by ``job_id`` (ascending, unique).
+    ladder:
+        The machine's gears in ascending order; ``gear_index`` values
+        index into it.
+    start / finish / gear_index / energy / was_reduced:
+        Per-job columns aligned with ``jobs``: float64 start and finish
+        times, the integer ladder index of the first gear, float64
+        active energy, and the reduced-frequency flag.
+    """
+
+    __slots__ = (
+        "jobs",
+        "ladder",
+        "start",
+        "finish",
+        "gear_index",
+        "energy",
+        "was_reduced",
+        "_trace_arrays",
+    )
+
+    def __init__(
+        self,
+        jobs: tuple[Job, ...],
+        ladder: tuple[Gear, ...],
+        start: Any,
+        finish: Any,
+        gear_index: Any,
+        energy: Any,
+        was_reduced: Any,
+    ) -> None:
+        n = len(jobs)
+        for name, column in (
+            ("start", start),
+            ("finish", finish),
+            ("gear_index", gear_index),
+            ("energy", energy),
+            ("was_reduced", was_reduced),
+        ):
+            if len(column) != n:
+                raise ValueError(
+                    f"column {name!r} has {len(column)} rows for {n} jobs"
+                )
+        self.jobs = jobs
+        self.ladder = ladder
+        self.start = start
+        self.finish = finish
+        self.gear_index = gear_index
+        self.energy = energy
+        self.was_reduced = was_reduced
+        self._trace_arrays: tuple[Any, Any] | None = None
+
+    # -- the Sequence[JobOutcome] surface ----------------------------------------
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def _materialise(self, index: int) -> JobOutcome:
+        start = float(self.start[index])
+        finish = float(self.finish[index])
+        return JobOutcome(
+            job=self.jobs[index],
+            start_time=start,
+            finish_time=finish,
+            gear=self.ladder[int(self.gear_index[index])],
+            # The exact expression the reference core stores
+            # (finish - start in float64), not a separately-carried
+            # column: penalized runtime is derived, so deriving it
+            # keeps the store one column smaller at identical bytes.
+            penalized_runtime=finish - start,
+            energy=float(self.energy[index]),
+            was_reduced=bool(self.was_reduced[index]),
+        )
+
+    @overload
+    def __getitem__(self, index: int) -> JobOutcome: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> tuple[JobOutcome, ...]: ...
+
+    def __getitem__(self, index: int | slice) -> JobOutcome | tuple[JobOutcome, ...]:
+        if isinstance(index, slice):
+            return tuple(
+                self._materialise(i) for i in range(*index.indices(len(self.jobs)))
+            )
+        if index < 0:
+            index += len(self.jobs)
+        if not 0 <= index < len(self.jobs):
+            raise IndexError("outcome index out of range")
+        return self._materialise(index)
+
+    def __iter__(self) -> Iterator[JobOutcome]:
+        for index in range(len(self.jobs)):
+            yield self._materialise(index)
+
+    def __eq__(self, other: object) -> bool:
+        """Element-wise equality against any outcome sequence.
+
+        Serialisation round-trip tests compare a columnar result to one
+        decoded into a plain tuple; both orders must agree (``tuple``'s
+        own ``__eq__`` returns ``NotImplemented`` for us, so Python
+        reflects here).
+        """
+        if other is self:
+            return True
+        if isinstance(other, OutcomeColumns):
+            if self.jobs != other.jobs or self.ladder != other.ladder:
+                return False
+            return bool(
+                (self.start == other.start).all()
+                and (self.finish == other.finish).all()
+                and (self.gear_index == other.gear_index).all()
+                and (self.energy == other.energy).all()
+                and (self.was_reduced == other.was_reduced).all()
+            )
+        if not isinstance(other, (tuple, list)):
+            return NotImplemented
+        if len(other) != len(self.jobs):
+            return False
+        return all(mine == theirs for mine, theirs in zip(self, other))
+
+    def __hash__(self) -> int:
+        # Rare (results are hashed only by tests); must agree with an
+        # equal tuple of materialised outcomes.
+        return hash(tuple(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OutcomeColumns({len(self.jobs)} jobs)"
+
+    # -- vectorised views ----------------------------------------------------------
+    def job_arrays(self) -> tuple[Any, Any, Any]:
+        """``(wait, runtime, penalized)`` float64 arrays, job-id order.
+
+        The columnar fast path behind
+        :meth:`SimulationResult._job_arrays`: identical values to the
+        per-outcome loop (float64 subtraction is the same operation the
+        reference performs per job), with the trace columns gathered
+        once and cached.
+        """
+        import numpy as np
+
+        trace = self._trace_arrays
+        if trace is None:
+            n = len(self.jobs)
+            submit = np.empty(n)
+            runtime = np.empty(n)
+            for index, job in enumerate(self.jobs):
+                submit[index] = job.submit_time
+                runtime[index] = job.runtime
+            trace = (submit, runtime)
+            self._trace_arrays = trace
+        submit, runtime = trace
+        return (self.start - submit, runtime, self.finish - self.start)
+
+    def reduced_count(self) -> int:
+        """How many jobs ran below Ftop (vectorised ``reduced_jobs``)."""
+        import numpy as np
+
+        return int(np.count_nonzero(self.was_reduced))
+
+    def gear_counts(self) -> dict[Gear, int]:
+        """Jobs per first gear (vectorised ``gear_histogram``), gears with 0 omitted."""
+        import numpy as np
+
+        counts = np.bincount(self.gear_index, minlength=len(self.ladder))
+        return {
+            self.ladder[index]: int(count)
+            for index, count in enumerate(counts)
+            if count
+        }
+
+    def max_finish(self) -> float:
+        """The latest finish time (vectorised ``makespan``)."""
+        return float(self.finish.max())

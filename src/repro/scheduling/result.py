@@ -14,6 +14,7 @@ from repro.core.gears import Gear
 from repro.metrics.aggregates import mean, nearest_rank
 from repro.metrics.bsld import BSLD_THRESHOLD_SECONDS
 from repro.power.energy import EnergyReport
+from repro.scheduling.columns import OutcomeColumns
 from repro.scheduling.job import JobOutcome
 
 __all__ = [
@@ -107,6 +108,13 @@ class SimulationResult:
     def __post_init__(self) -> None:
         if self.aggregates is not None and self.outcomes:
             raise ValueError("a result carries outcomes or aggregates, not both")
+        if isinstance(self.outcomes, OutcomeColumns):
+            # Column-backed results check order without materialising a
+            # single outcome object (ids are unique, so strict ascent).
+            jobs = self.outcomes.jobs
+            if any(a.job_id >= b.job_id for a, b in zip(jobs, jobs[1:])):
+                raise ValueError("outcomes must be ordered by job id")
+            return
         ids = [o.job.job_id for o in self.outcomes]
         if ids != sorted(ids):
             raise ValueError("outcomes must be ordered by job id")
@@ -204,7 +212,11 @@ class SimulationResult:
         arrays = self.__dict__.get("_arrays")
         if arrays is None:
             outcomes = self.outcomes
-            if _np is None:
+            if isinstance(outcomes, OutcomeColumns):
+                # Column-backed results: one vectorised gather, no
+                # outcome objects (same float64 values either way).
+                arrays = outcomes.job_arrays()
+            elif _np is None:
                 wait: list[float] = []
                 runtime: list[float] = []
                 penalized: list[float] = []
@@ -276,11 +288,15 @@ class SimulationResult:
         """Jobs run at a frequency below Ftop (the paper's Figure 4 metric)."""
         if self.aggregates is not None:
             return self.aggregates.reduced_jobs
+        if isinstance(self.outcomes, OutcomeColumns):
+            return self.outcomes.reduced_count()
         return sum(1 for o in self.outcomes if o.was_reduced)
 
     def gear_histogram(self) -> dict[Gear, int]:
         if self.aggregates is not None:
             return dict(self.aggregates.gear_histogram)
+        if isinstance(self.outcomes, OutcomeColumns):
+            return self.outcomes.gear_counts()
         histogram: dict[Gear, int] = {}
         for outcome in self.outcomes:
             histogram[outcome.gear] = histogram.get(outcome.gear, 0) + 1
@@ -292,6 +308,8 @@ class SimulationResult:
             return self.aggregates.makespan
         if not self.outcomes:
             return 0.0
+        if isinstance(self.outcomes, OutcomeColumns):
+            return self.outcomes.max_finish()
         return max(o.finish_time for o in self.outcomes)
 
     @property

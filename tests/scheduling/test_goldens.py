@@ -143,6 +143,30 @@ def test_golden_trace_byte_stable(name, tmp_path, update_goldens):
     )
 
 
+@pytest.mark.parametrize("name", sorted(GOLDEN_SPECS))
+def test_golden_trace_byte_stable_columnar(name, tmp_path, update_goldens):
+    """The columnar lane reproduces every committed golden, byte for byte.
+
+    The plain goldens render with ``validate=True`` (which the fused
+    core does not cover), so this twin renders with validation off and
+    the lane pinned to ``columnar`` — the fused core for the plain
+    DVFS/no-DVFS specs, the reference fallback for the power-cap and
+    sleep specs.  Either way the exported bytes must equal the fixture.
+    """
+    pytest.importorskip("numpy", reason="the columnar lane needs numpy")
+    if update_goldens:
+        pytest.skip("fixtures are being rewritten by the reference lane in this run")
+    spec = GOLDEN_SPECS[name].with_engine("columnar")
+    result = Simulation(spec).run()
+    scratch = tmp_path / "export.csv"
+    outcomes_to_csv(result, scratch)
+    rendered = scratch.read_bytes()
+    golden = (GOLDEN_DIR / f"{name}.csv").read_bytes()
+    assert rendered == golden, (
+        f"{name}: columnar lane diverged from the committed golden trace"
+    )
+
+
 def test_goldens_have_expected_shape(update_goldens):
     """Every fixture exists, has a header and one row per job."""
     if update_goldens:
